@@ -1,0 +1,239 @@
+//! Codebook board-file serialization.
+//!
+//! The real wil6210 driver loads the antenna codebook from a binary board
+//! file (`wil6210.brd`) flashed with the device; sector entries carry the
+//! per-element phase/amplitude settings. Our emulation mirrors that
+//! artifact with a compact little-endian binary format so synthesized
+//! codebooks can be saved, shipped and reloaded:
+//!
+//! ```text
+//! magic   "TBRD"            4 bytes
+//! version u16 = 1
+//! elements u16              array element count
+//! sectors  u16              number of sector records
+//! record:
+//!   id      u8              sector ID
+//!   flags   u8              bit0: has nominal direction
+//!   az,el   f32 each        nominal direction (if flagged)
+//!   weights elements × (f32 re, f32 im)
+//! crc32    u32              over everything before it
+//! ```
+//!
+//! The CRC reuses the FCS polynomial; a truncated or bit-flipped board
+//! file is rejected, like the driver rejects a corrupt `.brd`.
+
+use crate::codebook::{Codebook, Sector, SectorId};
+use crate::complex::Complex;
+use crate::weights::WeightVector;
+use geom::sphere::Direction;
+
+/// Errors when loading a board file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BrdError {
+    /// Wrong magic bytes.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u16),
+    /// The file is shorter than its header promises.
+    Truncated,
+    /// Checksum mismatch (corrupt file).
+    BadChecksum,
+    /// A sector record carries an invalid field.
+    BadRecord(u8),
+}
+
+impl std::fmt::Display for BrdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BrdError::BadMagic => write!(f, "not a TBRD board file"),
+            BrdError::BadVersion(v) => write!(f, "unsupported board file version {v}"),
+            BrdError::Truncated => write!(f, "board file truncated"),
+            BrdError::BadChecksum => write!(f, "board file checksum mismatch"),
+            BrdError::BadRecord(id) => write!(f, "invalid record for sector {id}"),
+        }
+    }
+}
+
+impl std::error::Error for BrdError {}
+
+/// CRC-32 (FCS polynomial), local copy to keep the crate dependency-free.
+fn crc32(data: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            crc = if crc & 1 != 0 {
+                0xEDB8_8320 ^ (crc >> 1)
+            } else {
+                crc >> 1
+            };
+        }
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+/// Serializes a codebook into board-file bytes.
+///
+/// # Panics
+/// Panics if sectors have inconsistent element counts.
+pub fn to_brd(codebook: &Codebook) -> Vec<u8> {
+    let sectors = codebook.sectors();
+    let elements = sectors
+        .first()
+        .map(|s| s.weights.len())
+        .unwrap_or(0);
+    let mut out = Vec::with_capacity(16 + sectors.len() * (2 + 8 + elements * 8));
+    out.extend_from_slice(b"TBRD");
+    out.extend_from_slice(&1u16.to_le_bytes());
+    out.extend_from_slice(&(elements as u16).to_le_bytes());
+    out.extend_from_slice(&(sectors.len() as u16).to_le_bytes());
+    for s in sectors {
+        assert_eq!(s.weights.len(), elements, "inconsistent element count");
+        out.push(s.id.raw());
+        match s.nominal_dir {
+            Some(d) => {
+                out.push(1);
+                out.extend_from_slice(&(d.az_deg as f32).to_le_bytes());
+                out.extend_from_slice(&(d.el_deg as f32).to_le_bytes());
+            }
+            None => {
+                out.push(0);
+                out.extend_from_slice(&0f32.to_le_bytes());
+                out.extend_from_slice(&0f32.to_le_bytes());
+            }
+        }
+        for w in s.weights.iter() {
+            out.extend_from_slice(&(w.re as f32).to_le_bytes());
+            out.extend_from_slice(&(w.im as f32).to_le_bytes());
+        }
+    }
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Parses a board file back into a codebook.
+pub fn from_brd(data: &[u8]) -> Result<Codebook, BrdError> {
+    if data.len() < 14 {
+        return Err(BrdError::Truncated);
+    }
+    let (body, crc_bytes) = data.split_at(data.len() - 4);
+    let stored = u32::from_le_bytes([crc_bytes[0], crc_bytes[1], crc_bytes[2], crc_bytes[3]]);
+    if crc32(body) != stored {
+        return Err(BrdError::BadChecksum);
+    }
+    if &body[0..4] != b"TBRD" {
+        return Err(BrdError::BadMagic);
+    }
+    let version = u16::from_le_bytes([body[4], body[5]]);
+    if version != 1 {
+        return Err(BrdError::BadVersion(version));
+    }
+    let elements = u16::from_le_bytes([body[6], body[7]]) as usize;
+    let count = u16::from_le_bytes([body[8], body[9]]) as usize;
+    let record_len = 2 + 8 + elements * 8;
+    if body.len() != 10 + count * record_len {
+        return Err(BrdError::Truncated);
+    }
+    let mut sectors = Vec::with_capacity(count);
+    let mut off = 10;
+    let f32_at = |b: &[u8], o: usize| f32::from_le_bytes([b[o], b[o + 1], b[o + 2], b[o + 3]]);
+    for _ in 0..count {
+        let id = body[off];
+        let flags = body[off + 1];
+        if flags > 1 {
+            return Err(BrdError::BadRecord(id));
+        }
+        let az = f32_at(body, off + 2) as f64;
+        let el = f32_at(body, off + 6) as f64;
+        let nominal_dir = if flags & 1 != 0 {
+            Some(Direction::new(az, el))
+        } else {
+            None
+        };
+        let mut weights = Vec::with_capacity(elements);
+        for e in 0..elements {
+            let base = off + 10 + e * 8;
+            let re = f32_at(body, base) as f64;
+            let im = f32_at(body, base + 4) as f64;
+            if !re.is_finite() || !im.is_finite() {
+                return Err(BrdError::BadRecord(id));
+            }
+            weights.push(Complex::new(re, im));
+        }
+        sectors.push(Sector {
+            id: SectorId(id),
+            weights: WeightVector::exact(weights),
+            nominal_dir,
+        });
+        off += record_len;
+    }
+    Ok(Codebook::from_sectors(sectors))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::steering::PhasedArray;
+
+    fn codebook() -> Codebook {
+        let arr = PhasedArray::talon(13);
+        Codebook::talon(&arr, 13)
+    }
+
+    #[test]
+    fn roundtrip_preserves_the_codebook_geometry() {
+        let cb = codebook();
+        let brd = to_brd(&cb);
+        let back = from_brd(&brd).unwrap();
+        assert_eq!(back.sectors().len(), cb.sectors().len());
+        // Weights survive the f32 roundtrip to within f32 precision (the
+        // quantized values are exactly representable or very close).
+        for (a, b) in cb.sectors().iter().zip(back.sectors()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.nominal_dir.is_some(), b.nominal_dir.is_some());
+            for (wa, wb) in a.weights.iter().zip(b.weights.iter()) {
+                assert!((wa.re - wb.re).abs() < 1e-6);
+                assert!((wa.im - wb.im).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_is_rejected() {
+        let mut brd = to_brd(&codebook());
+        brd[40] ^= 0x10;
+        assert_eq!(from_brd(&brd), Err(BrdError::BadChecksum));
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let brd = to_brd(&codebook());
+        assert_eq!(from_brd(&brd[..brd.len() - 9]), Err(BrdError::BadChecksum));
+        assert_eq!(from_brd(&brd[..5]), Err(BrdError::Truncated));
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_rejected() {
+        let cb = codebook();
+        let mut brd = to_brd(&cb);
+        // Flip magic and re-checksum.
+        brd[0] = b'X';
+        let body_len = brd.len() - 4;
+        let crc = crc32(&brd[..body_len]);
+        brd[body_len..].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(from_brd(&brd), Err(BrdError::BadMagic));
+
+        let mut brd = to_brd(&cb);
+        brd[4] = 9;
+        let crc = crc32(&brd[..body_len]);
+        brd[body_len..].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(from_brd(&brd), Err(BrdError::BadVersion(9)));
+    }
+
+    #[test]
+    fn errors_have_readable_messages() {
+        assert!(BrdError::BadChecksum.to_string().contains("checksum"));
+        assert!(BrdError::BadRecord(5).to_string().contains('5'));
+    }
+}

@@ -1,0 +1,33 @@
+//! Board-file parser robustness: arbitrary bytes never panic.
+
+use proptest::prelude::*;
+use talon_array::brd::{from_brd, to_brd};
+use talon_array::codebook::Codebook;
+use talon_array::steering::PhasedArray;
+
+proptest! {
+    #[test]
+    fn brd_parser_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = from_brd(&bytes);
+    }
+
+    #[test]
+    fn truncating_a_valid_file_never_panics(cut in 0usize..100) {
+        let arr = PhasedArray::talon(5);
+        let brd = to_brd(&Codebook::talon(&arr, 5));
+        let end = brd.len().saturating_sub(cut);
+        let _ = from_brd(&brd[..end]);
+    }
+
+    #[test]
+    fn flipping_any_byte_is_detected_or_roundtrips(pos_frac in 0.0f64..1.0, bit in 0u8..8) {
+        let arr = PhasedArray::talon(6);
+        let cb = Codebook::talon(&arr, 6);
+        let mut brd = to_brd(&cb);
+        let pos = (pos_frac * (brd.len() - 1) as f64) as usize;
+        brd[pos] ^= 1 << bit;
+        // A flipped bit must be rejected (checksum) — it can never parse
+        // into a *different* codebook silently.
+        prop_assert!(from_brd(&brd).is_err());
+    }
+}

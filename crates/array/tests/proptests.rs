@@ -1,0 +1,108 @@
+//! Property-based tests for the phased-array model.
+
+use proptest::prelude::*;
+use talon_array::codebook::Codebook;
+use talon_array::complex::Complex;
+use talon_array::steering::PhasedArray;
+use talon_array::weights::{WeightQuantizer, WeightVector};
+use geom::sphere::Direction;
+
+proptest! {
+    #[test]
+    fn complex_multiplication_is_commutative_and_modulus_multiplicative(
+        ar in -10.0f64..10.0, ai in -10.0f64..10.0,
+        br in -10.0f64..10.0, bi in -10.0f64..10.0,
+    ) {
+        let a = Complex::new(ar, ai);
+        let b = Complex::new(br, bi);
+        let ab = a * b;
+        let ba = b * a;
+        prop_assert!((ab.re - ba.re).abs() < 1e-9 && (ab.im - ba.im).abs() < 1e-9);
+        prop_assert!((ab.abs() - a.abs() * b.abs()).abs() < 1e-9);
+        // Conjugate product is the squared modulus, purely real.
+        let p = a * a.conj();
+        prop_assert!((p.re - a.abs2()).abs() < 1e-9 && p.im.abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_quantization_is_idempotent_and_bounded(theta in -20.0f64..20.0) {
+        let q = WeightQuantizer::TALON;
+        let once = q.quantize_phase(theta.rem_euclid(std::f64::consts::TAU));
+        let twice = q.quantize_phase(once);
+        prop_assert!((once - twice).abs() < 1e-12);
+        prop_assert!((0.0..std::f64::consts::TAU + 1e-12).contains(&once));
+    }
+
+    #[test]
+    fn weight_quantization_is_idempotent(
+        r in 0.0f64..2.0,
+        theta in 0.0f64..std::f64::consts::TAU,
+    ) {
+        let q = WeightQuantizer::TALON;
+        let w = Complex::from_polar(r, theta);
+        let once = q.quantize(w);
+        let twice = q.quantize(once);
+        prop_assert!((once.re - twice.re).abs() < 1e-12);
+        prop_assert!((once.im - twice.im).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gain_is_bounded_by_physics(
+        seed in 0u64..64,
+        az in -180.0f64..180.0,
+        el in -90.0f64..90.0,
+    ) {
+        let arr = PhasedArray::talon(seed);
+        let w = WeightVector::uniform(arr.num_elements());
+        let g = arr.gain_dbi(&w, &Direction::new(az, el));
+        // Upper bound: element peak + array gain + generous error margin.
+        let upper = arr.element.peak_gain_dbi
+            + 10.0 * (arr.num_elements() as f64).log10()
+            + 6.0;
+        prop_assert!(g <= upper, "gain {g} exceeds physical bound {upper}");
+        prop_assert!(g >= -60.0, "gain floor respected");
+    }
+
+    #[test]
+    fn steering_beats_uniform_at_the_target(seed in 0u64..32, az in -45.0f64..45.0) {
+        let arr = PhasedArray::talon(seed);
+        let target = Direction::new(az, 0.0);
+        let steered = arr.quantize(&arr.steering_weights(&target));
+        let uniform = WeightVector::uniform(arr.num_elements());
+        let gs = arr.gain_dbi(&steered, &target);
+        let gu = arr.gain_dbi(&uniform, &target);
+        // Off broadside, steering must not be (much) worse than the
+        // unsteered array towards the target.
+        if az.abs() > 10.0 {
+            prop_assert!(gs >= gu - 1.0, "steered {gs} vs uniform {gu} at {az}°");
+        }
+    }
+
+    #[test]
+    fn codebook_is_deterministic_and_complete(seed in 0u64..64) {
+        let arr = PhasedArray::talon(seed);
+        let a = Codebook::talon(&arr, seed);
+        let b = Codebook::talon(&arr, seed);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.num_tx_sectors(), 34);
+        prop_assert_eq!(a.sweep_order().len(), 34);
+        // Every sweep sector has at least one active element.
+        for id in a.sweep_order() {
+            prop_assert!(a.get(id).unwrap().weights.active_elements() > 0);
+        }
+    }
+
+    #[test]
+    fn feed_power_counts_active_elements_for_onoff_weights(
+        n_active in 1usize..32,
+    ) {
+        // With on/off amplitude control, feed power equals the number of
+        // active elements.
+        let raw: Vec<Complex> = (0..32)
+            .map(|i| if i < n_active { Complex::ONE } else { Complex::ZERO })
+            .collect();
+        let w = WeightVector::quantized(&raw, &WeightQuantizer::TALON);
+        prop_assert_eq!(w.active_elements(), n_active);
+        prop_assert!((w.feed_power() - n_active as f64).abs() < 1e-12);
+    }
+}

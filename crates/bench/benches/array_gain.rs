@@ -1,0 +1,37 @@
+//! Far-field gain evaluation and pattern sampling cost.
+//!
+//! The chamber campaign evaluates the array gain hundreds of thousands of
+//! times (grid points × sectors × sweeps); this bench tracks the cost of
+//! one evaluation and of a full coarse pattern sample.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use geom::sphere::{Direction, GridSpec, SphericalGrid};
+use std::hint::black_box;
+use talon_array::{Codebook, GainPattern, PhasedArray, SectorId};
+
+fn bench_gain(c: &mut Criterion) {
+    let arr = PhasedArray::talon(42);
+    let cb = Codebook::talon(&arr, 42);
+    let s63 = cb.get(SectorId(63)).unwrap();
+    let dir = Direction::new(23.0, 7.0);
+
+    c.bench_function("array/gain_dbi", |b| {
+        b.iter(|| black_box(arr.gain_dbi(black_box(&s63.weights), black_box(&dir))))
+    });
+
+    c.bench_function("array/steering_weights", |b| {
+        b.iter(|| black_box(arr.steering_weights(black_box(&dir))))
+    });
+
+    c.bench_function("array/codebook_synthesis", |b| {
+        b.iter(|| black_box(Codebook::talon(black_box(&arr), 42)))
+    });
+
+    let grid = SphericalGrid::new(GridSpec::new(-90.0, 90.0, 5.0), GridSpec::new(0.0, 30.0, 10.0));
+    c.bench_function("array/pattern_sample_37x4_grid", |b| {
+        b.iter(|| black_box(GainPattern::sample(&arr, &s63.weights, black_box(&grid))))
+    });
+}
+
+criterion_group!(benches, bench_gain);
+criterion_main!(benches);

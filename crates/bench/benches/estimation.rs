@@ -1,0 +1,34 @@
+//! Angle-of-arrival estimation cost vs probe count (the online cost of
+//! Eqs. 2/3/5, which a firmware implementation would pay once per sweep).
+
+use bench::bench_patterns;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use css::estimator::{CompressiveEstimator, CorrelationMode};
+use geom::rng::sub_rng;
+use std::hint::black_box;
+use talon_channel::{Environment, Link};
+
+fn bench_estimation(c: &mut Criterion) {
+    let (patterns, dut, fixed) = bench_patterns(42);
+    let link = Link::new(Environment::lab());
+    let mut rng = sub_rng(42, "bench-estimation");
+    let full = dut.codebook.sweep_order();
+    let full_sweep = link.sweep(&mut rng, &dut, &full, &fixed);
+
+    let mut group = c.benchmark_group("estimate");
+    for &m in &[6usize, 14, 34] {
+        let readings: Vec<_> = full_sweep.iter().take(m).copied().collect();
+        for mode in [CorrelationMode::SnrOnly, CorrelationMode::JointSnrRssi] {
+            let est = CompressiveEstimator::new(&patterns, mode);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{mode:?}"), m),
+                &readings,
+                |b, r| b.iter(|| black_box(est.estimate(black_box(r)))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimation);
+criterion_main!(benches);

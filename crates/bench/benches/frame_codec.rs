@@ -1,0 +1,53 @@
+//! Frame encode/decode and CRC throughput.
+//!
+//! These paths run once per SSW frame (every 18 µs during a sweep), so
+//! they must be far below that budget.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mac80211ad::addr::MacAddr;
+use mac80211ad::crc::crc32;
+use mac80211ad::fields::{encode_snr, SswFeedbackField, SswField, SweepDirection};
+use mac80211ad::frames::{Frame, SswFrame};
+use std::hint::black_box;
+use talon_array::SectorId;
+
+fn sample_frame() -> Frame {
+    Frame::Ssw(SswFrame {
+        ra: MacAddr::device(2),
+        ta: MacAddr::device(1),
+        ssw: SswField {
+            direction: SweepDirection::Initiator,
+            cdown: 17,
+            sector_id: SectorId(18),
+            dmg_antenna_id: 0,
+            rxss_length: 0,
+        },
+        feedback: SswFeedbackField {
+            sector_select: SectorId(24),
+            dmg_antenna_select: 0,
+            snr_report: encode_snr(10.5),
+            poll_required: false,
+        },
+    })
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let frame = sample_frame();
+    let wire = frame.encode();
+
+    c.bench_function("frame/encode_ssw", |b| {
+        b.iter(|| black_box(black_box(&frame).encode()))
+    });
+    c.bench_function("frame/decode_ssw", |b| {
+        b.iter(|| black_box(Frame::decode(black_box(&wire))))
+    });
+
+    let payload = vec![0xA5u8; 1024];
+    let mut g = c.benchmark_group("crc32");
+    g.throughput(Throughput::Bytes(payload.len() as u64));
+    g.bench_function("1KiB", |b| b.iter(|| black_box(crc32(black_box(&payload)))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

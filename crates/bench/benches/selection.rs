@@ -1,0 +1,38 @@
+//! Full selection cost: compressive pipeline vs the stock argmax.
+//!
+//! The stock argmax is O(N) over readings; CSS pays the correlation over
+//! the pattern grid. This bench quantifies the CPU price of the 2.3×
+//! air-time saving.
+
+use bench::bench_patterns;
+use criterion::{criterion_group, criterion_main, Criterion};
+use css::selection::{CompressiveSelection, CssConfig};
+use geom::rng::sub_rng;
+use mac80211ad::sls::{FeedbackPolicy, MaxSnrPolicy};
+use std::hint::black_box;
+use talon_channel::{Environment, Link};
+
+fn bench_selection(c: &mut Criterion) {
+    let (patterns, dut, fixed) = bench_patterns(42);
+    let link = Link::new(Environment::lab());
+    let mut rng = sub_rng(42, "bench-selection");
+    let full = dut.codebook.sweep_order();
+    let full_sweep = link.sweep(&mut rng, &dut, &full, &fixed);
+    let subset: Vec<_> = full_sweep.iter().take(14).copied().collect();
+
+    c.bench_function("select/ssw_argmax_34", |b| {
+        b.iter(|| black_box(MaxSnrPolicy.select(black_box(&full_sweep))))
+    });
+
+    let mut css = CompressiveSelection::new(patterns, CssConfig::paper_default(), 42);
+    c.bench_function("select/css_14_of_34", |b| {
+        b.iter(|| black_box(css.select_from_readings(black_box(&subset))))
+    });
+
+    c.bench_function("select/css_probe_draw", |b| {
+        b.iter(|| black_box(css.probe_sectors(black_box(&full))))
+    });
+}
+
+criterion_group!(benches, bench_selection);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! End-to-end SLS protocol simulation cost (Fig. 10's subject measured in
+//! host CPU time rather than air time), at the stock and compressive probe
+//! counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geom::rng::sub_rng;
+use mac80211ad::sls::{FeedbackPolicy, MaxSnrPolicy, SlsRunner};
+use std::hint::black_box;
+use talon_array::SectorId;
+use talon_channel::{Device, Environment, Link, SweepReading};
+
+struct FixedCount(usize);
+
+impl FeedbackPolicy for FixedCount {
+    fn probe_sectors(&mut self, full_sweep: &[SectorId]) -> Vec<SectorId> {
+        full_sweep.iter().copied().take(self.0).collect()
+    }
+    fn select(&mut self, readings: &[SweepReading]) -> Option<SectorId> {
+        MaxSnrPolicy.select(readings)
+    }
+}
+
+fn bench_sls(c: &mut Criterion) {
+    let link = Link::new(Environment::conference_room());
+    let initiator = Device::talon(1);
+    let responder = Device::talon(2);
+    let runner = SlsRunner::new(&link, &initiator, &responder);
+
+    let mut group = c.benchmark_group("sls_run");
+    for &m in &[14usize, 34] {
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            let mut rng = sub_rng(7, "bench-sls");
+            b.iter(|| {
+                black_box(runner.run(&mut rng, &mut FixedCount(m), &mut FixedCount(m)))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sls);
+criterion_main!(benches);

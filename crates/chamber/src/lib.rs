@@ -1,0 +1,28 @@
+//! Anechoic-chamber measurement campaign emulation.
+//!
+//! §4 of the paper measures the 3-D radiation pattern of every predefined
+//! sector: the device under test sits on a stepper-driven rotation head in
+//! an anechoic chamber, a second device three meters away observes its
+//! sweeps, and the firmware patches export per-sector SNR readings. The
+//! measured patterns — not theoretical ones — are what the compressive
+//! selection correlates against.
+//!
+//! * [`rotation`] — the rotation head: microstepped azimuth (precise) and
+//!   manual elevation tilt (imprecise — §6.2 blames part of the elevation
+//!   error on exactly this).
+//! * [`campaign`] — the measurement driver: rotate, sweep, collect; then
+//!   the paper's post-processing ("omitted obvious outliers, averaged over
+//!   multiple measurements, and interpolated over gaps", §4.3).
+//! * [`store`] — the pattern database with a plain-text (de)serialization,
+//!   the equivalent of the pattern files the authors publish.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod rotation;
+pub mod store;
+
+pub use campaign::{Campaign, CampaignConfig};
+pub use rotation::RotationHead;
+pub use store::SectorPatterns;

@@ -1,0 +1,157 @@
+//! The custom rotation head (§4.2, Fig. 4).
+//!
+//! "We mounted one device on a custom rotation head equipped with a
+//! step-motor with microstepping support to obtain a high rotation
+//! precision in the azimuth plane" — and, for the 3-D campaign, "manually
+//! tilted the rotation head … despite using a digital mechanic's level, we
+//! did not achieve a sub-degree precision in this direction" (§6.2).
+//!
+//! [`RotationHead`] models both: commanded azimuth is realized to
+//! microstep precision; commanded tilt gets a frozen per-setting error.
+
+use geom::rng::sub_rng;
+use rand::Rng;
+use talon_channel::Orientation;
+
+/// The motorized mount holding the device under test.
+#[derive(Debug, Clone)]
+pub struct RotationHead {
+    /// Azimuth step size the motor can realize (degrees per microstep).
+    pub microstep_deg: f64,
+    /// Std-dev of the manual tilt error, degrees.
+    pub tilt_error_std_deg: f64,
+    /// RNG seed for the tilt errors (frozen per campaign).
+    seed: u64,
+    /// Currently commanded azimuth (degrees).
+    commanded_az: f64,
+    /// Currently commanded tilt (degrees).
+    commanded_tilt: f64,
+    /// The realized tilt error of the current tilt setting.
+    current_tilt_error: f64,
+    /// Counts tilt adjustments (each manual adjustment draws a new error).
+    tilt_adjustments: u64,
+}
+
+impl RotationHead {
+    /// A head matching the paper's setup: 1/16-microstepped 0.9°-stepper
+    /// (0.056° per microstep) and roughly ±0.5° of manual tilt error.
+    pub fn paper_setup(seed: u64) -> Self {
+        RotationHead {
+            microstep_deg: 0.9 / 16.0,
+            tilt_error_std_deg: 0.5,
+            seed,
+            commanded_az: 0.0,
+            commanded_tilt: 0.0,
+            current_tilt_error: 0.0,
+            tilt_adjustments: 0,
+        }
+    }
+
+    /// An ideal head with no errors (ablation).
+    pub fn ideal() -> Self {
+        RotationHead {
+            microstep_deg: 1e-9,
+            tilt_error_std_deg: 0.0,
+            seed: 0,
+            commanded_az: 0.0,
+            commanded_tilt: 0.0,
+            current_tilt_error: 0.0,
+            tilt_adjustments: 0,
+        }
+    }
+
+    /// Commands the stepper to an azimuth; realized to microstep precision.
+    pub fn set_azimuth(&mut self, az_deg: f64) {
+        self.commanded_az = az_deg;
+    }
+
+    /// Manually adjusts the tilt; draws a fresh realization error.
+    pub fn set_tilt(&mut self, tilt_deg: f64) {
+        self.commanded_tilt = tilt_deg;
+        self.tilt_adjustments += 1;
+        if self.tilt_error_std_deg > 0.0 {
+            let mut rng = sub_rng(self.seed, &format!("tilt-{}", self.tilt_adjustments));
+            // Box–Muller.
+            let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            let u2: f64 = rng.gen();
+            let g = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            self.current_tilt_error = g * self.tilt_error_std_deg;
+        } else {
+            self.current_tilt_error = 0.0;
+        }
+    }
+
+    /// The orientation the mounted device actually has.
+    pub fn realized_orientation(&self) -> Orientation {
+        let az = (self.commanded_az / self.microstep_deg).round() * self.microstep_deg;
+        Orientation::new(az, self.commanded_tilt + self.current_tilt_error)
+    }
+
+    /// The orientation the experimenter *believes* the device has (used as
+    /// ground truth in error statistics — which is exactly how the tilt
+    /// error leaks into the paper's Fig. 7 elevation numbers).
+    pub fn commanded_orientation(&self) -> Orientation {
+        Orientation::new(self.commanded_az, self.commanded_tilt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn azimuth_is_microstep_precise() {
+        let mut head = RotationHead::paper_setup(1);
+        head.set_azimuth(33.333);
+        let realized = head.realized_orientation().yaw_deg;
+        assert!((realized - 33.333).abs() <= 0.9 / 16.0 / 2.0 + 1e-12);
+    }
+
+    #[test]
+    fn tilt_has_persistent_error_per_setting() {
+        let mut head = RotationHead::paper_setup(2);
+        head.set_tilt(10.0);
+        let a = head.realized_orientation().tilt_deg;
+        let b = head.realized_orientation().tilt_deg;
+        assert_eq!(a, b, "error frozen until the next manual adjustment");
+        assert!((a - 10.0).abs() < 3.0, "error is bounded-ish: {a}");
+        head.set_tilt(10.0);
+        let c = head.realized_orientation().tilt_deg;
+        assert_ne!(a, c, "re-adjusting draws a new error");
+    }
+
+    #[test]
+    fn commanded_vs_realized_differ_only_by_errors() {
+        let mut head = RotationHead::paper_setup(3);
+        head.set_azimuth(-45.0);
+        head.set_tilt(14.4);
+        let cmd = head.commanded_orientation();
+        let real = head.realized_orientation();
+        assert_eq!(cmd.yaw_deg, -45.0);
+        assert_eq!(cmd.tilt_deg, 14.4);
+        assert!((real.yaw_deg - cmd.yaw_deg).abs() < 0.06);
+        assert!((real.tilt_deg - cmd.tilt_deg).abs() < 3.0);
+    }
+
+    #[test]
+    fn ideal_head_is_exact() {
+        let mut head = RotationHead::ideal();
+        head.set_azimuth(12.34);
+        head.set_tilt(5.6);
+        let o = head.realized_orientation();
+        assert!((o.yaw_deg - 12.34).abs() < 1e-6);
+        assert_eq!(o.tilt_deg, 5.6);
+    }
+
+    #[test]
+    fn same_seed_reproduces_tilt_errors() {
+        let mut a = RotationHead::paper_setup(9);
+        let mut b = RotationHead::paper_setup(9);
+        a.set_tilt(7.2);
+        b.set_tilt(7.2);
+        assert_eq!(
+            a.realized_orientation().tilt_deg,
+            b.realized_orientation().tilt_deg
+        );
+    }
+}

@@ -1,0 +1,281 @@
+//! The composite link: two devices, an environment, a measurement chain.
+//!
+//! [`Link::probe`] is the physical core of every experiment: given the
+//! transmit sector and the receive excitation, it accumulates the received
+//! power over all environment rays (non-coherent power sum — SSW frames are
+//! short control-PHY bursts, so we do not model phase-coherent multipath
+//! combining) and pushes the result through the firmware measurement model.
+//!
+//! [`Link::sweep`] produces one full sector sweep transcript: for each
+//! requested transmit sector, the reading the responder's firmware would
+//! put into its ring buffer.
+
+use crate::environment::Environment;
+use crate::linkbudget::LinkBudget;
+use crate::measurement::{Measurement, MeasurementModel};
+use crate::orientation::Orientation;
+use geom::db::{db_to_linear, linear_to_db};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use talon_array::{Codebook, PhasedArray, SectorId, WeightVector};
+
+/// One physical device: its antenna, its predefined codebook and how it is
+/// currently mounted.
+#[derive(Debug, Clone)]
+pub struct Device {
+    /// The phased array with frozen imperfections.
+    pub array: PhasedArray,
+    /// The firmware's predefined sectors.
+    pub codebook: Codebook,
+    /// Current mounting orientation (mutated by the rotation head).
+    pub orientation: Orientation,
+}
+
+impl Device {
+    /// Builds a Talon-like device with its codebook, from a device seed.
+    pub fn talon(device_seed: u64) -> Self {
+        let array = PhasedArray::talon(device_seed);
+        let codebook = Codebook::talon(&array, device_seed);
+        Device {
+            array,
+            codebook,
+            orientation: Orientation::NEUTRAL,
+        }
+    }
+
+    /// Gain of an excitation towards a world-coordinate direction, taking
+    /// the device orientation into account.
+    pub fn gain_towards_world(&self, weights: &WeightVector, world: &geom::Direction) -> f64 {
+        let dev = self.orientation.world_to_device(world);
+        self.array.gain_dbi(weights, &dev)
+    }
+}
+
+/// The reading for one probed sector within a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepReading {
+    /// Which transmit sector was probed.
+    pub sector: SectorId,
+    /// What the firmware reported (None: frame missed / report dropped).
+    pub measurement: Option<Measurement>,
+}
+
+/// A directional link between an initiator (transmitter of SSW frames) and
+/// a responder (receiver), through an environment.
+#[derive(Debug, Clone)]
+pub struct Link {
+    /// Static link-budget parameters.
+    pub budget: LinkBudget,
+    /// The propagation environment.
+    pub environment: Environment,
+    /// The firmware measurement chain at the receiver.
+    pub model: MeasurementModel,
+}
+
+impl Link {
+    /// Creates a link with default budget and measurement model.
+    pub fn new(environment: Environment) -> Self {
+        Link {
+            budget: LinkBudget::default(),
+            environment,
+            model: MeasurementModel::default(),
+        }
+    }
+
+    /// True received power in dBm at `rx` when `tx` transmits with
+    /// `tx_weights` and `rx` listens with `rx_weights`.
+    pub fn rx_power_dbm(
+        &self,
+        tx: &Device,
+        tx_weights: &WeightVector,
+        rx: &Device,
+        rx_weights: &WeightVector,
+    ) -> f64 {
+        let mut total_mw = 0.0;
+        for ray in &self.environment.rays {
+            let g_tx = tx.gain_towards_world(tx_weights, &ray.depart_world);
+            let g_rx = rx.gain_towards_world(rx_weights, &ray.arrive_world);
+            let p = self
+                .budget
+                .rx_power_dbm(g_tx, g_rx, ray.total_loss_db(&self.budget));
+            total_mw += db_to_linear(p);
+        }
+        if total_mw <= 0.0 {
+            -200.0
+        } else {
+            linear_to_db(total_mw)
+        }
+    }
+
+    /// True SNR in dB for a given sector pair (no measurement noise).
+    pub fn true_snr_db(
+        &self,
+        tx: &Device,
+        tx_sector: SectorId,
+        rx: &Device,
+        rx_weights: &WeightVector,
+    ) -> f64 {
+        let tx_weights = &tx
+            .codebook
+            .get(tx_sector)
+            .expect("transmit sector must exist in the codebook")
+            .weights;
+        let p = self.rx_power_dbm(tx, tx_weights, rx, rx_weights);
+        self.budget.snr_db(p)
+    }
+
+    /// Simulates the reception of one SSW probe frame sent on `tx_sector`
+    /// and received with the responder's quasi-omni pattern.
+    pub fn probe<R: Rng>(
+        &self,
+        rng: &mut R,
+        tx: &Device,
+        tx_sector: SectorId,
+        rx: &Device,
+    ) -> Option<Measurement> {
+        let rx_weights = &rx.codebook.rx_sector().weights;
+        let tx_weights = &tx
+            .codebook
+            .get(tx_sector)
+            .expect("transmit sector must exist in the codebook")
+            .weights;
+        let p = self.rx_power_dbm(tx, tx_weights, rx, rx_weights);
+        let snr = self.budget.snr_db(p);
+        self.model.report(rng, snr, p)
+    }
+
+    /// Simulates one sector sweep over `sectors`, in order, producing the
+    /// readings the responder firmware would collect.
+    pub fn sweep<R: Rng>(
+        &self,
+        rng: &mut R,
+        tx: &Device,
+        sectors: &[SectorId],
+        rx: &Device,
+    ) -> Vec<SweepReading> {
+        sectors
+            .iter()
+            .map(|&s| SweepReading {
+                sector: s,
+                measurement: self.probe(rng, tx, s, rx),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geom::rng::sub_rng;
+    use geom::Direction;
+
+    fn setup() -> (Link, Device, Device) {
+        let link = Link::new(Environment::anechoic(3.0));
+        let tx = Device::talon(1);
+        let rx = Device::talon(2);
+        (link, tx, rx)
+    }
+
+    #[test]
+    fn facing_devices_have_usable_snr_on_strong_sector() {
+        let (link, tx, rx) = setup();
+        let rxw = rx.codebook.rx_sector().weights.clone();
+        let snr = link.true_snr_db(&tx, SectorId(63), &rx, &rxw);
+        assert!(snr > 5.0, "broadside sector over 3 m: {snr} dB");
+    }
+
+    #[test]
+    fn rotating_the_tx_away_reduces_snr() {
+        let (link, mut tx, rx) = setup();
+        let rxw = rx.codebook.rx_sector().weights.clone();
+        let facing = link.true_snr_db(&tx, SectorId(63), &rx, &rxw);
+        tx.orientation = Orientation::new(50.0, 0.0);
+        let rotated = link.true_snr_db(&tx, SectorId(63), &rx, &rxw);
+        assert!(
+            facing > rotated + 5.0,
+            "facing {facing} vs rotated {rotated}"
+        );
+    }
+
+    #[test]
+    fn rotation_makes_a_matching_steered_sector_best() {
+        // When the TX is rotated by -40°, a sector steered to device azimuth
+        // +40° should now beat the broadside sector.
+        let (link, mut tx, rx) = setup();
+        let rxw = rx.codebook.rx_sector().weights.clone();
+        tx.orientation = Orientation::new(-40.0, 0.0);
+        let broadside = link.true_snr_db(&tx, SectorId(63), &rx, &rxw);
+        // Find the strongest regular sector.
+        let best = tx
+            .codebook
+            .sweep_order()
+            .iter()
+            .map(|&s| link.true_snr_db(&tx, s, &rx, &rxw))
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(best > broadside + 3.0, "best {best} vs broadside {broadside}");
+    }
+
+    #[test]
+    fn probe_reports_track_true_snr() {
+        let (link, tx, rx) = setup();
+        let rxw = rx.codebook.rx_sector().weights.clone();
+        let true_snr = link.true_snr_db(&tx, SectorId(63), &rx, &rxw);
+        let mut rng = sub_rng(7, "probe");
+        let mut readings = Vec::new();
+        for _ in 0..200 {
+            if let Some(m) = link.probe(&mut rng, &tx, SectorId(63), &rx) {
+                readings.push(m.snr_db);
+            }
+        }
+        assert!(readings.len() > 150);
+        let mean = geom::stats::mean(&readings).unwrap();
+        let expected = (true_snr - link.model.report_offset_db).clamp(-7.0, 12.0);
+        assert!(
+            (mean - expected).abs() < 1.5,
+            "mean report {mean} vs expected {expected} (true {true_snr})"
+        );
+    }
+
+    #[test]
+    fn sweep_covers_requested_sectors_in_order() {
+        let (link, tx, rx) = setup();
+        let mut rng = sub_rng(8, "sweep");
+        let order = tx.codebook.sweep_order();
+        let sweep = link.sweep(&mut rng, &tx, &order, &rx);
+        assert_eq!(sweep.len(), 34);
+        for (r, &s) in sweep.iter().zip(order.iter()) {
+            assert_eq!(r.sector, s);
+        }
+    }
+
+    #[test]
+    fn multipath_environment_raises_offboresight_power() {
+        // In the conference room, a sector pointed at the whiteboard path
+        // receives noticeably more than in an anechoic room.
+        let tx = Device::talon(3);
+        let rx = Device::talon(4);
+        let rxw = rx.codebook.rx_sector().weights.clone();
+        let conf = Link::new(Environment::conference_room());
+        let anech = Link::new(Environment::anechoic(6.0));
+        // Steer at the strongest reflection's departure azimuth (~-26.6°).
+        let refl_dir = conf.environment.rays[1].depart_world;
+        let w = tx.array.quantize(&tx.array.steering_weights(&Direction::new(
+            refl_dir.az_deg,
+            refl_dir.el_deg,
+        )));
+        let p_conf = conf.rx_power_dbm(&tx, &w, &rx, &rxw);
+        let p_anech = anech.rx_power_dbm(&tx, &w, &rx, &rxw);
+        assert!(
+            p_conf > p_anech + 2.0,
+            "conference {p_conf} vs anechoic {p_anech}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must exist in the codebook")]
+    fn probing_unknown_sector_panics() {
+        let (link, tx, rx) = setup();
+        let mut rng = sub_rng(9, "bad");
+        link.probe(&mut rng, &tx, SectorId(40), &rx);
+    }
+}

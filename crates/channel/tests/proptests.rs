@@ -1,0 +1,105 @@
+//! Property-based tests for the channel and measurement models.
+
+use geom::rng::sub_rng;
+use proptest::prelude::*;
+use talon_channel::{
+    BlockageModel, DataLinkModel, Device, DynamicEnvironment, Environment, Link, LinkBudget,
+    MeasurementModel, Orientation,
+};
+
+proptest! {
+    #[test]
+    fn path_loss_is_monotone_in_distance(d1 in 0.1f64..100.0, d2 in 0.1f64..100.0) {
+        prop_assume!(d1 < d2);
+        let lb = LinkBudget::default();
+        prop_assert!(lb.path_loss_db(d1) < lb.path_loss_db(d2));
+    }
+
+    #[test]
+    fn snr_is_linear_in_gains(g1 in -20.0f64..25.0, g2 in -20.0f64..25.0, d in 0.5f64..20.0) {
+        let lb = LinkBudget::default();
+        let pl = lb.path_loss_db(d);
+        let a = lb.snr_db(lb.rx_power_dbm(g1, g2, pl));
+        let b = lb.snr_db(lb.rx_power_dbm(g1 + 3.0, g2, pl));
+        prop_assert!((b - a - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reports_stay_in_format_ranges(
+        snr in -40.0f64..60.0,
+        rssi in -120.0f64..-10.0,
+        seed in any::<u64>(),
+    ) {
+        let m = MeasurementModel::default();
+        let mut rng = sub_rng(seed, "prop-meas");
+        for _ in 0..16 {
+            if let Some(r) = m.report(&mut rng, snr, rssi) {
+                prop_assert!((-7.0..=12.0).contains(&r.snr_db), "SNR {}", r.snr_db);
+                prop_assert!((-100.0..=-20.0).contains(&r.rssi_dbm), "RSSI {}", r.rssi_dbm);
+            }
+        }
+    }
+
+    #[test]
+    fn decode_probability_is_monotone(a in -30.0f64..30.0, b in -30.0f64..30.0) {
+        prop_assume!(a < b);
+        let m = MeasurementModel::default();
+        prop_assert!(m.decode_prob(a) <= m.decode_prob(b));
+    }
+
+    #[test]
+    fn orientation_roundtrip(
+        yaw in -180.0f64..180.0,
+        tilt in -45.0f64..45.0,
+        az in -90.0f64..90.0,
+        el in -45.0f64..45.0,
+    ) {
+        let o = Orientation::new(yaw, tilt);
+        let d = geom::Direction::new(az, el);
+        let back = o.device_to_world(&o.world_to_device(&d));
+        prop_assert!((back.az_deg - d.az_deg).abs() < 1e-9);
+        prop_assert!((back.el_deg - d.el_deg).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rotating_tx_changes_rx_power_smoothly(seed in 0u64..16, yaw in -60.0f64..60.0) {
+        let link = Link::new(Environment::anechoic(3.0));
+        let mut tx = Device::talon(seed);
+        let rx = Device::talon(seed + 1);
+        let rxw = rx.codebook.rx_sector().weights.clone();
+        let txw = tx.codebook.get(talon_array::SectorId(63)).unwrap().weights.clone();
+        tx.orientation = Orientation::new(yaw, 0.0);
+        let p1 = link.rx_power_dbm(&tx, &txw, &rx, &rxw);
+        tx.orientation = Orientation::new(yaw + 0.1, 0.0);
+        let p2 = link.rx_power_dbm(&tx, &txw, &rx, &rxw);
+        // 0.1° of rotation cannot change the power catastrophically.
+        // Deep pattern nulls have steep skirts, so the bound is loose —
+        // the property guards against discontinuities, not against nulls.
+        prop_assert!((p1 - p2).abs() < 15.0, "{p1} vs {p2} at yaw {yaw}");
+        prop_assert!(p1.is_finite() && p2.is_finite());
+    }
+
+    #[test]
+    fn blockage_never_reduces_loss(seed in any::<u64>(), t in 0.0f64..30.0) {
+        let mut rng = sub_rng(seed, "prop-blockage");
+        let dynenv = DynamicEnvironment::with_blockage(
+            Environment::conference_room(),
+            &BlockageModel::default(),
+            &mut rng,
+            30.0,
+        );
+        let env = dynenv.at(t);
+        let base = &dynenv.base;
+        for (a, b) in base.rays.iter().zip(&env.rays) {
+            prop_assert!(b.reflection_loss_db >= a.reflection_loss_db);
+            prop_assert_eq!(a.length_m, b.length_m);
+        }
+    }
+
+    #[test]
+    fn mcs_rate_is_monotone_in_snr(a in -30.0f64..40.0, b in -30.0f64..40.0) {
+        prop_assume!(a <= b);
+        let m = DataLinkModel::default();
+        prop_assert!(m.tcp_gbps(a) <= m.tcp_gbps(b));
+    }
+}

@@ -1,0 +1,230 @@
+//! Adaptive probe-count control (§7).
+//!
+//! "Further improvements are achievable from adaptively controlling the
+//! number of sectors that are probed in the sweep. For example, in static
+//! scenarios, few probes are sufficient to validate the current antenna
+//! settings. Whenever a node starts moving, the number of probes may
+//! increase to keep track of the movement."
+//!
+//! [`AdaptiveCss`] implements that controller on top of
+//! [`CompressiveSelection`]: consecutive selections of the same sector
+//! shrink the probe budget towards `min_probes`; a change of selection
+//! (movement, blockage) snaps it back up towards `max_probes`.
+
+use crate::selection::CompressiveSelection;
+use mac80211ad::sls::FeedbackPolicy;
+use talon_array::SectorId;
+use talon_channel::SweepReading;
+
+/// Controller parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveConfig {
+    /// Smallest probe budget (validation mode).
+    pub min_probes: usize,
+    /// Largest probe budget (tracking mode).
+    pub max_probes: usize,
+    /// Consecutive identical selections required before shrinking.
+    pub stable_threshold: usize,
+    /// Probes removed per shrink step.
+    pub shrink_step: usize,
+    /// Probes added when the selection changes.
+    pub grow_step: usize,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            min_probes: 6,
+            max_probes: 20,
+            stable_threshold: 3,
+            shrink_step: 2,
+            grow_step: 6,
+        }
+    }
+}
+
+/// Compressive selection with adaptive probe budget.
+pub struct AdaptiveCss {
+    /// The wrapped selection pipeline.
+    pub css: CompressiveSelection,
+    /// Controller parameters.
+    pub config: AdaptiveConfig,
+    last_selection: Option<SectorId>,
+    stable_count: usize,
+}
+
+impl AdaptiveCss {
+    /// Wraps a selection pipeline. The pipeline's current probe count is
+    /// clamped into the controller's range.
+    pub fn new(mut css: CompressiveSelection, config: AdaptiveConfig) -> Self {
+        assert!(config.min_probes >= 2, "need at least two probes");
+        assert!(config.min_probes <= config.max_probes, "min must not exceed max");
+        let m = css.num_probes().clamp(config.min_probes, config.max_probes);
+        css.set_num_probes(m);
+        AdaptiveCss {
+            css,
+            config,
+            last_selection: None,
+            stable_count: 0,
+        }
+    }
+
+    /// Current probe budget.
+    pub fn current_probes(&self) -> usize {
+        self.css.num_probes()
+    }
+
+    /// Applies the control law to a fresh selection result.
+    fn update(&mut self, selection: Option<SectorId>) {
+        let m = self.css.num_probes();
+        match (selection, self.last_selection) {
+            (Some(now), Some(before)) if now == before => {
+                self.stable_count += 1;
+                if self.stable_count >= self.config.stable_threshold {
+                    let new_m = m.saturating_sub(self.config.shrink_step).max(self.config.min_probes);
+                    self.css.set_num_probes(new_m);
+                }
+            }
+            (Some(_), _) => {
+                self.stable_count = 0;
+                let new_m = (m + self.config.grow_step).min(self.config.max_probes);
+                self.css.set_num_probes(new_m);
+            }
+            (None, _) => {
+                // A failed sweep is the strongest change signal of all.
+                self.stable_count = 0;
+                self.css.set_num_probes(self.config.max_probes);
+            }
+        }
+        if selection.is_some() {
+            self.last_selection = selection;
+        }
+    }
+}
+
+impl FeedbackPolicy for AdaptiveCss {
+    fn probe_sectors(&mut self, full_sweep: &[SectorId]) -> Vec<SectorId> {
+        self.css.probe_sectors(full_sweep)
+    }
+
+    fn select(&mut self, readings: &[SweepReading]) -> Option<SectorId> {
+        let selection = self.css.select(readings);
+        self.update(selection);
+        selection
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::CorrelationMode;
+    use crate::selection::CssConfig;
+    use crate::strategy::ProbeStrategy;
+    use chamber::{Campaign, CampaignConfig};
+    use geom::rng::sub_rng;
+    use talon_channel::{Device, Environment, Link, Measurement};
+
+    fn adaptive() -> AdaptiveCss {
+        let link = Link::new(Environment::anechoic(3.0));
+        let mut dut = Device::talon(51);
+        let observer = Device::talon(52);
+        let mut campaign = Campaign::new(CampaignConfig::coarse(), 51);
+        let mut rng = sub_rng(51, "adaptive-campaign");
+        let store = campaign.measure_tx_patterns(&mut rng, &link, &mut dut, &observer);
+        let css = CompressiveSelection::new(
+            store,
+            CssConfig {
+                num_probes: 14,
+                mode: CorrelationMode::JointSnrRssi,
+                strategy: ProbeStrategy::UniformRandom,
+            },
+            51,
+        );
+        AdaptiveCss::new(css, AdaptiveConfig::default())
+    }
+
+    fn reading(sector: u8, snr: f64) -> SweepReading {
+        SweepReading {
+            sector: SectorId(sector),
+            measurement: Some(Measurement {
+                snr_db: snr,
+                rssi_dbm: snr - 68.0,
+            }),
+        }
+    }
+
+    /// Readings that reliably make the selection land on one sector: a
+    /// degenerate single-probe sweep falls back to argmax.
+    fn pinned(sector: u8) -> Vec<SweepReading> {
+        vec![reading(sector, 10.0)]
+    }
+
+    #[test]
+    fn stable_selections_shrink_the_budget() {
+        let mut a = adaptive();
+        let start = a.current_probes();
+        for _ in 0..10 {
+            let _ = a.select(&pinned(9));
+        }
+        assert!(
+            a.current_probes() < start,
+            "budget shrank from {start} to {}",
+            a.current_probes()
+        );
+        assert!(a.current_probes() >= a.config.min_probes);
+    }
+
+    #[test]
+    fn selection_change_grows_the_budget() {
+        let mut a = adaptive();
+        for _ in 0..10 {
+            let _ = a.select(&pinned(9));
+        }
+        let shrunk = a.current_probes();
+        let _ = a.select(&pinned(17)); // movement: different sector wins
+        assert!(
+            a.current_probes() > shrunk,
+            "budget grew from {shrunk} to {}",
+            a.current_probes()
+        );
+    }
+
+    #[test]
+    fn failed_sweep_snaps_to_max() {
+        let mut a = adaptive();
+        for _ in 0..10 {
+            let _ = a.select(&pinned(9));
+        }
+        let none: Vec<SweepReading> = vec![SweepReading {
+            sector: SectorId(1),
+            measurement: None,
+        }];
+        let _ = a.select(&none);
+        assert_eq!(a.current_probes(), a.config.max_probes);
+    }
+
+    #[test]
+    fn budget_stays_within_bounds() {
+        let mut a = adaptive();
+        for i in 0..40 {
+            // Alternate winners to keep growing.
+            let _ = a.select(&pinned(if i % 2 == 0 { 9 } else { 17 }));
+            assert!(a.current_probes() <= a.config.max_probes);
+            assert!(a.current_probes() >= a.config.min_probes);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two probes")]
+    fn silly_config_rejected() {
+        let a = adaptive();
+        let css = a.css;
+        AdaptiveCss::new(
+            css,
+            AdaptiveConfig {
+                min_probes: 1,
+                ..AdaptiveConfig::default()
+            },
+        );
+    }
+}

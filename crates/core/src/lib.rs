@@ -1,0 +1,39 @@
+//! Compressive sector selection — the paper's core contribution.
+//!
+//! The stock IEEE 802.11ad sector sweep probes every predefined sector and
+//! picks the strongest (Eq. 1). Compressive sector selection (CSS) probes
+//! only `M ≪ N` sectors, estimates the signal's angle of arrival by
+//! correlating the probe readings with the *measured* 3-D sector patterns
+//! (Eqs. 2/3, extended to joint SNR·RSSI correlation in Eq. 5), and then
+//! selects the best of all `N` sectors in the estimated direction (Eq. 4).
+//!
+//! * [`estimator`] — the angle-of-arrival estimator (Eqs. 2, 3, 5), with
+//!   masked correlation so missing firmware reports drop out naturally (§5).
+//! * [`strategy`] — probing-set policies: the paper's uniform random
+//!   subsets, fixed sets, and a designed low-coherence subset (§7's
+//!   "predefined probing sectors" idea).
+//! * [`selection`] — the complete CSS pipeline as an
+//!   [`mac80211ad::FeedbackPolicy`], pluggable into the SLS runner and the
+//!   firmware emulation.
+//! * [`baselines`] — comparison algorithms: the exhaustive sweep (Eq. 1),
+//!   a Rasekh-style random-beam compressive tracker, and a two-stage
+//!   hierarchical search (§8).
+//! * [`adaptive`] — the adaptive probe-count controller sketched in §7
+//!   (few probes while static, more while moving).
+//! * [`multipath`] — magnitude-only two-path estimation on the correlation
+//!   map, providing a backup sector for instant blockage fail-over (the
+//!   §2.1/§8 multi-path and BeamSpy ideas, adapted to commodity readings).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod baselines;
+pub mod estimator;
+pub mod multipath;
+pub mod selection;
+pub mod strategy;
+
+pub use estimator::{CompressiveEstimator, CorrelationMode};
+pub use selection::{CompressiveSelection, CssConfig};
+pub use strategy::ProbeStrategy;

@@ -1,0 +1,338 @@
+//! Multi-path estimation and backup sectors.
+//!
+//! The compressive-tracking literature the paper builds on notes that
+//! "additional phase information even enables multi-path estimation"
+//! (§2.1, citing Marzi et al.), and the related work proactively switches
+//! to "alternative beam alignments" when the primary path degrades
+//! (BeamSpy, §8). Commodity firmware exposes no phase, but a magnitude-only
+//! approximation works on the correlation map itself:
+//!
+//! 1. estimate the dominant path as usual (the global argmax of `W`);
+//! 2. suppress a neighbourhood around it;
+//! 3. the argmax of the remainder is the *secondary* path candidate — in
+//!    a conference room, typically the whiteboard reflection.
+//!
+//! [`MultipathEstimator::estimate_paths`] returns both paths with their
+//! correlation scores; [`MultipathEstimator::primary_and_backup`] maps
+//! them to a primary and a spatially distinct backup sector, so a link can
+//! fail over instantly when the primary is blocked instead of waiting for
+//! a full re-training.
+//!
+//! Resolution limits (measured in the integration test below): with the
+//! wide Talon-like sectors the two paths must be separated by roughly the
+//! exclusion radius (≈30° azimuth), and the secondary must lie within
+//! ~8 dB of the primary, otherwise the primary lobe's own skirt wins the
+//! residual argmax. The paper's chamber-grade phase-coherent estimators
+//! resolve closer paths; this is the honest magnitude-only equivalent.
+
+use crate::estimator::{CompressiveEstimator, CorrelationMode};
+use chamber::SectorPatterns;
+use geom::sphere::Direction;
+use talon_array::SectorId;
+use talon_channel::SweepReading;
+
+/// One estimated propagation path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathEstimate {
+    /// Estimated departure direction.
+    pub direction: Direction,
+    /// Correlation score at the estimate.
+    pub score: f64,
+}
+
+/// Estimates up to two paths from one compressive sweep.
+pub struct MultipathEstimator {
+    estimator: CompressiveEstimator,
+    patterns: SectorPatterns,
+    /// Azimuthal exclusion radius around the primary when searching for
+    /// the secondary path, degrees. Azimuth-based (rather than
+    /// great-circle) exclusion also removes the primary's elevation ridge,
+    /// which the smoothed correlation map smears upward.
+    pub exclusion_deg: f64,
+    /// Minimum score ratio (secondary/primary) for the secondary path to
+    /// count as real rather than noise.
+    pub min_score_ratio: f64,
+}
+
+impl MultipathEstimator {
+    /// Builds the estimator from measured patterns.
+    pub fn new(patterns: SectorPatterns, mode: CorrelationMode) -> Self {
+        let estimator = CompressiveEstimator::new(&patterns, mode);
+        MultipathEstimator {
+            estimator,
+            patterns,
+            exclusion_deg: 30.0,
+            min_score_ratio: 0.25,
+        }
+    }
+
+    /// Sets the exclusion radius (builder style).
+    pub fn with_exclusion_deg(mut self, deg: f64) -> Self {
+        self.exclusion_deg = deg;
+        self
+    }
+
+    /// Sets the minimum secondary/primary score ratio (builder style).
+    pub fn with_min_score_ratio(mut self, ratio: f64) -> Self {
+        self.min_score_ratio = ratio;
+        self
+    }
+
+    /// Estimates the dominant and (if present) secondary path.
+    pub fn estimate_paths(&self, readings: &[SweepReading]) -> Vec<PathEstimate> {
+        let map = self.estimator.correlation_map(readings);
+        let grid = self.estimator.grid();
+        let mut paths = Vec::with_capacity(2);
+        // Primary: global argmax.
+        let Some((primary_i, primary_w)) = argmax(&map) else {
+            return paths;
+        };
+        if primary_w <= 0.0 {
+            return paths;
+        }
+        let primary_dir = grid.direction(primary_i);
+        paths.push(PathEstimate {
+            direction: primary_dir,
+            score: primary_w,
+        });
+        // Secondary: argmax outside the exclusion zone.
+        let mut best: Option<(usize, f64)> = None;
+        for (i, &w) in map.iter().enumerate() {
+            if w <= 0.0 {
+                continue;
+            }
+            let d = grid.direction(i);
+            if geom::angle::angular_dist(d.az_deg, primary_dir.az_deg) < self.exclusion_deg {
+                continue;
+            }
+            if best.map(|(_, bw)| w > bw).unwrap_or(true) {
+                best = Some((i, w));
+            }
+        }
+        if let Some((i, w)) = best {
+            if w >= self.min_score_ratio * primary_w {
+                paths.push(PathEstimate {
+                    direction: grid.direction(i),
+                    score: w,
+                });
+            }
+        }
+        paths
+    }
+
+    /// Selects the primary sector (Eq. 4 at the dominant path) and a
+    /// backup sector aimed at the secondary path. The backup is forced to
+    /// differ from the primary; `None` when no usable secondary exists.
+    pub fn primary_and_backup(
+        &self,
+        readings: &[SweepReading],
+    ) -> (Option<SectorId>, Option<SectorId>) {
+        let paths = self.estimate_paths(readings);
+        let primary = paths
+            .first()
+            .and_then(|p| self.patterns.best_sector_at(&p.direction));
+        let backup = paths.get(1).and_then(|p| {
+            // Best sector at the secondary direction that is not the
+            // primary.
+            let mut candidates: Vec<(SectorId, f64)> = self
+                .patterns
+                .sector_ids()
+                .into_iter()
+                .map(|id| {
+                    (
+                        id,
+                        self.patterns.get(id).unwrap().gain_interp(&p.direction),
+                    )
+                })
+                .collect();
+            candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("gains are finite"));
+            candidates
+                .into_iter()
+                .map(|(id, _)| id)
+                .find(|id| Some(*id) != primary)
+        });
+        (primary, backup)
+    }
+}
+
+fn argmax(xs: &[f64]) -> Option<(usize, f64)> {
+    xs.iter()
+        .copied()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chamber::{Campaign, CampaignConfig};
+    use geom::rng::sub_rng;
+    use geom::sphere::GridSpec;
+    use geom::sphere::SphericalGrid;
+    use talon_array::GainPattern;
+    use talon_channel::{Device, Environment, Link, Measurement, Orientation};
+
+    /// A synthetic two-lobe scene: sector patterns are parabolic lobes,
+    /// and the readings are the superposition of two sources.
+    fn synthetic() -> (SectorPatterns, Vec<SweepReading>) {
+        let grid = SphericalGrid::new(GridSpec::new(-60.0, 60.0, 2.0), GridSpec::fixed(0.0));
+        let mut store = SectorPatterns::new(grid.clone());
+        let peaks: Vec<f64> = (0..9).map(|i| -48.0 + 12.0 * i as f64).collect();
+        for (k, peak) in peaks.iter().enumerate() {
+            let gains: Vec<f64> = grid
+                .iter()
+                .map(|(_, d)| (10.0 - (d.az_deg - peak).powi(2) / 30.0).max(-7.0))
+                .collect();
+            store.insert(
+                SectorId(k as u8 + 1),
+                GainPattern::from_table(grid.clone(), gains),
+            );
+        }
+        // Two sources: strong at -36°, weaker (-6 dB) at +36°.
+        let src_a = Direction::new(-36.0, 0.0);
+        let src_b = Direction::new(36.0, 0.0);
+        let readings: Vec<SweepReading> = store
+            .sector_ids()
+            .into_iter()
+            .map(|id| {
+                let p = store.get(id).unwrap();
+                let lin = geom::db::db_to_linear(p.gain_interp(&src_a))
+                    + geom::db::db_to_linear(p.gain_interp(&src_b) - 6.0);
+                let snr = geom::db::linear_to_db(lin).clamp(-7.0, 12.0);
+                SweepReading {
+                    sector: id,
+                    measurement: Some(Measurement {
+                        snr_db: snr,
+                        rssi_dbm: snr - 68.0,
+                    }),
+                }
+            })
+            .collect();
+        (store, readings)
+    }
+
+    #[test]
+    fn two_sources_yield_two_paths() {
+        let (store, readings) = synthetic();
+        let est = MultipathEstimator::new(store, CorrelationMode::SnrOnly);
+        let paths = est.estimate_paths(&readings);
+        assert_eq!(paths.len(), 2, "both paths found");
+        assert!(
+            (paths[0].direction.az_deg - -36.0).abs() < 10.0,
+            "primary near -36°: {}",
+            paths[0].direction
+        );
+        assert!(
+            (paths[1].direction.az_deg - 36.0).abs() < 14.0,
+            "secondary near +36°: {}",
+            paths[1].direction
+        );
+        assert!(paths[0].score >= paths[1].score);
+    }
+
+    #[test]
+    fn primary_and_backup_differ() {
+        let (store, readings) = synthetic();
+        let est = MultipathEstimator::new(store, CorrelationMode::SnrOnly);
+        let (primary, backup) = est.primary_and_backup(&readings);
+        let p = primary.expect("primary selected");
+        let b = backup.expect("backup selected");
+        assert_ne!(p, b);
+    }
+
+    #[test]
+    fn single_source_yields_no_noise_backup() {
+        let grid = SphericalGrid::new(GridSpec::new(-60.0, 60.0, 2.0), GridSpec::fixed(0.0));
+        let mut store = SectorPatterns::new(grid.clone());
+        for (k, peak) in [-40.0, 0.0, 40.0].iter().enumerate() {
+            let gains: Vec<f64> = grid
+                .iter()
+                .map(|(_, d)| (10.0 - (d.az_deg - peak).powi(2) / 30.0).max(-7.0))
+                .collect();
+            store.insert(
+                SectorId(k as u8 + 1),
+                GainPattern::from_table(grid.clone(), gains),
+            );
+        }
+        let src = Direction::new(0.0, 0.0);
+        let readings: Vec<SweepReading> = store
+            .sector_ids()
+            .into_iter()
+            .map(|id| {
+                let snr = store.get(id).unwrap().gain_interp(&src).clamp(-7.0, 12.0);
+                SweepReading {
+                    sector: id,
+                    measurement: Some(Measurement {
+                        snr_db: snr,
+                        rssi_dbm: snr - 68.0,
+                    }),
+                }
+            })
+            .collect();
+        let est = MultipathEstimator::new(store, CorrelationMode::SnrOnly)
+            .with_min_score_ratio(0.6);
+        let paths = est.estimate_paths(&readings);
+        assert_eq!(paths.len(), 1, "no spurious secondary: {paths:?}");
+    }
+
+    #[test]
+    fn empty_readings_yield_no_paths() {
+        let (store, _) = synthetic();
+        let est = MultipathEstimator::new(store, CorrelationMode::SnrOnly);
+        assert!(est.estimate_paths(&[]).is_empty());
+        let (p, b) = est.primary_and_backup(&[]);
+        assert!(p.is_none() && b.is_none());
+    }
+
+    #[test]
+    fn strong_reflector_is_found_as_secondary_end_to_end() {
+        // End-to-end: measured patterns + simulated sweeps over a channel
+        // with a strong, well-separated reflector (a metal cabinet at
+        // −40° departure, 5 dB below the LoS — within the documented
+        // resolution limits of the magnitude-only estimator).
+        let chamber_link = Link::new(Environment::anechoic(3.0));
+        let mut dut = Device::talon(60);
+        let peer = Device::talon(61);
+        let cfg = CampaignConfig {
+            grid: SphericalGrid::new(
+                GridSpec::new(-90.0, 90.0, 3.0),
+                GridSpec::new(0.0, 30.0, 10.0),
+            ),
+            sweeps_per_position: 8,
+            ..CampaignConfig::coarse()
+        };
+        let mut campaign = Campaign::new(cfg, 60);
+        let mut rng = sub_rng(60, "multipath-campaign");
+        let patterns = campaign.measure_tx_patterns(&mut rng, &chamber_link, &mut dut, &peer);
+        dut.orientation = Orientation::NEUTRAL;
+
+        let mut env = Environment::anechoic(6.0);
+        env.rays.push(talon_channel::Ray {
+            depart_world: Direction::new(-40.0, 0.0),
+            arrive_world: Direction::new(40.0, 0.0),
+            length_m: 6.7,
+            reflection_loss_db: 5.0,
+        });
+        let link = Link::new(env);
+        let est = MultipathEstimator::new(patterns, CorrelationMode::JointSnrRssi)
+            .with_min_score_ratio(0.1);
+        let sweep_order = dut.codebook.sweep_order();
+        let mut on_reflector = 0;
+        let mut found = 0;
+        for _ in 0..10 {
+            let readings = link.sweep(&mut rng, &dut, &sweep_order, &peer);
+            let paths = est.estimate_paths(&readings);
+            if paths.len() == 2 {
+                found += 1;
+                if (paths[1].direction.az_deg - -40.0).abs() < 12.0 {
+                    on_reflector += 1;
+                }
+            }
+        }
+        assert!(found >= 8, "secondary found in most sweeps: {found}/10");
+        assert!(
+            on_reflector * 2 > found,
+            "secondary points at the reflector: {on_reflector}/{found}"
+        );
+    }
+}

@@ -1,0 +1,119 @@
+//! Plain-text rendering of experiment results.
+//!
+//! Every reproduction binary prints its table or figure series through
+//! these helpers, so EXPERIMENTS.md can quote them verbatim.
+
+/// Renders a table: header row plus data rows, columns padded to width.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:>width$}", c, width = widths[i]));
+        }
+        line.push('\n');
+        line
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+    }
+    out
+}
+
+/// Renders a horizontal bar chart line: label, bar, value.
+pub fn bar(label: &str, value: f64, max: f64, width: usize) -> String {
+    let filled = if max > 0.0 {
+        ((value / max) * width as f64).round().clamp(0.0, width as f64) as usize
+    } else {
+        0
+    };
+    format!(
+        "{label:>16} |{}{}| {value:.3}",
+        "#".repeat(filled),
+        " ".repeat(width - filled)
+    )
+}
+
+/// Renders a small heatmap (row-major values) with a coarse character ramp.
+pub fn heatmap(values: &[f64], cols: usize, lo: f64, hi: f64) -> String {
+    const RAMP: &[u8] = b" .:-=+*#%@";
+    assert!(cols > 0 && values.len().is_multiple_of(cols), "rectangular input");
+    let mut out = String::new();
+    for row in values.chunks(cols) {
+        for &v in row {
+            let t = if hi > lo {
+                ((v - lo) / (hi - lo)).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
+            let idx = (t * (RAMP.len() - 1) as f64).round() as usize;
+            out.push(RAMP[idx] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let t = table(
+            &["m", "value"],
+            &[
+                vec!["4".into(), "1.5".into()],
+                vec!["14".into(), "0.55".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("value"));
+        assert!(lines[1].starts_with('-'));
+        // All data lines have the same width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn bar_scales_with_value() {
+        let full = bar("x", 10.0, 10.0, 20);
+        let half = bar("x", 5.0, 10.0, 20);
+        assert_eq!(full.matches('#').count(), 20);
+        assert_eq!(half.matches('#').count(), 10);
+        let zero = bar("x", 0.0, 0.0, 20);
+        assert_eq!(zero.matches('#').count(), 0);
+    }
+
+    #[test]
+    fn heatmap_has_grid_shape() {
+        let h = heatmap(&[0.0, 1.0, 0.5, 0.25], 2, 0.0, 1.0);
+        let lines: Vec<&str> = h.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].len(), 2);
+        assert_eq!(lines[0].chars().next(), Some(' '));
+        assert_eq!(lines[0].chars().nth(1), Some('@'));
+    }
+
+    #[test]
+    #[should_panic(expected = "rectangular")]
+    fn ragged_heatmap_panics() {
+        heatmap(&[0.0, 1.0, 0.5], 2, 0.0, 1.0);
+    }
+}

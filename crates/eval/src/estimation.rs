@@ -1,0 +1,139 @@
+//! Fig. 7 — angular estimation error vs number of probing sectors.
+//!
+//! For every recorded sweep and every probe count `M`, a random `M`-sector
+//! subset of the recorded measurements feeds the compressive estimator;
+//! the azimuth and elevation differences between the estimate and the
+//! physical orientation are collected and summarized as the paper's box
+//! plots (boxes 50 %, whiskers 99 %, dash median).
+
+use crate::scenario::{random_subset, RecordedDataset};
+use chamber::SectorPatterns;
+use css::estimator::{CompressiveEstimator, CorrelationMode};
+use geom::rng::sub_rng;
+use geom::stats::BoxStats;
+use serde::Serialize;
+
+/// The Fig. 7 series for one scenario.
+#[derive(Debug, Clone, Serialize)]
+pub struct EstimationErrorResult {
+    /// Scenario name.
+    pub scenario: String,
+    /// One row per probe count.
+    pub rows: Vec<EstimationErrorRow>,
+}
+
+/// Error statistics at one probe count.
+#[derive(Debug, Clone, Serialize)]
+pub struct EstimationErrorRow {
+    /// Number of probing sectors `M`.
+    pub probes: usize,
+    /// Azimuth error statistics (degrees).
+    pub azimuth: BoxStats,
+    /// Elevation error statistics (degrees).
+    pub elevation: BoxStats,
+}
+
+/// Runs the Fig. 7 analysis.
+///
+/// `m_values` is the x-axis (the paper sweeps 4–34); `draws_per_sweep`
+/// controls how many random subsets are sampled from each recorded sweep.
+pub fn estimation_error(
+    data: &RecordedDataset,
+    patterns: &SectorPatterns,
+    m_values: &[usize],
+    draws_per_sweep: usize,
+    seed: u64,
+) -> EstimationErrorResult {
+    let estimator = CompressiveEstimator::new(patterns, CorrelationMode::JointSnrRssi);
+    let mut rng = sub_rng(seed, "fig7-subsets");
+    let mut rows = Vec::with_capacity(m_values.len());
+    for &m in m_values {
+        let mut az_errors = Vec::new();
+        let mut el_errors = Vec::new();
+        for pos in &data.positions {
+            for sweep in &pos.sweeps {
+                for _ in 0..draws_per_sweep {
+                    let subset = random_subset(&mut rng, sweep, m);
+                    if let Some((dir, _)) = estimator.estimate(&subset) {
+                        let (az_e, el_e) = dir.component_error(&pos.truth);
+                        az_errors.push(az_e);
+                        el_errors.push(el_e);
+                    }
+                }
+            }
+        }
+        let azimuth = BoxStats::from_samples(&az_errors)
+            .expect("at least one successful estimate per probe count");
+        let elevation = BoxStats::from_samples(&el_errors).expect("elevation errors present");
+        rows.push(EstimationErrorRow {
+            probes: m,
+            azimuth,
+            elevation,
+        });
+    }
+    EstimationErrorResult {
+        scenario: data.scenario.clone(),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{EvalScenario, Fidelity};
+
+    fn run(scduring: fn(Fidelity, u64) -> EvalScenario, seed: u64) -> EstimationErrorResult {
+        let mut s = scduring(Fidelity::Fast, seed);
+        let data = s.record(seed);
+        estimation_error(&data, &s.patterns, &[6, 14, 30], 3, seed)
+    }
+
+    #[test]
+    fn error_decreases_with_more_probes_in_lab() {
+        let res = run(EvalScenario::lab, 101);
+        assert_eq!(res.rows.len(), 3);
+        let med_6 = res.rows[0].azimuth.median;
+        let med_30 = res.rows[2].azimuth.median;
+        assert!(
+            med_30 <= med_6 + 1e-9,
+            "azimuth error shrinks: {med_6}° @6 vs {med_30}° @30"
+        );
+    }
+
+    #[test]
+    fn many_probes_give_small_azimuth_error() {
+        let res = run(EvalScenario::lab, 102);
+        let full = res.rows.last().unwrap();
+        assert!(
+            full.azimuth.median < 12.0,
+            "median azimuth error with 30 probes: {}",
+            full.azimuth.median
+        );
+    }
+
+    #[test]
+    fn conference_room_errors_are_finite_and_ordered() {
+        let res = run(EvalScenario::conference_room, 103);
+        for row in &res.rows {
+            assert!(row.azimuth.p005 <= row.azimuth.median);
+            assert!(row.azimuth.median <= row.azimuth.p995);
+            assert!(row.azimuth.p995 <= 180.0);
+            assert!(row.elevation.p995 <= 90.0);
+        }
+    }
+
+    #[test]
+    fn elevation_error_bounded_by_grid_when_untilted() {
+        // The conference-room evaluation keeps elevation at 0; estimates on
+        // the measured grid can wander but errors stay within the pattern
+        // grid's elevation extent.
+        let res = run(EvalScenario::conference_room, 104);
+        for row in &res.rows {
+            assert!(
+                row.elevation.p995 <= 32.4,
+                "elevation error {} within measured extent",
+                row.elevation.p995
+            );
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Property-based tests for the evaluation harness's parsers.
+
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn dataset_parser_never_panics(text in ".{0,400}") {
+        let _ = eval::dataset_io::from_text(&text);
+    }
+
+    #[test]
+    fn dataset_parser_never_panics_on_structured_garbage(
+        toks in prop::collection::vec("[0-9:.x-]{1,8}", 0..10),
+        kind in prop::sample::select(vec!["position", "truesnr", "sweep", "scenario", "bogus"]),
+    ) {
+        let mut text = String::from("talon-dataset-v1\n");
+        text.push_str(kind);
+        for t in toks {
+            text.push(' ');
+            text.push_str(&t);
+        }
+        text.push('\n');
+        let _ = eval::dataset_io::from_text(&text);
+    }
+}

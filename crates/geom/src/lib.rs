@@ -1,0 +1,37 @@
+//! Geometric and numeric substrate for the compressive sector selection
+//! reproduction.
+//!
+//! This crate collects the small, well-tested building blocks that every
+//! other crate in the workspace relies on:
+//!
+//! * [`angle`] — wrap-aware azimuth/elevation angle arithmetic in degrees.
+//! * [`sphere`] — directions on the unit sphere and discrete angular grids
+//!   (the `(φ, θ)` grid of the paper's Eq. 3 argmax).
+//! * [`db`] — decibel/linear conversions and the quarter-dB quantizer used by
+//!   the QCA9500 firmware's SNR reports.
+//! * [`vector`] — normalized inner products (the correlation of Eq. 2).
+//! * [`interp`] — circular linear interpolation and gap filling used when
+//!   post-processing chamber measurements.
+//! * [`stats`] — descriptive statistics (median, quantiles, the 50 %/99 %
+//!   box-and-whisker summary of Fig. 7).
+//! * [`rng`] — deterministic seed derivation so every experiment is
+//!   reproducible.
+//!
+//! The design follows the smoltcp school: no clever type-level machinery,
+//! plain `f64` math, heavily documented, exhaustively unit-tested.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod angle;
+pub mod db;
+pub mod interp;
+pub mod rng;
+pub mod sphere;
+pub mod stats;
+pub mod vector;
+
+pub use angle::{wrap_180, wrap_360, AngleDeg};
+pub use db::{db_to_linear, linear_to_db, QuantizedDb};
+pub use sphere::{Direction, GridSpec, SphericalGrid};
+pub use stats::BoxStats;

@@ -1,0 +1,111 @@
+//! Deterministic randomness plumbing.
+//!
+//! Every stochastic component in the workspace (channel noise, measurement
+//! outliers, probe subset sampling, …) draws from an explicitly seeded RNG.
+//! To avoid correlated streams when one master seed fans out into many
+//! components, seeds are derived with a SplitMix64 mix of the master seed and
+//! a component label hash.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One round of the SplitMix64 output function: a high-quality 64-bit mixer.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a hash of a label string, used to separate RNG streams by purpose.
+fn fnv1a(label: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in label.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Derives a child seed from a master seed and a component label.
+///
+/// Distinct labels produce statistically independent streams; the same
+/// `(seed, label)` pair always produces the same stream.
+pub fn derive_seed(master: u64, label: &str) -> u64 {
+    splitmix64(master ^ fnv1a(label))
+}
+
+/// Creates a deterministically seeded [`StdRng`] for a labelled component.
+///
+/// ```
+/// use geom::rng::sub_rng;
+/// use rand::Rng;
+/// let mut a = sub_rng(42, "channel");
+/// let mut b = sub_rng(42, "channel");
+/// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+/// ```
+pub fn sub_rng(master: u64, label: &str) -> StdRng {
+    StdRng::seed_from_u64(derive_seed(master, label))
+}
+
+/// Samples `m` distinct indices out of `0..n`, in ascending order.
+///
+/// This is the probe-subset draw of the compressive selection: "we take a
+/// random subset of M out of N sectors" (§2.2). Ascending order makes the
+/// probing order deterministic given the draw, which keeps sweep transcripts
+/// reproducible.
+///
+/// # Panics
+/// Panics if `m > n`.
+pub fn sample_indices<R: Rng>(rng: &mut R, n: usize, m: usize) -> Vec<usize> {
+    assert!(m <= n, "cannot sample {m} of {n} indices");
+    let mut idx = rand::seq::index::sample(rng, n, m).into_vec();
+    idx.sort_unstable();
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derive_seed_is_deterministic_and_label_sensitive() {
+        assert_eq!(derive_seed(1, "a"), derive_seed(1, "a"));
+        assert_ne!(derive_seed(1, "a"), derive_seed(1, "b"));
+        assert_ne!(derive_seed(1, "a"), derive_seed(2, "a"));
+    }
+
+    #[test]
+    fn sub_rng_streams_differ_by_label() {
+        let mut a = sub_rng(7, "x");
+        let mut b = sub_rng(7, "y");
+        let va: Vec<u64> = (0..4).map(|_| a.gen()).collect();
+        let vb: Vec<u64> = (0..4).map(|_| b.gen()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn sample_indices_properties() {
+        let mut rng = sub_rng(3, "sample");
+        for _ in 0..50 {
+            let s = sample_indices(&mut rng, 34, 14);
+            assert_eq!(s.len(), 14);
+            assert!(s.windows(2).all(|w| w[0] < w[1]), "sorted and distinct");
+            assert!(s.iter().all(|&i| i < 34));
+        }
+    }
+
+    #[test]
+    fn sample_indices_full_set() {
+        let mut rng = sub_rng(3, "sample");
+        let s = sample_indices(&mut rng, 5, 5);
+        assert_eq!(s, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn sample_more_than_n_panics() {
+        let mut rng = sub_rng(3, "sample");
+        sample_indices(&mut rng, 3, 4);
+    }
+}

@@ -1,0 +1,159 @@
+//! Normalized vector correlation — the core math of Eq. 2.
+//!
+//! The compressive estimator correlates the vector of received signal
+//! strengths `p` with the vector of expected gains `x(φ, θ)` of the probing
+//! sectors:
+//!
+//! ```text
+//! W(φ, θ) = ⟨ p/‖p‖ , x(φ,θ)/‖x(φ,θ)‖ ⟩²
+//! ```
+//!
+//! Both vectors are normalized so only the *shape* across sectors matters,
+//! not the absolute receive power — this is what makes the estimate
+//! non-coherent and robust to distance changes.
+
+/// Inner product of two equal-length slices.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn dot(u: &[f64], v: &[f64]) -> f64 {
+    assert_eq!(u.len(), v.len(), "dot: length mismatch");
+    u.iter().zip(v).map(|(a, b)| a * b).sum()
+}
+
+/// Euclidean norm of a slice.
+pub fn norm(u: &[f64]) -> f64 {
+    dot(u, u).sqrt()
+}
+
+/// The squared normalized correlation `⟨u/‖u‖, v/‖v‖⟩²` of Eq. 2.
+///
+/// Returns 0 when either vector has (numerically) zero norm, which happens
+/// when no probing frame was received at all; a zero correlation keeps such
+/// degenerate grid points out of the argmax rather than poisoning it with
+/// NaN.
+///
+/// ```
+/// use geom::vector::correlation_sq;
+/// // Parallel vectors correlate perfectly regardless of scale.
+/// assert!((correlation_sq(&[1.0, 2.0], &[10.0, 20.0]) - 1.0).abs() < 1e-12);
+/// // Orthogonal vectors do not correlate.
+/// assert!(correlation_sq(&[1.0, 0.0], &[0.0, 1.0]) < 1e-12);
+/// ```
+pub fn correlation_sq(u: &[f64], v: &[f64]) -> f64 {
+    let nu = norm(u);
+    let nv = norm(v);
+    if nu <= f64::EPSILON || nv <= f64::EPSILON {
+        return 0.0;
+    }
+    let c = dot(u, v) / (nu * nv);
+    c * c
+}
+
+/// Masked variant of [`correlation_sq`]: entries where `mask[i]` is `false`
+/// are excluded from both vectors.
+///
+/// This implements the paper's observation (§5) that compressive selection
+/// "naturally compensates missing measurements": a probing frame the firmware
+/// failed to report simply drops out of the correlation instead of entering
+/// as a bogus zero.
+pub fn masked_correlation_sq(u: &[f64], v: &[f64], mask: &[bool]) -> f64 {
+    assert_eq!(u.len(), v.len(), "masked_correlation_sq: length mismatch");
+    assert_eq!(u.len(), mask.len(), "masked_correlation_sq: mask mismatch");
+    let mut uu = 0.0;
+    let mut vv = 0.0;
+    let mut uv = 0.0;
+    for i in 0..u.len() {
+        if mask[i] {
+            uu += u[i] * u[i];
+            vv += v[i] * v[i];
+            uv += u[i] * v[i];
+        }
+    }
+    if uu <= f64::EPSILON || vv <= f64::EPSILON {
+        return 0.0;
+    }
+    let c = uv / (uu.sqrt() * vv.sqrt());
+    c * c
+}
+
+/// Normalizes a slice in place to unit norm. Leaves an all-zero slice
+/// untouched.
+pub fn normalize_in_place(u: &mut [f64]) {
+    let n = norm(u);
+    if n > f64::EPSILON {
+        for x in u.iter_mut() {
+            *x /= n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert!((norm(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn correlation_bounds() {
+        let u = [0.3, 1.2, 0.8, 2.0];
+        let v = [1.0, 0.1, 0.5, 1.5];
+        let c = correlation_sq(&u, &v);
+        assert!((0.0..=1.0 + 1e-12).contains(&c));
+    }
+
+    #[test]
+    fn correlation_scale_invariant() {
+        let u = [0.5, 1.5, 2.5];
+        let v = [2.0, 1.0, 3.0];
+        let scaled: Vec<f64> = u.iter().map(|x| x * 7.3).collect();
+        assert!((correlation_sq(&u, &v) - correlation_sq(&scaled, &v)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_antiparallel_is_one() {
+        // The square makes the sign irrelevant — Eq. 2 squares the inner
+        // product, so anti-correlated shapes also score 1.
+        assert!((correlation_sq(&[1.0, -1.0], &[-1.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_vector_correlation_is_zero() {
+        assert_eq!(correlation_sq(&[0.0, 0.0], &[1.0, 2.0]), 0.0);
+        assert_eq!(correlation_sq(&[1.0, 2.0], &[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn masked_correlation_ignores_missing() {
+        let u = [1.0, 2.0, 999.0, 3.0];
+        let v = [2.0, 4.0, 0.0, 6.0];
+        let mask = [true, true, false, true];
+        // With the outlier masked out, the remaining entries are parallel.
+        assert!((masked_correlation_sq(&u, &v, &mask) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn masked_correlation_all_masked_is_zero() {
+        assert_eq!(masked_correlation_sq(&[1.0], &[1.0], &[false]), 0.0);
+    }
+
+    #[test]
+    fn normalize_in_place_works() {
+        let mut u = [3.0, 4.0];
+        normalize_in_place(&mut u);
+        assert!((norm(&u) - 1.0).abs() < 1e-12);
+        let mut z = [0.0, 0.0];
+        normalize_in_place(&mut z);
+        assert_eq!(z, [0.0, 0.0]);
+    }
+}

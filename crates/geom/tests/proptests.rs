@@ -1,0 +1,181 @@
+//! Property-based tests for the numeric substrate.
+
+use geom::angle::{angular_dist, wrap_180, wrap_360};
+use geom::db::DbQuantizer;
+use geom::interp::{bilinear, fill_gaps_circular, fill_gaps_linear, lerp};
+use geom::rng::{derive_seed, sample_indices, sub_rng};
+use geom::sphere::{Direction, GridSpec, SphericalGrid};
+use geom::stats::{quantile, BoxStats};
+use geom::vector::{correlation_sq, masked_correlation_sq};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn wrap_180_lands_in_half_open_interval(deg in -1e6f64..1e6) {
+        let w = wrap_180(deg);
+        prop_assert!(w > -180.0 && w <= 180.0);
+        // Idempotent.
+        prop_assert!((wrap_180(w) - w).abs() < 1e-9);
+        // Same direction modulo 360.
+        prop_assert!(((deg - w) / 360.0 - ((deg - w) / 360.0).round()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn wrap_360_lands_in_interval(deg in -1e6f64..1e6) {
+        let w = wrap_360(deg);
+        prop_assert!((0.0..360.0).contains(&w));
+    }
+
+    #[test]
+    fn angular_dist_is_a_metric(a in -720.0f64..720.0, b in -720.0f64..720.0, c in -720.0f64..720.0) {
+        let dab = angular_dist(a, b);
+        prop_assert!((0.0..=180.0).contains(&dab));
+        prop_assert!((dab - angular_dist(b, a)).abs() < 1e-9, "symmetry");
+        prop_assert!(angular_dist(a, a) < 1e-9, "identity");
+        prop_assert!(angular_dist(a, c) <= dab + angular_dist(b, c) + 1e-9, "triangle");
+    }
+
+    #[test]
+    fn quantile_is_bounded_and_monotone(
+        mut xs in prop::collection::vec(-1e3f64..1e3, 1..50),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let lo = q1.min(q2);
+        let hi = q1.max(q2);
+        let vlo = quantile(&xs, lo).unwrap();
+        let vhi = quantile(&xs, hi).unwrap();
+        prop_assert!(vlo <= vhi + 1e-9);
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert!(vlo >= xs[0] - 1e-9 && vhi <= xs[xs.len() - 1] + 1e-9);
+    }
+
+    #[test]
+    fn box_stats_are_ordered(xs in prop::collection::vec(-1e3f64..1e3, 1..80)) {
+        let b = BoxStats::from_samples(&xs).unwrap();
+        prop_assert!(b.p005 <= b.q25 + 1e-9);
+        prop_assert!(b.q25 <= b.median + 1e-9);
+        prop_assert!(b.median <= b.q75 + 1e-9);
+        prop_assert!(b.q75 <= b.p995 + 1e-9);
+        prop_assert_eq!(b.n, xs.len());
+    }
+
+    #[test]
+    fn gap_filling_preserves_present_samples_and_bounds(
+        samples in prop::collection::vec(prop::option::of(-50.0f64..50.0), 1..40),
+        fallback in -10.0f64..10.0,
+        circular in any::<bool>(),
+    ) {
+        let filled = if circular {
+            fill_gaps_circular(&samples, fallback)
+        } else {
+            fill_gaps_linear(&samples, fallback)
+        };
+        prop_assert_eq!(filled.len(), samples.len());
+        let present: Vec<f64> = samples.iter().flatten().copied().collect();
+        for (i, s) in samples.iter().enumerate() {
+            if let Some(v) = s {
+                prop_assert!((filled[i] - v).abs() < 1e-12, "present samples unchanged");
+            }
+        }
+        // Interpolated values stay within the hull of the present samples
+        // (or equal the fallback when nothing is present).
+        if present.is_empty() {
+            prop_assert!(filled.iter().all(|&v| v == fallback));
+        } else {
+            let lo = present.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = present.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(filled.iter().all(|&v| v >= lo - 1e-9 && v <= hi + 1e-9));
+        }
+    }
+
+    #[test]
+    fn lerp_is_bounded(a in -100.0f64..100.0, b in -100.0f64..100.0, t in 0.0f64..1.0) {
+        let v = lerp(a, b, t);
+        prop_assert!(v >= a.min(b) - 1e-9 && v <= a.max(b) + 1e-9);
+    }
+
+    #[test]
+    fn bilinear_stays_within_table_hull(
+        table in prop::collection::vec(-50.0f64..50.0, 12),
+        r in -1.0f64..4.0,
+        c in -1.0f64..5.0,
+    ) {
+        let v = bilinear(&table, 3, 4, r, c);
+        let lo = table.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = table.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+    }
+
+    #[test]
+    fn direction_unit_vectors_are_unit(az in -180.0f64..180.0, el in -90.0f64..90.0) {
+        let v = Direction::new(az, el).unit_vector();
+        let n: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        prop_assert!((n - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid_roundtrip_for_all_indices(
+        az_step in 0.5f64..20.0,
+        el_step in 0.5f64..20.0,
+    ) {
+        let grid = SphericalGrid::new(
+            GridSpec::new(-60.0, 60.0, az_step),
+            GridSpec::new(0.0, 30.0, el_step),
+        );
+        for i in 0..grid.len() {
+            let d = grid.direction(i);
+            prop_assert_eq!(grid.nearest_index(&d), i);
+        }
+    }
+
+    #[test]
+    fn quantizer_output_is_in_range_and_idempotent(db in -50.0f64..50.0) {
+        let q = DbQuantizer::TALON_SNR;
+        let v = q.value(q.quantize(db));
+        prop_assert!((q.min_db..=q.max_db).contains(&v));
+        prop_assert_eq!(q.quantize(v), q.quantize(db).min(q.quantize(v)).max(q.quantize(v)));
+        // Quantizing an already-quantized value is a fixed point.
+        prop_assert_eq!(q.value(q.quantize(v)), v);
+        // Error is at most half a step unless clamped.
+        if db > q.min_db && db < q.max_db {
+            prop_assert!((v - db).abs() <= q.step_db / 2.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn correlation_sq_is_bounded_and_scale_invariant(
+        u in prop::collection::vec(0.01f64..100.0, 2..20),
+        k in 0.1f64..10.0,
+    ) {
+        let v: Vec<f64> = u.iter().rev().cloned().collect();
+        let c = correlation_sq(&u, &v);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&c));
+        let su: Vec<f64> = u.iter().map(|x| x * k).collect();
+        prop_assert!((correlation_sq(&su, &v) - c).abs() < 1e-9);
+        // Self correlation is 1.
+        prop_assert!((correlation_sq(&u, &u) - 1.0).abs() < 1e-9);
+        // Masked with all-true equals unmasked.
+        let mask = vec![true; u.len()];
+        prop_assert!((masked_correlation_sq(&u, &v, &mask) - c).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_indices_are_distinct_sorted_in_range(
+        seed in any::<u64>(),
+        n in 1usize..64,
+    ) {
+        let mut rng = sub_rng(seed, "prop");
+        let m = n / 2 + 1;
+        let s = sample_indices(&mut rng, n, m.min(n));
+        prop_assert!(s.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(s.iter().all(|&i| i < n));
+    }
+
+    #[test]
+    fn derive_seed_depends_on_both_inputs(a in any::<u64>(), b in any::<u64>()) {
+        prop_assume!(a != b);
+        prop_assert_ne!(derive_seed(a, "x"), derive_seed(b, "x"));
+        prop_assert_ne!(derive_seed(a, "x"), derive_seed(a, "y"));
+    }
+}

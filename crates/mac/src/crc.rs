@@ -1,0 +1,99 @@
+//! IEEE 802.3 CRC-32, used as the frame check sequence (FCS) of 802.11
+//! frames.
+//!
+//! Reflected polynomial `0xEDB88320`, init `0xFFFFFFFF`, final XOR
+//! `0xFFFFFFFF` — the classic "CRC-32" every Wi-Fi frame carries. A small
+//! table-driven implementation keeps the simulator honest: corrupted frames
+//! really fail their checksum.
+
+/// Computes the CRC-32 of a byte slice.
+///
+/// ```
+/// use mac80211ad::crc::crc32;
+/// assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+/// ```
+pub fn crc32(data: &[u8]) -> u32 {
+    let table = table();
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in data {
+        let idx = ((crc ^ b as u32) & 0xFF) as usize;
+        crc = (crc >> 8) ^ table[idx];
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+/// Appends the little-endian FCS to a frame body.
+pub fn append_fcs(body: &mut Vec<u8>) {
+    let fcs = crc32(body);
+    body.extend_from_slice(&fcs.to_le_bytes());
+}
+
+/// Verifies and strips the FCS of a received frame. Returns the body
+/// without FCS, or `None` if the frame is too short or the checksum fails.
+pub fn check_and_strip_fcs(frame: &[u8]) -> Option<&[u8]> {
+    if frame.len() < 4 {
+        return None;
+    }
+    let (body, fcs_bytes) = frame.split_at(frame.len() - 4);
+    let fcs = u32::from_le_bytes([fcs_bytes[0], fcs_bytes[1], fcs_bytes[2], fcs_bytes[3]]);
+    if crc32(body) == fcs {
+        Some(body)
+    } else {
+        None
+    }
+}
+
+/// The 256-entry lookup table, built once.
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *e = c;
+        }
+        t
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn append_and_strip_roundtrip() {
+        let mut frame = b"hello 802.11ad".to_vec();
+        append_fcs(&mut frame);
+        assert_eq!(frame.len(), 18);
+        let body = check_and_strip_fcs(&frame).expect("FCS must verify");
+        assert_eq!(body, b"hello 802.11ad");
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut frame = b"payload".to_vec();
+        append_fcs(&mut frame);
+        frame[2] ^= 0x40;
+        assert!(check_and_strip_fcs(&frame).is_none());
+    }
+
+    #[test]
+    fn short_frames_are_rejected() {
+        assert!(check_and_strip_fcs(&[1, 2, 3]).is_none());
+    }
+}

@@ -1,0 +1,382 @@
+//! The Sector Level Sweep (SLS) beamforming protocol.
+//!
+//! Two stations mutually train their transmit sectors (Fig. 2 of the
+//! paper): the initiator sweeps probe frames (ISS), the responder measures
+//! them, sweeps back (RSS) while echoing its choice of initiator sector in
+//! the SSW feedback field, the initiator answers with an SSW-Feedback frame
+//! carrying its choice of responder sector, and the responder closes with
+//! an SSW-ACK.
+//!
+//! The *selection* step is pluggable through [`FeedbackPolicy`]. The stock
+//! firmware behaviour is [`MaxSnrPolicy`] (Eq. 1: pick the sector with the
+//! strongest reported SNR, probing everything). The paper's compressive
+//! selection plugs in at exactly this point — in the real system via the
+//! Nexmon firmware hooks modelled in the `wil6210` crate.
+
+use crate::addr::MacAddr;
+use crate::fields::{encode_snr, SswFeedbackField, SswField, SweepDirection};
+use crate::frames::{Frame, SswAckFrame, SswFeedbackFrame, SswFrame};
+use crate::schedule::BurstSchedule;
+use crate::timing::{SimDuration, SimTime, SLS_OVERHEAD, SSW_FRAME_TIME};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use talon_channel::{Device, Link, SweepReading};
+use talon_array::SectorId;
+
+/// Chooses sectors from sweep measurements and decides what to probe.
+///
+/// One policy instance belongs to one station. `select` corresponds to the
+/// "Select Best Sector" box of Fig. 2; `probe_sectors` determines the
+/// station's own transmit sweep (the stock firmware probes everything; the
+/// compressive selection probes a random subset).
+pub trait FeedbackPolicy {
+    /// Which sectors to transmit during this station's sweep, given the
+    /// codebook's full sweep order.
+    fn probe_sectors(&mut self, full_sweep: &[SectorId]) -> Vec<SectorId>;
+
+    /// Which sector to feed back to the peer, given the readings collected
+    /// while the peer swept. `None` if nothing usable was received.
+    fn select(&mut self, readings: &[SweepReading]) -> Option<SectorId>;
+}
+
+/// The stock sector sweep behaviour: probe all sectors, pick the highest
+/// reported SNR (Eq. 1).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaxSnrPolicy;
+
+impl FeedbackPolicy for MaxSnrPolicy {
+    fn probe_sectors(&mut self, full_sweep: &[SectorId]) -> Vec<SectorId> {
+        full_sweep.to_vec()
+    }
+
+    fn select(&mut self, readings: &[SweepReading]) -> Option<SectorId> {
+        readings
+            .iter()
+            .filter_map(|r| r.measurement.map(|m| (r.sector, m.snr_db)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("SNR is never NaN"))
+            .map(|(s, _)| s)
+    }
+}
+
+/// Configuration of one SLS run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlsConfig {
+    /// MAC address of the initiator.
+    pub initiator_addr: MacAddr,
+    /// MAC address of the responder.
+    pub responder_addr: MacAddr,
+}
+
+impl Default for SlsConfig {
+    fn default() -> Self {
+        SlsConfig {
+            initiator_addr: MacAddr::device(1),
+            responder_addr: MacAddr::device(2),
+        }
+    }
+}
+
+/// Everything one SLS run produced.
+#[derive(Debug, Clone)]
+pub struct SlsOutcome {
+    /// Sector the responder selected for the *initiator's* transmissions
+    /// (fed back in the RSS frames' feedback field).
+    pub initiator_tx_sector: Option<SectorId>,
+    /// Sector the initiator selected for the *responder's* transmissions
+    /// (carried in the SSW-Feedback frame).
+    pub responder_tx_sector: Option<SectorId>,
+    /// Readings the responder collected during the ISS.
+    pub iss_readings: Vec<SweepReading>,
+    /// Readings the initiator collected during the RSS.
+    pub rss_readings: Vec<SweepReading>,
+    /// All frames put on the air, with their transmit times.
+    pub frames: Vec<(SimTime, Frame)>,
+    /// Total duration of the training.
+    pub duration: SimDuration,
+}
+
+/// Drives one or more SLS trainings between two devices over a link.
+pub struct SlsRunner<'a> {
+    /// The propagation link (initiator → responder direction; the model is
+    /// symmetric, so the same link serves both sweep halves).
+    pub link: &'a Link,
+    /// The initiating device.
+    pub initiator: &'a Device,
+    /// The responding device.
+    pub responder: &'a Device,
+    /// Addressing.
+    pub config: SlsConfig,
+}
+
+impl<'a> SlsRunner<'a> {
+    /// Creates a runner with default addressing.
+    pub fn new(link: &'a Link, initiator: &'a Device, responder: &'a Device) -> Self {
+        SlsRunner {
+            link,
+            initiator,
+            responder,
+            config: SlsConfig::default(),
+        }
+    }
+
+    /// Runs one mutual training.
+    ///
+    /// `initiator_policy` selects the responder's sector and decides the
+    /// initiator's probes; `responder_policy` the converse.
+    pub fn run<R, PI, PR>(
+        &self,
+        rng: &mut R,
+        initiator_policy: &mut PI,
+        responder_policy: &mut PR,
+    ) -> SlsOutcome
+    where
+        R: Rng,
+        PI: FeedbackPolicy + ?Sized,
+        PR: FeedbackPolicy + ?Sized,
+    {
+        let mut now = SimTime::ZERO;
+        let mut frames = Vec::new();
+
+        // --- Initiator Sector Sweep (ISS) -------------------------------
+        let full_i = self.initiator.codebook.sweep_order();
+        let iss_sectors = initiator_policy.probe_sectors(&full_i);
+        let iss_schedule = BurstSchedule::custom_sweep(&iss_sectors);
+        let mut iss_readings = Vec::with_capacity(iss_sectors.len());
+        for (cdown, sector) in iss_schedule.transmissions() {
+            let frame = Frame::Ssw(SswFrame {
+                ra: self.config.responder_addr,
+                ta: self.config.initiator_addr,
+                ssw: SswField {
+                    direction: SweepDirection::Initiator,
+                    cdown,
+                    sector_id: sector,
+                    dmg_antenna_id: 0,
+                    rxss_length: 0,
+                },
+                // During the ISS the initiator has nothing to feed back yet.
+                feedback: SswFeedbackField {
+                    sector_select: SectorId(0),
+                    dmg_antenna_select: 0,
+                    snr_report: 0,
+                    poll_required: false,
+                },
+            });
+            frames.push((now, frame));
+            now += SSW_FRAME_TIME;
+            // The responder's firmware measures the received probe.
+            iss_readings.push(SweepReading {
+                sector,
+                measurement: self.link.probe(rng, self.initiator, sector, self.responder),
+            });
+        }
+
+        // The responder picks the initiator's sector ("Select Best Sector"
+        // box of Fig. 2 — or our patched override).
+        let initiator_tx_sector = responder_policy.select(&iss_readings);
+        let fb_to_initiator = feedback_field(initiator_tx_sector, &iss_readings);
+
+        // --- Responder Sector Sweep (RSS) --------------------------------
+        let full_r = self.responder.codebook.sweep_order();
+        let rss_sectors = responder_policy.probe_sectors(&full_r);
+        let rss_schedule = BurstSchedule::custom_sweep(&rss_sectors);
+        let mut rss_readings = Vec::with_capacity(rss_sectors.len());
+        for (cdown, sector) in rss_schedule.transmissions() {
+            let frame = Frame::Ssw(SswFrame {
+                ra: self.config.initiator_addr,
+                ta: self.config.responder_addr,
+                ssw: SswField {
+                    direction: SweepDirection::Responder,
+                    cdown,
+                    sector_id: sector,
+                    dmg_antenna_id: 0,
+                    rxss_length: 0,
+                },
+                feedback: fb_to_initiator,
+            });
+            frames.push((now, frame));
+            now += SSW_FRAME_TIME;
+            rss_readings.push(SweepReading {
+                sector,
+                measurement: self.link.probe(rng, self.responder, sector, self.initiator),
+            });
+        }
+
+        // The initiator picks the responder's sector and sends feedback;
+        // the responder acknowledges. We account for both plus the sweep
+        // initialization with the measured 49.1 µs overhead (§4.1).
+        let responder_tx_sector = initiator_policy.select(&rss_readings);
+        let fb_to_responder = feedback_field(responder_tx_sector, &rss_readings);
+        frames.push((
+            now,
+            Frame::SswFeedback(SswFeedbackFrame {
+                ra: self.config.responder_addr,
+                ta: self.config.initiator_addr,
+                feedback: fb_to_responder,
+            }),
+        ));
+        frames.push((
+            now,
+            Frame::SswAck(SswAckFrame {
+                ra: self.config.initiator_addr,
+                ta: self.config.responder_addr,
+                feedback: fb_to_initiator,
+            }),
+        ));
+        now += SLS_OVERHEAD;
+
+        SlsOutcome {
+            initiator_tx_sector,
+            responder_tx_sector,
+            iss_readings,
+            rss_readings,
+            frames,
+            duration: now.since(SimTime::ZERO),
+        }
+    }
+}
+
+/// Builds the feedback field for a selection, reporting the selected
+/// sector's SNR when available.
+fn feedback_field(selection: Option<SectorId>, readings: &[SweepReading]) -> SswFeedbackField {
+    let snr = selection
+        .and_then(|sel| {
+            readings
+                .iter()
+                .find(|r| r.sector == sel)
+                .and_then(|r| r.measurement)
+        })
+        .map(|m| m.snr_db)
+        .unwrap_or(-8.0);
+    SswFeedbackField {
+        sector_select: selection.unwrap_or(SectorId(0)),
+        dmg_antenna_select: 0,
+        snr_report: encode_snr(snr),
+        poll_required: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geom::rng::sub_rng;
+    use talon_channel::Environment;
+
+    fn setup() -> (Link, Device, Device) {
+        (
+            Link::new(Environment::anechoic(3.0)),
+            Device::talon(1),
+            Device::talon(2),
+        )
+    }
+
+    #[test]
+    fn full_sweep_duration_matches_fig10() {
+        let (link, ini, res) = setup();
+        let runner = SlsRunner::new(&link, &ini, &res);
+        let mut rng = sub_rng(1, "sls");
+        let out = runner.run(&mut rng, &mut MaxSnrPolicy, &mut MaxSnrPolicy);
+        // 2×34 frames à 18 µs + 49.1 µs = 1273.1 µs ≈ 1.27 ms.
+        assert!((out.duration.as_ms() - 1.2731).abs() < 1e-9);
+        assert_eq!(out.iss_readings.len(), 34);
+        assert_eq!(out.rss_readings.len(), 34);
+    }
+
+    #[test]
+    fn outcome_selects_usable_sectors() {
+        let (link, ini, res) = setup();
+        let runner = SlsRunner::new(&link, &ini, &res);
+        let mut rng = sub_rng(2, "sls");
+        let out = runner.run(&mut rng, &mut MaxSnrPolicy, &mut MaxSnrPolicy);
+        let i_sec = out.initiator_tx_sector.expect("initiator sector chosen");
+        let r_sec = out.responder_tx_sector.expect("responder sector chosen");
+        // Devices face each other: the chosen sectors must have healthy SNR.
+        let rxw = res.codebook.rx_sector().weights.clone();
+        let snr = link.true_snr_db(&ini, i_sec, &res, &rxw);
+        assert!(snr > 3.0, "selected initiator sector SNR {snr}");
+        let rxw = ini.codebook.rx_sector().weights.clone();
+        let snr = link.true_snr_db(&res, r_sec, &ini, &rxw);
+        assert!(snr > 3.0, "selected responder sector SNR {snr}");
+    }
+
+    #[test]
+    fn frame_transcript_is_well_formed() {
+        let (link, ini, res) = setup();
+        let runner = SlsRunner::new(&link, &ini, &res);
+        let mut rng = sub_rng(3, "sls");
+        let out = runner.run(&mut rng, &mut MaxSnrPolicy, &mut MaxSnrPolicy);
+        // 34 ISS + 34 RSS + feedback + ack.
+        assert_eq!(out.frames.len(), 70);
+        // Times are monotonically non-decreasing and every frame re-decodes
+        // from its wire representation.
+        let mut last = SimTime::ZERO;
+        for (t, f) in &out.frames {
+            assert!(*t >= last);
+            last = *t;
+            assert_eq!(Frame::decode(&f.encode()), Some(*f));
+        }
+        // The last two frames are feedback + ack.
+        assert!(matches!(out.frames[68].1, Frame::SswFeedback(_)));
+        assert!(matches!(out.frames[69].1, Frame::SswAck(_)));
+    }
+
+    #[test]
+    fn rss_frames_echo_the_initiator_selection() {
+        let (link, ini, res) = setup();
+        let runner = SlsRunner::new(&link, &ini, &res);
+        let mut rng = sub_rng(4, "sls");
+        let out = runner.run(&mut rng, &mut MaxSnrPolicy, &mut MaxSnrPolicy);
+        let selected = out.initiator_tx_sector.unwrap();
+        for (_, f) in &out.frames {
+            if let Frame::Ssw(s) = f {
+                if s.ssw.direction == SweepDirection::Responder {
+                    assert_eq!(s.feedback.sector_select, selected);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subset_probing_policy_shortens_training() {
+        struct Subset;
+        impl FeedbackPolicy for Subset {
+            fn probe_sectors(&mut self, full: &[SectorId]) -> Vec<SectorId> {
+                full.iter().copied().take(14).collect()
+            }
+            fn select(&mut self, readings: &[SweepReading]) -> Option<SectorId> {
+                MaxSnrPolicy.select(readings)
+            }
+        }
+        let (link, ini, res) = setup();
+        let runner = SlsRunner::new(&link, &ini, &res);
+        let mut rng = sub_rng(5, "sls");
+        let out = runner.run(&mut rng, &mut Subset, &mut Subset);
+        assert_eq!(out.iss_readings.len(), 14);
+        // 2×14×18 + 49.1 = 553.1 µs ≈ 0.55 ms (Fig. 10).
+        assert!((out.duration.as_ms() - 0.5531).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_snr_policy_ignores_missing_measurements() {
+        let readings = vec![
+            SweepReading {
+                sector: SectorId(1),
+                measurement: None,
+            },
+            SweepReading {
+                sector: SectorId(2),
+                measurement: Some(talon_channel::Measurement {
+                    snr_db: 3.0,
+                    rssi_dbm: -60.0,
+                }),
+            },
+        ];
+        assert_eq!(MaxSnrPolicy.select(&readings), Some(SectorId(2)));
+        let empty: Vec<SweepReading> = vec![
+            SweepReading {
+                sector: SectorId(1),
+                measurement: None,
+            },
+        ];
+        assert_eq!(MaxSnrPolicy.select(&empty), None);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests for the 802.11ad frame layer.
+
+use mac80211ad::addr::MacAddr;
+use mac80211ad::crc::{append_fcs, check_and_strip_fcs, crc32};
+use mac80211ad::fields::{decode_snr, encode_snr, SswFeedbackField, SswField, SweepDirection};
+use mac80211ad::frames::{DmgBeacon, Frame, SswAckFrame, SswFeedbackFrame, SswFrame};
+use proptest::prelude::*;
+use talon_array::SectorId;
+
+fn arb_ssw_field() -> impl Strategy<Value = SswField> {
+    (
+        any::<bool>(),
+        0u16..512,
+        0u8..64,
+        0u8..4,
+        0u8..64,
+    )
+        .prop_map(|(dir, cdown, sector, antenna, rxss)| SswField {
+            direction: if dir {
+                SweepDirection::Responder
+            } else {
+                SweepDirection::Initiator
+            },
+            cdown,
+            sector_id: SectorId(sector),
+            dmg_antenna_id: antenna,
+            rxss_length: rxss,
+        })
+}
+
+fn arb_feedback() -> impl Strategy<Value = SswFeedbackField> {
+    (0u8..64, 0u8..4, any::<u8>(), any::<bool>()).prop_map(
+        |(sector, antenna, snr, poll)| SswFeedbackField {
+            sector_select: SectorId(sector),
+            dmg_antenna_select: antenna,
+            snr_report: snr,
+            poll_required: poll,
+        },
+    )
+}
+
+fn arb_addr() -> impl Strategy<Value = MacAddr> {
+    any::<[u8; 6]>().prop_map(MacAddr)
+}
+
+proptest! {
+    #[test]
+    fn ssw_field_roundtrips(f in arb_ssw_field()) {
+        prop_assert_eq!(SswField::decode(&f.encode()), f);
+    }
+
+    #[test]
+    fn feedback_field_roundtrips(f in arb_feedback()) {
+        prop_assert_eq!(SswFeedbackField::decode(&f.encode()), f);
+    }
+
+    #[test]
+    fn snr_report_encoding_roundtrips_on_grid(steps in 0u16..256) {
+        // Every representable value round-trips exactly.
+        let db = steps as f64 / 4.0 - 8.0;
+        prop_assert_eq!(decode_snr(encode_snr(db)), db);
+    }
+
+    #[test]
+    fn snr_report_is_monotone(a in -20.0f64..60.0, b in -20.0f64..60.0) {
+        prop_assume!(a <= b);
+        prop_assert!(encode_snr(a) <= encode_snr(b));
+    }
+
+    #[test]
+    fn all_frame_types_roundtrip(
+        ssw in arb_ssw_field(),
+        fb in arb_feedback(),
+        ra in arb_addr(),
+        ta in arb_addr(),
+        ts in any::<u64>(),
+        bi in any::<u16>(),
+    ) {
+        let frames = [
+            Frame::Beacon(DmgBeacon { bssid: ta, timestamp_us: ts, beacon_interval_tu: bi, ssw }),
+            Frame::Ssw(SswFrame { ra, ta, ssw, feedback: fb }),
+            Frame::SswFeedback(SswFeedbackFrame { ra, ta, feedback: fb }),
+            Frame::SswAck(SswAckFrame { ra, ta, feedback: fb }),
+        ];
+        for f in frames {
+            let wire = f.encode();
+            prop_assert_eq!(Frame::decode(&wire), Some(f));
+        }
+    }
+
+    #[test]
+    fn single_bit_corruption_is_always_detected(
+        ssw in arb_ssw_field(),
+        fb in arb_feedback(),
+        ra in arb_addr(),
+        ta in arb_addr(),
+        byte_sel in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let frame = Frame::Ssw(SswFrame { ra, ta, ssw, feedback: fb });
+        let mut wire = frame.encode().to_vec();
+        let idx = byte_sel.index(wire.len());
+        wire[idx] ^= 1 << bit;
+        prop_assert_eq!(Frame::decode(&wire), None, "bit flip at byte {} undetected", idx);
+    }
+
+    #[test]
+    fn crc_differs_for_different_payloads(
+        a in prop::collection::vec(any::<u8>(), 0..64),
+        flip in any::<prop::sample::Index>(),
+    ) {
+        prop_assume!(!a.is_empty());
+        let mut b = a.clone();
+        let idx = flip.index(b.len());
+        b[idx] ^= 0x01;
+        prop_assert_ne!(crc32(&a), crc32(&b));
+    }
+
+    #[test]
+    fn fcs_roundtrip(payload in prop::collection::vec(any::<u8>(), 0..128)) {
+        let mut framed = payload.clone();
+        append_fcs(&mut framed);
+        prop_assert_eq!(check_and_strip_fcs(&framed), Some(payload.as_slice()));
+    }
+}

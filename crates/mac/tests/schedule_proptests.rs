@@ -1,0 +1,80 @@
+//! Property-based tests for the burst schedules and the beacon interval.
+
+use mac80211ad::addr::MacAddr;
+use mac80211ad::bti::{AbftConfig, AbftSlots, BeaconScheduler};
+use mac80211ad::schedule::BurstSchedule;
+use mac80211ad::timing::BEACON_INTERVAL;
+use proptest::prelude::*;
+use talon_array::SectorId;
+
+proptest! {
+    #[test]
+    fn custom_sweeps_count_down_without_gaps(
+        ids in prop::collection::vec(1u8..32, 1..34),
+    ) {
+        let sectors: Vec<SectorId> = ids.iter().map(|&i| SectorId(i)).collect();
+        let s = BurstSchedule::custom_sweep(&sectors);
+        let tx: Vec<(u16, SectorId)> = s.transmissions().collect();
+        prop_assert_eq!(tx.len(), sectors.len());
+        // CDOWN starts at len-1 and reaches 0 with no gaps.
+        for (k, &(cdown, sector)) in tx.iter().enumerate() {
+            prop_assert_eq!(cdown as usize, sectors.len() - 1 - k);
+            prop_assert_eq!(sector, sectors[k]);
+        }
+    }
+
+    #[test]
+    fn sector_at_agrees_with_transmissions(
+        which in prop::sample::select(vec!["beacon", "sweep"]),
+        cdown in 0u16..35,
+    ) {
+        let s = match which {
+            "beacon" => BurstSchedule::talon_beacon(),
+            _ => BurstSchedule::talon_sweep(),
+        };
+        let from_iter = s.transmissions().find(|&(c, _)| c == cdown).map(|(_, id)| id);
+        prop_assert_eq!(s.sector_at(cdown), from_iter);
+    }
+
+    #[test]
+    fn beacon_intervals_are_uniformly_spaced(n in 1usize..8) {
+        let mut sched = BeaconScheduler::new(MacAddr::device(1));
+        let mut bursts = Vec::new();
+        for _ in 0..n {
+            bursts.push(sched.next_interval());
+        }
+        for w in bursts.windows(2) {
+            prop_assert_eq!(w[1][0].at.since(w[0][0].at), BEACON_INTERVAL);
+        }
+        // Every burst carries the same slot layout.
+        for b in &bursts {
+            prop_assert_eq!(b.len(), 32);
+            prop_assert_eq!(b[0].frame.ssw.cdown, 33);
+            prop_assert_eq!(b[0].frame.ssw.sector_id, SectorId(63));
+        }
+    }
+
+    #[test]
+    fn abft_winners_and_collided_partition_the_stations(
+        n_stations in 1usize..12,
+        slots in 1u8..8,
+        seed in any::<u64>(),
+    ) {
+        let config = AbftConfig { slots, frames_per_slot: 8 };
+        let mut ab = AbftSlots::new();
+        let mut rng = geom::rng::sub_rng(seed, "prop-abft");
+        for i in 0..n_stations {
+            ab.draw(&mut rng, MacAddr::device(i as u16), &config);
+        }
+        let winners = ab.winners();
+        let collided = ab.collided();
+        prop_assert_eq!(winners.len() + collided.len(), n_stations);
+        for w in &winners {
+            prop_assert!(!collided.contains(w), "disjoint partition");
+        }
+        // With more stations than slots, someone must collide.
+        if n_stations > slots as usize {
+            prop_assert!(!collided.is_empty());
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Dense deployments: training airtime vs aggregate goodput (`ext-dense`).
+//!
+//! §7: "if we consider dense mm-wave node deployments, we need to keep in
+//! mind that each sector sweep performed by a pair of nodes pollutes the
+//! whole mm-wave channel in all directions." We model that pollution
+//! directly: every pair re-trains `tracking_hz` times per second, each
+//! training occupies the shared channel exclusively for the §4.1-model
+//! airtime, and only the remaining fraction of the second carries data.
+//!
+//! Per-pair link rates come from a real simulated training: each pair gets
+//! its own device orientation, runs its policy's sweep once through the
+//! channel simulator, and the selected sector's true SNR sets its data
+//! rate. The experiment therefore captures both effects at once — CSS's
+//! smaller airtime bill *and* any selection-quality difference.
+
+use crate::policy::TrainingPolicy;
+use chamber::SectorPatterns;
+use geom::rng::sub_rng;
+use rand::Rng;
+use serde::Serialize;
+use talon_channel::{DataLinkModel, Device, Environment, Link, Orientation};
+
+/// Configuration of the dense-deployment experiment.
+#[derive(Debug, Clone)]
+pub struct DenseConfig {
+    /// Pair counts to evaluate.
+    pub pair_counts: Vec<usize>,
+    /// Re-trainings per second per pair (mobile tracking; the Talon's
+    /// static default is ~1 Hz, §4.1).
+    pub tracking_hz: f64,
+    /// Probe budget of the CSS policy.
+    pub css_probes: usize,
+    /// Data-plane rate model.
+    pub rate_model: DataLinkModel,
+}
+
+impl Default for DenseConfig {
+    fn default() -> Self {
+        DenseConfig {
+            pair_counts: vec![1, 2, 4, 8, 16, 32, 64],
+            tracking_hz: 10.0,
+            css_probes: 14,
+            rate_model: DataLinkModel::default(),
+        }
+    }
+}
+
+/// One row of the result: a pair count under one policy.
+#[derive(Debug, Clone, Serialize)]
+pub struct DenseRow {
+    /// Number of concurrently active pairs.
+    pub pairs: usize,
+    /// Fraction of channel airtime consumed by training (capped at 1).
+    pub training_airtime: f64,
+    /// Sum of pair goodputs after the training tax, Gbps.
+    pub aggregate_gbps: f64,
+}
+
+/// The experiment result for one policy.
+#[derive(Debug, Clone, Serialize)]
+pub struct DenseResult {
+    /// Policy display name.
+    pub policy: String,
+    /// One row per pair count.
+    pub rows: Vec<DenseRow>,
+    /// Largest pair count whose training airtime stays below 100 %.
+    pub saturation_pairs: Option<usize>,
+}
+
+/// Runs the dense-deployment experiment for one policy.
+///
+/// `make_policy` constructs a fresh policy per pair (each pair draws its
+/// own probe subsets).
+pub fn dense_deployment<F>(
+    config: &DenseConfig,
+    patterns: &SectorPatterns,
+    mut make_policy: F,
+    seed: u64,
+) -> DenseResult
+where
+    F: FnMut(&SectorPatterns, u64) -> TrainingPolicy,
+{
+    let mut rng = sub_rng(seed, "dense");
+    let env = Environment::conference_room();
+    let link = Link::new(env);
+    let max_pairs = config.pair_counts.iter().copied().max().unwrap_or(0);
+
+    // Simulate each pair once: orientation, training, achieved rate.
+    let mut pair_rates = Vec::with_capacity(max_pairs);
+    let mut training_ms = 0.0;
+    for p in 0..max_pairs {
+        let mut tx = Device::talon(seed.wrapping_add(p as u64 * 2));
+        let rx = Device::talon(seed.wrapping_add(p as u64 * 2 + 1));
+        // Pairs face each other imperfectly: random yaw within ±50°.
+        tx.orientation = Orientation::new(rng.gen_range(-50.0..50.0), 0.0);
+        let mut policy = make_policy(patterns, seed.wrapping_add(p as u64));
+        training_ms = policy.training_time(34).as_ms();
+        let rate = match policy.train(&mut rng, &link, &tx, &rx) {
+            Some(sel) => {
+                let rxw = rx.codebook.rx_sector().weights.clone();
+                let snr = link.true_snr_db(&tx, sel, &rx, &rxw);
+                config.rate_model.tcp_gbps(snr)
+            }
+            None => 0.0,
+        };
+        pair_rates.push(rate);
+    }
+
+    let policy_name = make_policy(patterns, seed).name();
+    let mut rows = Vec::with_capacity(config.pair_counts.len());
+    let mut saturation_pairs = None;
+    for &n in &config.pair_counts {
+        // Training airtime fraction of the shared channel.
+        let airtime = (n as f64 * config.tracking_hz * training_ms / 1000.0).min(1.0);
+        let data_share = 1.0 - airtime;
+        // TDMA data sharing among the pairs: each gets an equal slice of
+        // the remaining airtime; aggregate = mean pair rate × share.
+        let mean_rate = geom::stats::mean(&pair_rates[..n]).unwrap_or(0.0);
+        let aggregate = mean_rate * data_share;
+        if airtime < 1.0 {
+            saturation_pairs = Some(n);
+        }
+        rows.push(DenseRow {
+            pairs: n,
+            training_airtime: airtime,
+            aggregate_gbps: aggregate,
+        });
+    }
+    DenseResult {
+        policy: policy_name,
+        rows,
+        saturation_pairs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chamber::{Campaign, CampaignConfig};
+
+    fn patterns() -> SectorPatterns {
+        let link = Link::new(Environment::anechoic(3.0));
+        let mut dut = Device::talon(80);
+        let peer = Device::talon(81);
+        let mut campaign = Campaign::new(CampaignConfig::coarse(), 80);
+        let mut rng = sub_rng(80, "dense-campaign");
+        campaign.measure_tx_patterns(&mut rng, &link, &mut dut, &peer)
+    }
+
+    #[test]
+    fn css_sustains_more_pairs_than_ssw() {
+        let p = patterns();
+        let config = DenseConfig {
+            pair_counts: vec![1, 8, 32, 64],
+            ..DenseConfig::default()
+        };
+        let ssw = dense_deployment(&config, &p, |_, _| TrainingPolicy::ssw(), 80);
+        let css = dense_deployment(&config, &p, |pat, s| TrainingPolicy::css(pat.clone(), 14, s), 80);
+        // CSS's airtime bill is ~2.3× smaller at every pair count.
+        for (a, b) in ssw.rows.iter().zip(&css.rows) {
+            assert!(a.training_airtime >= b.training_airtime);
+            if a.training_airtime < 1.0 {
+                let ratio = a.training_airtime / b.training_airtime;
+                assert!((ratio - 2.3).abs() < 0.05, "airtime ratio {ratio}");
+            }
+        }
+        // And the saturation point is strictly higher.
+        assert!(css.saturation_pairs >= ssw.saturation_pairs);
+        // At 10 Hz tracking, SSW saturates at ~78 pairs, CSS at ~180; the
+        // 64-pair row must still be unsaturated for CSS but heavily taxed
+        // for SSW.
+        let ssw64 = ssw.rows.last().unwrap();
+        let css64 = css.rows.last().unwrap();
+        assert!(ssw64.training_airtime > 0.75, "{}", ssw64.training_airtime);
+        assert!(css64.training_airtime < 0.4, "{}", css64.training_airtime);
+        assert!(css64.aggregate_gbps > ssw64.aggregate_gbps);
+    }
+
+    #[test]
+    fn airtime_grows_linearly_until_saturation() {
+        let p = patterns();
+        let config = DenseConfig {
+            pair_counts: vec![1, 2, 4],
+            ..DenseConfig::default()
+        };
+        let r = dense_deployment(&config, &p, |_, _| TrainingPolicy::ssw(), 81);
+        let a1 = r.rows[0].training_airtime;
+        assert!((r.rows[1].training_airtime - 2.0 * a1).abs() < 1e-12);
+        assert!((r.rows[2].training_airtime - 4.0 * a1).abs() < 1e-12);
+    }
+}

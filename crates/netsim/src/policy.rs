@@ -1,0 +1,192 @@
+//! Training-policy abstraction for the network-scale experiments.
+//!
+//! A [`TrainingPolicy`] bundles what the experiments need to know about a
+//! beam-training scheme: how many probes one training costs (which sets
+//! its airtime via the §4.1 timing model) and how a transmit sector is
+//! selected from one sweep's readings.
+
+use chamber::SectorPatterns;
+use css::estimator::CorrelationMode;
+use css::multipath::MultipathEstimator;
+use css::selection::{CompressiveSelection, CssConfig};
+use mac80211ad::sls::{FeedbackPolicy, MaxSnrPolicy};
+use mac80211ad::timing::{mutual_training_time, SimDuration};
+use rand::Rng;
+use talon_array::SectorId;
+use talon_channel::{Device, Link, SweepReading};
+
+/// A beam-training scheme under test.
+pub enum TrainingPolicy {
+    /// The stock exhaustive sweep (Eq. 1).
+    Ssw,
+    /// Compressive selection with a probe budget.
+    Css(Box<CompressiveSelection>),
+    /// Compressive selection that additionally tracks a secondary path and
+    /// keeps a backup sector armed for instant blockage fail-over
+    /// (BeamSpy-style, §8).
+    CssBackup(Box<CssBackupState>),
+}
+
+/// State of the backup-tracking variant.
+pub struct CssBackupState {
+    selection: CompressiveSelection,
+    multipath: MultipathEstimator,
+    /// The currently armed backup sector, if any.
+    pub backup: Option<SectorId>,
+}
+
+impl TrainingPolicy {
+    /// Stock sweep.
+    pub fn ssw() -> Self {
+        TrainingPolicy::Ssw
+    }
+
+    /// Compressive selection with `m` probes over measured `patterns`.
+    pub fn css(patterns: SectorPatterns, m: usize, seed: u64) -> Self {
+        TrainingPolicy::Css(Box::new(CompressiveSelection::new(
+            patterns,
+            CssConfig {
+                num_probes: m,
+                ..CssConfig::paper_default()
+            },
+            seed,
+        )))
+    }
+
+    /// Compressive selection with backup-path tracking.
+    pub fn css_with_backup(patterns: SectorPatterns, m: usize, seed: u64) -> Self {
+        let selection = CompressiveSelection::new(
+            patterns.clone(),
+            CssConfig {
+                num_probes: m,
+                ..CssConfig::paper_default()
+            },
+            seed,
+        );
+        // A false backup costs nothing (it is only consulted when the
+        // primary's rate is zero, and only used if it actually carries
+        // data), so arm permissively.
+        let multipath = MultipathEstimator::new(patterns, CorrelationMode::JointSnrRssi)
+            .with_min_score_ratio(0.03);
+        TrainingPolicy::CssBackup(Box::new(CssBackupState {
+            selection,
+            multipath,
+            backup: None,
+        }))
+    }
+
+    /// Short display name.
+    pub fn name(&self) -> String {
+        match self {
+            TrainingPolicy::Ssw => "SSW".into(),
+            TrainingPolicy::Css(c) => format!("CSS({})", c.num_probes()),
+            TrainingPolicy::CssBackup(b) => format!("CSS+bk({})", b.selection.num_probes()),
+        }
+    }
+
+    /// Probes per one-directional training sweep.
+    pub fn probes(&self, full_sweep_len: usize) -> usize {
+        match self {
+            TrainingPolicy::Ssw => full_sweep_len,
+            TrainingPolicy::Css(c) => c.num_probes().min(full_sweep_len),
+            TrainingPolicy::CssBackup(b) => b.selection.num_probes().min(full_sweep_len),
+        }
+    }
+
+    /// The armed backup sector, if this policy tracks one.
+    pub fn backup(&self) -> Option<SectorId> {
+        match self {
+            TrainingPolicy::CssBackup(b) => b.backup,
+            _ => None,
+        }
+    }
+
+    /// Airtime of one *mutual* training under the §4.1 timing model.
+    pub fn training_time(&self, full_sweep_len: usize) -> SimDuration {
+        mutual_training_time(self.probes(full_sweep_len))
+    }
+
+    /// Performs one training of `tx`'s sector over the link and returns
+    /// the selected sector.
+    pub fn train<R: Rng>(
+        &mut self,
+        rng: &mut R,
+        link: &Link,
+        tx: &Device,
+        rx: &Device,
+    ) -> Option<SectorId> {
+        let full = tx.codebook.sweep_order();
+        let probes = match self {
+            TrainingPolicy::Ssw => full,
+            TrainingPolicy::Css(c) => c.probe_sectors(&full),
+            TrainingPolicy::CssBackup(b) => b.selection.probe_sectors(&full),
+        };
+        let readings: Vec<SweepReading> = link.sweep(rng, tx, &probes, rx);
+        match self {
+            TrainingPolicy::Ssw => MaxSnrPolicy.select(&readings),
+            TrainingPolicy::Css(c) => c.select_from_readings(&readings),
+            TrainingPolicy::CssBackup(b) => {
+                let (primary, backup) = b.multipath.primary_and_backup(&readings);
+                b.backup = backup;
+                // Fall back to the plain pipeline when the multipath
+                // estimator found nothing.
+                primary.or_else(|| b.selection.select_from_readings(&readings))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chamber::{Campaign, CampaignConfig};
+    use geom::rng::sub_rng;
+    use talon_channel::Environment;
+
+    fn patterns() -> (SectorPatterns, Device, Device) {
+        let link = Link::new(Environment::anechoic(3.0));
+        let mut dut = Device::talon(70);
+        let peer = Device::talon(71);
+        let mut campaign = Campaign::new(CampaignConfig::coarse(), 70);
+        let mut rng = sub_rng(70, "policy-campaign");
+        let p = campaign.measure_tx_patterns(&mut rng, &link, &mut dut, &peer);
+        dut.orientation = talon_channel::Orientation::NEUTRAL;
+        (p, dut, peer)
+    }
+
+    #[test]
+    fn names_and_probe_counts() {
+        let (p, _, _) = patterns();
+        let ssw = TrainingPolicy::ssw();
+        let css = TrainingPolicy::css(p, 14, 1);
+        assert_eq!(ssw.name(), "SSW");
+        assert_eq!(css.name(), "CSS(14)");
+        assert_eq!(ssw.probes(34), 34);
+        assert_eq!(css.probes(34), 14);
+        assert!((ssw.training_time(34).as_ms() - 1.2731).abs() < 1e-9);
+        assert!((css.training_time(34).as_ms() - 0.5531).abs() < 1e-9);
+    }
+
+    #[test]
+    fn both_policies_select_reasonable_sectors() {
+        let (p, dut, peer) = patterns();
+        let link = Link::new(Environment::lab());
+        let rxw = peer.codebook.rx_sector().weights.clone();
+        let optimum = dut
+            .codebook
+            .sweep_order()
+            .into_iter()
+            .map(|s| link.true_snr_db(&dut, s, &peer, &rxw))
+            .fold(f64::NEG_INFINITY, f64::max);
+        let mut rng = sub_rng(71, "policy-train");
+        for mut pol in [TrainingPolicy::ssw(), TrainingPolicy::css(p.clone(), 14, 2)] {
+            let sel = pol.train(&mut rng, &link, &dut, &peer).expect("selects");
+            let snr = link.true_snr_db(&dut, sel, &peer, &rxw);
+            assert!(
+                optimum - snr < 4.0,
+                "{} selected {sel} at {snr:.1} dB vs optimum {optimum:.1}",
+                pol.name()
+            );
+        }
+    }
+}

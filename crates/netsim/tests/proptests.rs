@@ -1,0 +1,69 @@
+//! Property-based tests for the network-scale simulations.
+
+use geom::rng::sub_rng;
+use netsim::dense::{dense_deployment, DenseConfig};
+use netsim::policy::TrainingPolicy;
+use netsim::Room;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// One shared coarse pattern store (campaigns are the expensive part).
+fn patterns() -> &'static chamber::SectorPatterns {
+    static STORE: OnceLock<chamber::SectorPatterns> = OnceLock::new();
+    STORE.get_or_init(|| {
+        use talon_channel::{Device, Environment, Link};
+        let link = Link::new(Environment::anechoic(3.0));
+        let mut dut = Device::talon(7000);
+        let peer = Device::talon(7001);
+        let mut campaign = chamber::Campaign::new(chamber::CampaignConfig::coarse(), 7000);
+        let mut rng = sub_rng(7000, "netsim-prop-campaign");
+        campaign.measure_tx_patterns(&mut rng, &link, &mut dut, &peer)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn room_placement_invariants(n in 1usize..24, seed in 0u64..64) {
+        let mut rng = sub_rng(seed, "prop-room");
+        let room = Room::place(&mut rng, n, [10.0, 8.0], seed);
+        prop_assert_eq!(room.pairs.len(), n);
+        for p in &room.pairs {
+            for pos in [p.tx_pos, p.rx_pos] {
+                prop_assert!(pos[0] >= 0.0 && pos[0] <= 10.0);
+                prop_assert!(pos[1] >= 0.0 && pos[1] <= 8.0);
+            }
+        }
+        // SINR never exceeds SNR.
+        for l in room.sinr_matrix() {
+            prop_assert!(l.sinr_db <= l.snr_db + 1e-9);
+            prop_assert!(l.snr_db.is_finite());
+        }
+    }
+
+    #[test]
+    fn dense_airtime_is_monotone_in_pairs_and_bounded(
+        hz in 1.0f64..30.0,
+        seed in 0u64..16,
+    ) {
+        let config = DenseConfig {
+            pair_counts: vec![1, 4, 16],
+            tracking_hz: hz,
+            ..DenseConfig::default()
+        };
+        let res = dense_deployment(&config, patterns(), |_, _| TrainingPolicy::ssw(), seed);
+        let airtimes: Vec<f64> = res.rows.iter().map(|r| r.training_airtime).collect();
+        prop_assert!(airtimes.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+        prop_assert!(airtimes.iter().all(|&a| (0.0..=1.0).contains(&a)));
+        prop_assert!(res.rows.iter().all(|r| r.aggregate_gbps >= 0.0));
+    }
+
+    #[test]
+    fn css_airtime_is_always_cheaper(m in 2usize..34, seed in 0u64..8) {
+        let css = TrainingPolicy::css(patterns().clone(), m, seed);
+        let ssw = TrainingPolicy::ssw();
+        prop_assert!(css.training_time(34) < ssw.training_time(34));
+        prop_assert_eq!(css.probes(34), m);
+    }
+}

@@ -1,0 +1,44 @@
+//! QCA9500 / wil6210 firmware emulation with Nexmon-style patch hooks.
+//!
+//! The paper's implementation work (§3) is a firmware jailbreak: the Talon
+//! AD7200's Wi-Fi chip runs proprietary firmware on two ARC600 cores, and
+//! the authors (a) discovered that the write-protected code partitions are
+//! writable through their high-address mappings, (b) patched the ucode's
+//! sector sweep handler to export per-sector SNR/RSSI readings through a
+//! ring buffer, and (c) added a WMI command that overrides the sector ID
+//! written into SSW feedback fields.
+//!
+//! This crate emulates that environment faithfully enough that the rest of
+//! the workspace integrates with the *same interfaces* the paper built:
+//!
+//! * [`memmap`] — the dual-core memory layout of Fig. 1, including the
+//!   write-protection rules and high-address remapping that make patching
+//!   possible.
+//! * [`patch`] — applying Nexmon-style patches to the memory map (the
+//!   emulated equivalent of flashing a patched firmware image).
+//! * [`registers`] — the host-visible control/status register block
+//!   (interrupt cause/mask, sweep counters, doorbell).
+//! * [`ringbuf`] — the measurement ring buffer read from user space.
+//! * [`wmi`] — the Wireless Module Interface command set, extended with the
+//!   paper's sector-override command.
+//! * [`firmware`] — the sweep handler of Fig. 2 with the two patch hooks,
+//!   implementing [`mac80211ad::FeedbackPolicy`] so it plugs directly into
+//!   the SLS runner.
+//! * [`driver`] — a `wil6210`-driver-like user-space facade: operation
+//!   modes, WMI transport, ring-buffer reads and sweep event notifications.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod firmware;
+pub mod memmap;
+pub mod patch;
+pub mod registers;
+pub mod ringbuf;
+pub mod wmi;
+
+pub use driver::{DriverMode, Wil6210Driver};
+pub use firmware::Qca9500Firmware;
+pub use ringbuf::{RingBuffer, SweepEntry};
+pub use wmi::{WmiCommand, WmiError, WmiReply};

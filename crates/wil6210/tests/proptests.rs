@@ -1,0 +1,97 @@
+//! Property-based tests for the firmware emulation.
+
+use proptest::prelude::*;
+use wil6210::memmap::{MemError, MemoryMap, Region};
+use wil6210::registers::{offsets, CsrBlock};
+use wil6210::ringbuf::{RingBuffer, SweepEntry};
+use talon_array::SectorId;
+
+proptest! {
+    #[test]
+    fn every_mapped_address_resolves_consistently(
+        region_idx in 0usize..4,
+        offset_frac in 0.0f64..1.0,
+        via_high in any::<bool>(),
+    ) {
+        let region = Region::ALL[region_idx];
+        let offset = (offset_frac * (region.size() - 1) as f64) as u32;
+        let base = if via_high { region.high_base() } else { region.low_base() };
+        let m = MemoryMap::new();
+        let (r, off, high) = m.resolve(base + offset).unwrap();
+        prop_assert_eq!(r, region);
+        prop_assert_eq!(off, offset);
+        prop_assert_eq!(high, via_high);
+    }
+
+    #[test]
+    fn data_written_high_reads_back_low(
+        region_idx in 0usize..4,
+        data in prop::collection::vec(any::<u8>(), 1..32),
+        offset_frac in 0.0f64..0.9,
+    ) {
+        let region = Region::ALL[region_idx];
+        let max_off = region.size() as usize - data.len();
+        let offset = (offset_frac * max_off as f64) as u32;
+        let mut m = MemoryMap::new();
+        // High writes always succeed.
+        m.write(region.high_base() + offset, &data).unwrap();
+        let mut buf = vec![0u8; data.len()];
+        m.read(region.low_base() + offset, &mut buf).unwrap();
+        prop_assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn low_code_writes_always_fail(
+        offset_frac in 0.0f64..0.9,
+        data in prop::collection::vec(any::<u8>(), 1..16),
+        code_region in prop::sample::select(vec![Region::UcodeCode, Region::FirmwareCode]),
+    ) {
+        let max_off = code_region.size() as usize - data.len();
+        let offset = (offset_frac * max_off as f64) as u32;
+        let mut m = MemoryMap::new();
+        prop_assert!(matches!(
+            m.write(code_region.low_base() + offset, &data),
+            Err(MemError::WriteProtected(_))
+        ));
+    }
+
+    #[test]
+    fn ring_buffer_keeps_the_newest_entries(
+        capacity in 1usize..64,
+        pushes in 1usize..200,
+    ) {
+        let rb = RingBuffer::new(capacity);
+        for i in 0..pushes {
+            rb.push(SweepEntry {
+                sweep_id: i as u64,
+                sector: SectorId((i % 34 + 1) as u8),
+                snr_db: 0.0,
+                rssi_dbm: -60.0,
+            });
+        }
+        let out = rb.drain();
+        prop_assert_eq!(out.len(), pushes.min(capacity));
+        // FIFO over the surviving window: strictly increasing sweep ids
+        // ending at the last push.
+        prop_assert!(out.windows(2).all(|w| w[0].sweep_id + 1 == w[1].sweep_id));
+        prop_assert_eq!(out.last().unwrap().sweep_id, pushes as u64 - 1);
+        prop_assert_eq!(rb.overwritten(), pushes.saturating_sub(capacity) as u64);
+    }
+
+    #[test]
+    fn csr_mask_and_cause_interact_correctly(
+        cause_bits in 0u32..4,
+        mask_bits in 0u32..4,
+    ) {
+        let csr = CsrBlock::new();
+        csr.write(offsets::INT_MASK, mask_bits).unwrap();
+        if cause_bits != 0 {
+            csr.fw_sweep_complete(1, 1, cause_bits & 2 != 0);
+        }
+        let effective = csr.read(offsets::INT_CAUSE).unwrap() & !mask_bits;
+        prop_assert_eq!(csr.irq_asserted(), effective != 0);
+        // Clearing everything always deasserts.
+        csr.write(offsets::INT_CAUSE, u32::MAX).unwrap();
+        prop_assert!(!csr.irq_asserted());
+    }
+}

@@ -1,0 +1,100 @@
+//! Dense deployments and blockage tracking — the §7 discussion, simulated.
+//!
+//! Part 1 sweeps the number of concurrently active node pairs in one room
+//! and shows how the stock sweep's training airtime strangles the shared
+//! channel while CSS keeps scaling ("each sector sweep … pollutes the
+//! whole mm-wave channel in all directions").
+//!
+//! Part 2 gives both policies the same training airtime budget on a
+//! rotating, occasionally blocked link: CSS converts its 2.3× cheaper
+//! sweeps into 2.3× fresher selections ("the shorter the sweeping time,
+//! the more often a sweep can be performed").
+//!
+//! ```text
+//! cargo run --release --example dense_room
+//! ```
+
+use eval::extensions::{dense_comparison, tracking_comparison};
+use geom::rng::sub_rng;
+use netsim::dense::DenseConfig;
+use netsim::tracking::TrackingConfig;
+use talon_channel::{Device, Environment, Link};
+
+fn main() {
+    let seed = 3;
+    println!("building devices and measuring patterns …");
+    // A mid-resolution chamber campaign: fine enough that CSS's selection
+    // quality matches the stock sweep's (see EXPERIMENTS.md), fast enough
+    // for an example.
+    let chamber_link = Link::new(Environment::anechoic(3.0));
+    let mut dut = Device::talon(seed);
+    let peer = Device::talon(seed + 1);
+    let cfg = chamber::CampaignConfig {
+        grid: geom::sphere::SphericalGrid::new(
+            geom::sphere::GridSpec::new(-90.0, 90.0, 3.0),
+            geom::sphere::GridSpec::new(0.0, 30.0, 6.0),
+        ),
+        sweeps_per_position: 8,
+        ..chamber::CampaignConfig::coarse()
+    };
+    let mut campaign = chamber::Campaign::new(cfg, seed);
+    let mut rng = sub_rng(seed, "dense-room-campaign");
+    let patterns = campaign.measure_tx_patterns(&mut rng, &chamber_link, &mut dut, &peer);
+
+    // --- Part 1: dense deployment -----------------------------------
+    let cfg = DenseConfig::default();
+    let (ssw, css) = dense_comparison(&cfg, &patterns, 14, seed);
+    println!("\npairs | SSW airtime  aggregate | CSS airtime  aggregate");
+    println!("------+------------------------+-----------------------");
+    for (a, b) in ssw.rows.iter().zip(&css.rows) {
+        println!(
+            "{:>5} | {:>10.1}%  {:>6.2} Gbps | {:>10.1}%  {:>6.2} Gbps",
+            a.pairs,
+            100.0 * a.training_airtime,
+            a.aggregate_gbps,
+            100.0 * b.training_airtime,
+            b.aggregate_gbps,
+        );
+    }
+    println!(
+        "(each pair re-trains {} times per second; sweeps block the whole channel)",
+        cfg.tracking_hz
+    );
+
+    // --- Part 2: tracking at equal airtime --------------------------
+    // One run is noisy (random blockage, random probe subsets); average a
+    // few independent realizations.
+    let cfg = TrackingConfig::default();
+    let runs = 5;
+    let mut agg: Vec<(String, f64, f64, f64, usize, f64)> = Vec::new();
+    for r in 0..runs {
+        let (ssw, css) = tracking_comparison(&cfg, &patterns, 14, seed + 100 * r);
+        for (i, res) in [ssw, css].into_iter().enumerate() {
+            if agg.len() <= i {
+                agg.push((res.policy.clone(), 0.0, 0.0, 0.0, 0, res.train_interval_s));
+            }
+            agg[i].1 += res.mean_gbps / runs as f64;
+            agg[i].2 += res.outage_fraction / runs as f64;
+            agg[i].3 += res.mean_rate_gap_gbps / runs as f64;
+            agg[i].4 += res.trainings / runs as usize;
+        }
+    }
+    println!(
+        "\ntracking a {}°/s rotation with {:.1}% training airtime, blockage {:.1}/s ({} runs):",
+        cfg.rotation_deg_per_s,
+        100.0 * cfg.training_budget,
+        cfg.blockage.rate_per_s,
+        runs,
+    );
+    for (name, gbps, outage, gap, trainings, interval) in &agg {
+        println!(
+            "  {:>7}: {:>3} trainings (every {:>4.0} ms) → mean {:.2} Gbps, outage {:>4.1}%, staleness gap {:.2} Gbps",
+            name,
+            trainings,
+            1000.0 * interval,
+            gbps,
+            100.0 * outage,
+            gap,
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! Mobility tracking with adaptive probe control — the paper's §7 outlook.
+//!
+//! A device first sits still, then starts rotating (a user walking with a
+//! laptop), then stops again. The adaptive controller shrinks the probe
+//! budget while the scene is static and snaps it back up when the selected
+//! sector starts changing — "in static scenarios, few probes are
+//! sufficient to validate the current antenna settings; whenever a node
+//! starts moving, the number of probes may increase" (§7).
+//!
+//! ```text
+//! cargo run --release --example mobility_tracking
+//! ```
+
+use css::adaptive::{AdaptiveConfig, AdaptiveCss};
+use css::selection::{CompressiveSelection, CssConfig};
+use geom::rng::sub_rng;
+use mac80211ad::sls::FeedbackPolicy;
+use mac80211ad::timing::mutual_training_time;
+use talon_channel::{Device, Environment, Link, Orientation};
+
+fn main() {
+    let seed = 5;
+    let mut dut = Device::talon(seed);
+    let peer = Device::talon(seed + 1);
+
+    // Measure patterns once.
+    let chamber_link = Link::new(Environment::anechoic(3.0));
+    let mut campaign = chamber::Campaign::new(chamber::CampaignConfig::coarse(), seed);
+    let mut rng = sub_rng(seed, "mobility-campaign");
+    let patterns = campaign.measure_tx_patterns(&mut rng, &chamber_link, &mut dut, &peer);
+
+    let css = CompressiveSelection::new(patterns, CssConfig::paper_default(), seed);
+    let mut adaptive = AdaptiveCss::new(css, AdaptiveConfig::default());
+
+    let link = Link::new(Environment::lab());
+    let mut rng = sub_rng(seed, "mobility-sweeps");
+    let sweep_order = dut.codebook.sweep_order();
+
+    // Trajectory: static at -30°, rotate to +30° in 4°/sweep steps, static.
+    let mut trajectory: Vec<f64> = vec![-30.0; 8];
+    let mut az = -30.0;
+    while az < 30.0 {
+        az += 4.0;
+        trajectory.push(az);
+    }
+    trajectory.extend(std::iter::repeat_n(30.0, 8));
+
+    println!("sweep |  yaw° | probes | time ms | selected");
+    println!("------+-------+--------+---------+---------");
+    let mut total_time_ms = 0.0;
+    for (i, &yaw) in trajectory.iter().enumerate() {
+        dut.orientation = Orientation::new(yaw, 0.0);
+        // One training: the DUT sweeps the adaptive subset, the peer's
+        // readings drive the selection.
+        let probes = adaptive.probe_sectors(&sweep_order);
+        let readings = link.sweep(&mut rng, &dut, &probes, &peer);
+        let selected = adaptive.select(&readings);
+        let t = mutual_training_time(probes.len()).as_ms();
+        total_time_ms += t;
+        println!(
+            "{i:>5} | {yaw:>5.0} | {:>6} | {t:>7.3} | {}",
+            probes.len(),
+            selected.map(|s| s.to_string()).unwrap_or_else(|| "-".into())
+        );
+    }
+    let fixed_time = mutual_training_time(34).as_ms() * trajectory.len() as f64;
+    println!(
+        "\ntotal training time: {total_time_ms:.1} ms (full sweeps would take {fixed_time:.1} ms — {:.1}x more)",
+        fixed_time / total_time_ms
+    );
+}

@@ -1,0 +1,101 @@
+//! Offline re-analysis — the paper's §6.1 MATLAB workflow.
+//!
+//! The paper records full sweeps on the devices and replays them offline,
+//! "consider[ing] a variable number of random measurements in each sweep".
+//! This example does the same round trip through files: record once,
+//! archive dataset and patterns to disk, reload, and sweep the probe count
+//! — then re-analyse the *same* recording with the designed low-coherence
+//! probing set (§7) without touching a device again.
+//!
+//! ```text
+//! cargo run --release --example offline_reanalysis
+//! ```
+
+use eval::scenario::{EvalScenario, Fidelity};
+use eval::snr_loss::snr_loss;
+use eval::stability::selection_stability;
+
+fn main() {
+    let seed = 8;
+    let dir = std::env::temp_dir().join("talon-offline-reanalysis");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let dataset_path = dir.join("conference.dataset");
+    let patterns_path = dir.join("talon.patterns");
+
+    // --- Day 1: record in the conference room and archive everything.
+    println!("recording sweeps in the conference room …");
+    let mut scenario = EvalScenario::conference_room(Fidelity::Fast, seed);
+    scenario.sweeps_per_position = 10;
+    let data = scenario.record(seed);
+    eval::dataset_io::save(&data, &dataset_path).expect("save dataset");
+    scenario.patterns.save(&patterns_path).expect("save patterns");
+    println!(
+        "archived {} positions x {} sweeps to {}",
+        data.positions.len(),
+        data.positions[0].sweeps.len(),
+        dataset_path.display()
+    );
+
+    // --- Day 2: reload and re-analyse with different probe counts.
+    let data = eval::dataset_io::load(&dataset_path)
+        .expect("read dataset")
+        .expect("parse dataset");
+    let patterns = chamber::SectorPatterns::load(&patterns_path)
+        .expect("read patterns")
+        .expect("parse patterns");
+    let ms = [6, 10, 14, 20, 34];
+    let stab = selection_stability(&data, &patterns, &ms, seed);
+    let loss = snr_loss(&data, &patterns, &ms, seed);
+    println!("\nuniform random probing (the paper's default):");
+    println!("    M | stability | loss dB   (SSW: {:.3} / {:.2} dB)", stab.ssw_stability, loss.ssw_loss_db);
+    for ((m, s), (_, l)) in stab.css.iter().zip(&loss.css) {
+        println!("  {m:>3} | {s:>9.3} | {l:>7.2}");
+    }
+
+    // --- Same recording, designed probing set (§7's suggestion).
+    let design = css::strategy::design_low_coherence(&patterns);
+    println!("\nlow-coherence designed probing (first 8 sectors of the design):");
+    println!(
+        "  {:?}",
+        design.iter().take(8).map(|s| s.raw()).collect::<Vec<_>>()
+    );
+    use css::selection::{CompressiveSelection, CssConfig};
+    use css::strategy::ProbeStrategy;
+    use geom::rng::sub_rng;
+    use rand::Rng;
+    let mut rng = sub_rng(seed, "offline-designed");
+    for m in [6usize, 10, 14] {
+        let mut css = CompressiveSelection::new(
+            patterns.clone(),
+            CssConfig {
+                num_probes: m,
+                strategy: ProbeStrategy::LowCoherence(design.clone()),
+                ..CssConfig::paper_default()
+            },
+            seed,
+        );
+        let mut losses = Vec::new();
+        for pos in &data.positions {
+            let (_, opt) = pos.optimal();
+            for sweep in &pos.sweeps {
+                let probes = css.draw_probes();
+                let subset: Vec<_> = sweep
+                    .iter()
+                    .filter(|r| probes.contains(&r.sector))
+                    .copied()
+                    .collect();
+                let _ = rng.gen::<u32>();
+                if let Some(sel) = css.select_from_readings(&subset) {
+                    if let Some(snr) = pos.true_snr_of(sel) {
+                        losses.push(opt - snr);
+                    }
+                }
+            }
+        }
+        println!(
+            "  M={m:>2}: loss {:.2} dB",
+            geom::stats::mean(&losses).unwrap_or(f64::NAN)
+        );
+    }
+    println!("\n(same recording, zero additional air time — the point of offline analysis)");
+}

@@ -1,0 +1,110 @@
+//! Quickstart: compressive sector selection end to end.
+//!
+//! Builds two Talon-like devices, measures the rotating device's sector
+//! patterns in a simulated anechoic chamber, then runs the stock sector
+//! sweep and the compressive selection side by side over a conference-room
+//! link and prints what each one chose and how long each training took.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use css::selection::{CompressiveSelection, CssConfig};
+use geom::rng::sub_rng;
+use mac80211ad::sls::{FeedbackPolicy, MaxSnrPolicy, SlsRunner};
+use talon_array::SectorId;
+use talon_channel::{Device, Environment, Link, Orientation, SweepReading};
+
+/// Initiator-side policy for the CSS run: probe a compressive subset of our
+/// own sectors, select the peer's sector with the plain argmax (selecting
+/// the peer compressively would need the peer's pattern database).
+struct CssInitiator<'a>(&'a mut CompressiveSelection);
+
+impl FeedbackPolicy for CssInitiator<'_> {
+    fn probe_sectors(&mut self, full_sweep: &[SectorId]) -> Vec<SectorId> {
+        self.0.probe_sectors(full_sweep)
+    }
+    fn select(&mut self, readings: &[SweepReading]) -> Option<SectorId> {
+        MaxSnrPolicy.select(readings)
+    }
+}
+
+fn main() {
+    let seed = 2017;
+
+    // Two off-the-shelf devices.
+    let mut dut = Device::talon(seed);
+    let peer = Device::talon(seed + 1);
+
+    // Step 1 — measure the DUT's sector patterns in the anechoic chamber
+    // (the paper's §4 campaign; done once per device model).
+    println!("measuring sector patterns in the anechoic chamber …");
+    let chamber_link = Link::new(Environment::anechoic(3.0));
+    let campaign_cfg = chamber::CampaignConfig {
+        grid: geom::sphere::SphericalGrid::new(
+            geom::sphere::GridSpec::new(-90.0, 90.0, 3.0),
+            geom::sphere::GridSpec::new(0.0, 30.0, 6.0),
+        ),
+        sweeps_per_position: 8,
+        ..chamber::CampaignConfig::coarse()
+    };
+    let mut campaign = chamber::Campaign::new(campaign_cfg, seed);
+    let mut rng = sub_rng(seed, "quickstart-campaign");
+    let patterns = campaign.measure_tx_patterns(&mut rng, &chamber_link, &mut dut, &peer);
+    println!(
+        "  {} sectors measured on a {} point grid",
+        patterns.len(),
+        patterns.grid().len()
+    );
+
+    // Step 2 — deploy in the conference room, rotated 25° off boresight.
+    dut.orientation = Orientation::new(-25.0, 0.0);
+    let link = Link::new(Environment::conference_room());
+    let runner = SlsRunner::new(&link, &dut, &peer);
+    let mut rng = sub_rng(seed, "quickstart-sls");
+
+    // Step 3 — stock sector sweep (Eq. 1: probe all 34, take the max).
+    let ssw = runner.run(&mut rng, &mut MaxSnrPolicy, &mut MaxSnrPolicy);
+    println!(
+        "stock sweep     : sector {} after {:>5.2} ms ({} probes each way)",
+        ssw.initiator_tx_sector.expect("SSW selects"),
+        ssw.duration.as_ms(),
+        ssw.iss_readings.len(),
+    );
+
+    // Step 4 — compressive selection with 14 of 34 probes. The DUT probes
+    // a random subset of its sectors; the peer estimates the path direction
+    // from what it received (Eqs. 2/3/5) and feeds back the best DUT sector
+    // in that direction (Eq. 4) — in the real system through the patched
+    // firmware's WMI override.
+    let mut dut_css = CompressiveSelection::new(patterns.clone(), CssConfig::paper_default(), seed);
+    let mut peer_css = CompressiveSelection::new(patterns, CssConfig::paper_default(), seed + 1);
+    let css = runner.run(&mut rng, &mut CssInitiator(&mut dut_css), &mut peer_css);
+    println!(
+        "compressive css: sector {} after {:>5.2} ms ({} probes each way, {:.1}x faster)",
+        css.initiator_tx_sector.expect("CSS peer feedback"),
+        css.duration.as_ms(),
+        css.iss_readings.len(),
+        ssw.duration.as_ms() / css.duration.as_ms(),
+    );
+    if let Some((dir, score)) = peer_css.last_estimate {
+        println!("                  estimated departure direction at the DUT: {dir} (correlation {score:.2})");
+        println!("                  ground truth: (az 25.00°, el 0.00°) — the DUT is rotated by -25°");
+    }
+
+    // Step 5 — score both selections against the noise-free optimum.
+    let rxw = peer.codebook.rx_sector().weights.clone();
+    let snr_of = |sel: SectorId| link.true_snr_db(&dut, sel, &peer, &rxw);
+    let best = dut
+        .codebook
+        .sweep_order()
+        .into_iter()
+        .map(snr_of)
+        .fold(f64::NEG_INFINITY, f64::max);
+    println!("true SNR — optimum: {best:.1} dB");
+    println!(
+        "          SSW pick: {:.1} dB, CSS pick: {:.1} dB",
+        snr_of(ssw.initiator_tx_sector.unwrap()),
+        snr_of(css.initiator_tx_sector.unwrap()),
+    );
+}

@@ -1,0 +1,284 @@
+//! `talon` — command-line front end to the workspace.
+//!
+//! Mirrors the workflow of the paper's talon-tools: measure patterns once,
+//! record sweep datasets, re-analyse them offline, and run individual
+//! trainings.
+//!
+//! ```text
+//! talon campaign  --out patterns.txt [--scan azimuth|3d|coarse] [--seed N]
+//! talon record    --scenario lab|conference --out dataset.txt [--seed N] [--paper]
+//! talon analyze   --dataset dataset.txt --patterns patterns.txt [--probes 14,20]
+//! talon sls       --scenario lab|conference --policy ssw|css [--probes 14] [--yaw DEG]
+//! talon brd       --out codebook.brd [--seed N] | --check codebook.brd
+//! ```
+
+use chamber::{Campaign, CampaignConfig, SectorPatterns};
+use css::selection::{CompressiveSelection, CssConfig};
+use eval::scenario::{EvalScenario, Fidelity};
+use geom::rng::sub_rng;
+use mac80211ad::sls::{FeedbackPolicy, MaxSnrPolicy, SlsRunner};
+use std::collections::HashMap;
+use std::path::Path;
+use std::process::ExitCode;
+use talon_channel::{Device, Environment, Link, Orientation};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let opts = parse_opts(&args[1..]);
+    let result = match cmd.as_str() {
+        "campaign" => cmd_campaign(&opts),
+        "record" => cmd_record(&opts),
+        "analyze" => cmd_analyze(&opts),
+        "sls" => cmd_sls(&opts),
+        "brd" => cmd_brd(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "talon — compressive sector selection toolkit
+
+commands:
+  campaign  --out <file> [--scan azimuth|3d|coarse] [--seed N]
+  record    --scenario lab|conference --out <file> [--seed N] [--paper]
+  analyze   --dataset <file> --patterns <file> [--probes 14,20] [--seed N]
+  sls       --scenario lab|conference --policy ssw|css [--probes 14] [--yaw DEG] [--seed N]
+  brd       --out <file> [--seed N]  |  --check <file>";
+
+fn parse_opts(args: &[String]) -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            let value = args
+                .get(i + 1)
+                .filter(|v| !v.starts_with("--"))
+                .cloned()
+                .unwrap_or_else(|| "true".into());
+            let step = if value == "true" && args.get(i + 1).map(|v| v.starts_with("--")).unwrap_or(true) {
+                1
+            } else {
+                2
+            };
+            out.insert(key.to_string(), value);
+            i += step;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+fn seed_of(opts: &HashMap<String, String>) -> u64 {
+    opts.get("seed").and_then(|s| s.parse().ok()).unwrap_or(42)
+}
+
+fn cmd_campaign(opts: &HashMap<String, String>) -> Result<(), String> {
+    let out = opts.get("out").ok_or("campaign needs --out <file>")?;
+    let seed = seed_of(opts);
+    let cfg = match opts.get("scan").map(String::as_str) {
+        Some("azimuth") => CampaignConfig::paper_azimuth_scan(),
+        Some("3d") | None => CampaignConfig::paper_3d_scan(),
+        Some("coarse") => CampaignConfig::coarse(),
+        Some(other) => return Err(format!("unknown scan `{other}`")),
+    };
+    eprintln!(
+        "measuring 34 sectors over a {}x{} grid ({} sweeps/position)…",
+        cfg.grid.az.len(),
+        cfg.grid.el.len(),
+        cfg.sweeps_per_position
+    );
+    let link = Link::new(Environment::anechoic(3.0));
+    let mut dut = Device::talon(seed);
+    let fixed = Device::talon(seed + 1);
+    let mut campaign = Campaign::new(cfg, seed);
+    let mut rng = sub_rng(seed, "cli-campaign");
+    let patterns = campaign.measure_tx_patterns(&mut rng, &link, &mut dut, &fixed);
+    patterns
+        .save(Path::new(out))
+        .map_err(|e| format!("writing {out}: {e}"))?;
+    eprintln!("wrote {} sector patterns to {out}", patterns.len());
+    Ok(())
+}
+
+fn scenario_of(opts: &HashMap<String, String>, seed: u64) -> Result<EvalScenario, String> {
+    let fidelity = if opts.contains_key("paper") {
+        Fidelity::Paper
+    } else {
+        Fidelity::Fast
+    };
+    match opts.get("scenario").map(String::as_str) {
+        Some("lab") => Ok(EvalScenario::lab(fidelity, seed)),
+        Some("conference") | None => Ok(EvalScenario::conference_room(fidelity, seed)),
+        Some(other) => Err(format!("unknown scenario `{other}`")),
+    }
+}
+
+fn cmd_record(opts: &HashMap<String, String>) -> Result<(), String> {
+    let out = opts.get("out").ok_or("record needs --out <file>")?;
+    let seed = seed_of(opts);
+    let mut scenario = scenario_of(opts, seed)?;
+    eprintln!(
+        "recording {} positions x {} sweeps in {}…",
+        scenario.eval_grid.len(),
+        scenario.sweeps_per_position,
+        scenario.name
+    );
+    let data = scenario.record(seed);
+    eval::dataset_io::save(&data, Path::new(out)).map_err(|e| format!("writing {out}: {e}"))?;
+    if let Some(pat_out) = opts.get("patterns-out") {
+        scenario
+            .patterns
+            .save(Path::new(pat_out))
+            .map_err(|e| format!("writing {pat_out}: {e}"))?;
+        eprintln!("wrote matching pattern store to {pat_out}");
+    }
+    eprintln!("wrote dataset ({} positions) to {out}", data.positions.len());
+    Ok(())
+}
+
+fn cmd_analyze(opts: &HashMap<String, String>) -> Result<(), String> {
+    let dataset_path = opts.get("dataset").ok_or("analyze needs --dataset <file>")?;
+    let patterns_path = opts.get("patterns").ok_or("analyze needs --patterns <file>")?;
+    let seed = seed_of(opts);
+    let data = eval::dataset_io::load(Path::new(dataset_path))
+        .map_err(|e| format!("reading {dataset_path}: {e}"))?
+        .map_err(|e| format!("parsing {dataset_path}: {e}"))?;
+    let patterns = SectorPatterns::load(Path::new(patterns_path))
+        .map_err(|e| format!("reading {patterns_path}: {e}"))?
+        .map_err(|e| format!("parsing {patterns_path}: {e}"))?;
+    let probes: Vec<usize> = match opts.get("probes") {
+        Some(spec) => spec
+            .split(',')
+            .map(|t| t.trim().parse().map_err(|_| format!("bad probe count `{t}`")))
+            .collect::<Result<_, _>>()?,
+        None => vec![6, 10, 14, 20, 34],
+    };
+    let stab = eval::stability::selection_stability(&data, &patterns, &probes, seed);
+    let loss = eval::snr_loss::snr_loss(&data, &patterns, &probes, seed);
+    let rows: Vec<Vec<String>> = stab
+        .css
+        .iter()
+        .zip(&loss.css)
+        .map(|(&(m, s), &(_, l))| {
+            vec![
+                m.to_string(),
+                format!("{s:.3}"),
+                format!("{:.3}", stab.ssw_stability),
+                format!("{l:.2}"),
+                format!("{:.2}", loss.ssw_loss_db),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        eval::ascii::table(
+            &["M", "CSS stability", "SSW stability", "CSS loss dB", "SSW loss dB"],
+            &rows
+        )
+    );
+    Ok(())
+}
+
+fn cmd_sls(opts: &HashMap<String, String>) -> Result<(), String> {
+    let seed = seed_of(opts);
+    let yaw: f64 = opts
+        .get("yaw")
+        .map(|s| s.parse().map_err(|_| "bad --yaw"))
+        .transpose()?
+        .unwrap_or(-25.0);
+    let probes: usize = opts
+        .get("probes")
+        .map(|s| s.parse().map_err(|_| "bad --probes"))
+        .transpose()?
+        .unwrap_or(14);
+    let scenario = scenario_of(opts, seed)?;
+    let mut dut = scenario.dut.clone();
+    dut.orientation = Orientation::new(yaw, 0.0);
+    let runner = SlsRunner::new(&scenario.link, &dut, &scenario.fixed);
+    let mut rng = sub_rng(seed, "cli-sls");
+    let outcome = match opts.get("policy").map(String::as_str) {
+        Some("ssw") | None => runner.run(&mut rng, &mut MaxSnrPolicy, &mut MaxSnrPolicy),
+        Some("css") => {
+            struct ProbeOnly<'a>(&'a mut CompressiveSelection);
+            impl FeedbackPolicy for ProbeOnly<'_> {
+                fn probe_sectors(
+                    &mut self,
+                    full: &[talon_array::SectorId],
+                ) -> Vec<talon_array::SectorId> {
+                    self.0.probe_sectors(full)
+                }
+                fn select(
+                    &mut self,
+                    readings: &[talon_channel::SweepReading],
+                ) -> Option<talon_array::SectorId> {
+                    MaxSnrPolicy.select(readings)
+                }
+            }
+            let mut dut_side = CompressiveSelection::new(
+                scenario.patterns.clone(),
+                CssConfig {
+                    num_probes: probes,
+                    ..CssConfig::paper_default()
+                },
+                seed,
+            );
+            let mut peer_side = CompressiveSelection::new(
+                scenario.patterns.clone(),
+                CssConfig {
+                    num_probes: probes,
+                    ..CssConfig::paper_default()
+                },
+                seed + 1,
+            );
+            runner.run(&mut rng, &mut ProbeOnly(&mut dut_side), &mut peer_side)
+        }
+        Some(other) => return Err(format!("unknown policy `{other}`")),
+    };
+    let rxw = scenario.fixed.codebook.rx_sector().weights.clone();
+    let snr = outcome
+        .initiator_tx_sector
+        .map(|s| scenario.link.true_snr_db(&dut, s, &scenario.fixed, &rxw));
+    println!(
+        "selected sector {:?} in {:.3} ms ({} probes); true SNR {:.1} dB",
+        outcome.initiator_tx_sector.map(|s| s.raw()),
+        outcome.duration.as_ms(),
+        outcome.iss_readings.len(),
+        snr.unwrap_or(f64::NAN),
+    );
+    Ok(())
+}
+
+fn cmd_brd(opts: &HashMap<String, String>) -> Result<(), String> {
+    if let Some(path) = opts.get("check") {
+        let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let cb = talon_array::brd::from_brd(&bytes).map_err(|e| format!("parsing {path}: {e}"))?;
+        println!(
+            "{path}: valid board file, {} sectors ({} transmit)",
+            cb.sectors().len(),
+            cb.num_tx_sectors()
+        );
+        return Ok(());
+    }
+    let out = opts.get("out").ok_or("brd needs --out <file> or --check <file>")?;
+    let seed = seed_of(opts);
+    let device = Device::talon(seed);
+    let bytes = talon_array::brd::to_brd(&device.codebook);
+    std::fs::write(out, &bytes).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote {} bytes ({} sectors) to {out}", bytes.len(), device.codebook.sectors().len());
+    Ok(())
+}

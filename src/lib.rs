@@ -1,0 +1,11 @@
+//! Umbrella crate re-exporting the workspace members for examples and
+//! integration tests. See the individual crates for documentation.
+pub use chamber;
+pub use css;
+pub use eval;
+pub use geom;
+pub use mac80211ad;
+pub use netsim;
+pub use talon_array;
+pub use talon_channel;
+pub use wil6210;

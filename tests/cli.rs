@@ -1,0 +1,103 @@
+//! End-to-end test of the `talon` CLI binary: the measure → record →
+//! re-analyse workflow through actual process invocations and files.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn talon() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_talon"))
+}
+
+fn workdir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("talon-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn full_cli_workflow() {
+    let dir = workdir();
+    let patterns = dir.join("patterns.txt");
+    let dataset = dir.join("dataset.txt");
+    let brd = dir.join("codebook.brd");
+
+    // campaign: measure coarse patterns.
+    let out = talon()
+        .args(["campaign", "--out", patterns.to_str().unwrap(), "--scan", "coarse"])
+        .output()
+        .expect("run campaign");
+    assert!(out.status.success(), "campaign: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(patterns.exists());
+
+    // record: conference-room dataset with matching patterns.
+    let out = talon()
+        .args([
+            "record",
+            "--scenario",
+            "conference",
+            "--out",
+            dataset.to_str().unwrap(),
+            "--patterns-out",
+            patterns.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run record");
+    assert!(out.status.success(), "record: {}", String::from_utf8_lossy(&out.stderr));
+
+    // analyze: offline re-analysis must print the comparison table.
+    let out = talon()
+        .args([
+            "analyze",
+            "--dataset",
+            dataset.to_str().unwrap(),
+            "--patterns",
+            patterns.to_str().unwrap(),
+            "--probes",
+            "8,14",
+        ])
+        .output()
+        .expect("run analyze");
+    assert!(out.status.success(), "analyze: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("CSS stability"), "table printed: {stdout}");
+    assert!(stdout.contains("14"), "requested probe row present");
+
+    // sls: one compressive training.
+    let out = talon()
+        .args(["sls", "--scenario", "lab", "--policy", "css", "--yaw", "20"])
+        .output()
+        .expect("run sls");
+    assert!(out.status.success(), "sls: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("selected sector"), "{stdout}");
+    assert!(stdout.contains("0.553 ms"), "compressive timing: {stdout}");
+
+    // brd: export + verify.
+    let out = talon()
+        .args(["brd", "--out", brd.to_str().unwrap()])
+        .output()
+        .expect("run brd export");
+    assert!(out.status.success());
+    let out = talon()
+        .args(["brd", "--check", brd.to_str().unwrap()])
+        .output()
+        .expect("run brd check");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("valid board file"));
+
+    // A corrupted board file must fail the check.
+    let mut bytes = std::fs::read(&brd).unwrap();
+    bytes[30] ^= 0xFF;
+    std::fs::write(&brd, bytes).unwrap();
+    let out = talon()
+        .args(["brd", "--check", brd.to_str().unwrap()])
+        .output()
+        .expect("run brd check on corrupt file");
+    assert!(!out.status.success(), "corrupt board file rejected");
+
+    // Unknown command exits non-zero with usage.
+    let out = talon().args(["bogus"]).output().expect("run bogus");
+    assert!(!out.status.success());
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,174 @@
+//! Cross-crate integration: the full paper pipeline from chamber campaign
+//! to in-protocol compressive selection.
+
+use css::selection::{CompressiveSelection, CssConfig};
+use geom::rng::sub_rng;
+use mac80211ad::sls::{FeedbackPolicy, MaxSnrPolicy, SlsRunner};
+use talon_channel::{Device, Environment, Link, Orientation};
+
+/// Measures patterns once and reuses them across assertions.
+fn measured_setup(seed: u64) -> (chamber::SectorPatterns, Device, Device) {
+    let chamber_link = Link::new(Environment::anechoic(3.0));
+    let mut dut = Device::talon(seed);
+    let peer = Device::talon(seed + 1);
+    let cfg = chamber::CampaignConfig {
+        grid: geom::sphere::SphericalGrid::new(
+            geom::sphere::GridSpec::new(-90.0, 90.0, 4.5),
+            geom::sphere::GridSpec::new(0.0, 30.0, 7.5),
+        ),
+        sweeps_per_position: 6,
+        ..chamber::CampaignConfig::coarse()
+    };
+    let mut campaign = chamber::Campaign::new(cfg, seed);
+    let mut rng = sub_rng(seed, "e2e-campaign");
+    let patterns = campaign.measure_tx_patterns(&mut rng, &chamber_link, &mut dut, &peer);
+    dut.orientation = Orientation::NEUTRAL;
+    (patterns, dut, peer)
+}
+
+#[test]
+fn css_matches_ssw_quality_at_2_3x_speedup() {
+    let (patterns, mut dut, peer) = measured_setup(900);
+    dut.orientation = Orientation::new(-20.0, 0.0);
+    let link = Link::new(Environment::conference_room());
+    let runner = SlsRunner::new(&link, &dut, &peer);
+    let rxw = peer.codebook.rx_sector().weights.clone();
+    let optimum = dut
+        .codebook
+        .sweep_order()
+        .into_iter()
+        .map(|s| link.true_snr_db(&dut, s, &peer, &rxw))
+        .fold(f64::NEG_INFINITY, f64::max);
+
+    // Run several trainings of each kind and compare average quality.
+    let mut rng = sub_rng(900, "e2e-sls");
+    let mut ssw_losses = Vec::new();
+    let mut css_losses = Vec::new();
+    let mut css_time_ms = 0.0;
+    let mut ssw_time_ms = 0.0;
+    for i in 0..6 {
+        let out = runner.run(&mut rng, &mut MaxSnrPolicy, &mut MaxSnrPolicy);
+        ssw_time_ms = out.duration.as_ms();
+        let sel = out.initiator_tx_sector.expect("SSW selects");
+        ssw_losses.push(optimum - link.true_snr_db(&dut, sel, &peer, &rxw));
+
+        // The DUT probes a compressive subset; the peer selects the DUT's
+        // sector with CSS over the DUT's measured patterns.
+        let mut dut_side =
+            CompressiveSelection::new(patterns.clone(), CssConfig::paper_default(), 900 + i);
+        let mut peer_side =
+            CompressiveSelection::new(patterns.clone(), CssConfig::paper_default(), 1900 + i);
+        struct ProbeOnly<'a>(&'a mut CompressiveSelection);
+        impl FeedbackPolicy for ProbeOnly<'_> {
+            fn probe_sectors(&mut self, full: &[talon_array::SectorId]) -> Vec<talon_array::SectorId> {
+                self.0.probe_sectors(full)
+            }
+            fn select(
+                &mut self,
+                readings: &[talon_channel::SweepReading],
+            ) -> Option<talon_array::SectorId> {
+                MaxSnrPolicy.select(readings)
+            }
+        }
+        let out = runner.run(&mut rng, &mut ProbeOnly(&mut dut_side), &mut peer_side);
+        css_time_ms = out.duration.as_ms();
+        let sel = out.initiator_tx_sector.expect("CSS selects");
+        css_losses.push(optimum - link.true_snr_db(&dut, sel, &peer, &rxw));
+        assert_eq!(out.iss_readings.len(), 14, "compressive probing");
+    }
+    let ssw_loss = geom::stats::mean(&ssw_losses).unwrap();
+    let css_loss = geom::stats::mean(&css_losses).unwrap();
+    // §6.5: CSS quality is in the same order as the sweep …
+    assert!(
+        css_loss < ssw_loss + 2.0,
+        "CSS loss {css_loss:.2} dB vs SSW {ssw_loss:.2} dB"
+    );
+    // … at 2.3× lower training time.
+    let speedup = ssw_time_ms / css_time_ms;
+    assert!(
+        (speedup - 2.3).abs() < 0.05,
+        "speedup {speedup:.2} (SSW {ssw_time_ms:.3} ms, CSS {css_time_ms:.3} ms)"
+    );
+}
+
+#[test]
+fn estimation_tracks_rotation_across_the_frontal_range() {
+    let (patterns, mut dut, peer) = measured_setup(901);
+    let link = Link::new(Environment::lab());
+    let mut css = CompressiveSelection::new(
+        patterns,
+        CssConfig {
+            num_probes: 20,
+            ..CssConfig::paper_default()
+        },
+        901,
+    );
+    let mut rng = sub_rng(901, "e2e-rotation");
+    let sweep_order = dut.codebook.sweep_order();
+    let mut errors = Vec::new();
+    for yaw in [-40.0, -20.0, 0.0, 20.0, 40.0] {
+        dut.orientation = Orientation::new(yaw, 0.0);
+        // Expected departure direction in device coordinates is −yaw.
+        let truth = geom::Direction::new(-yaw, 0.0);
+        for _ in 0..4 {
+            let probes = css.probe_sectors(&sweep_order);
+            let readings = link.sweep(&mut rng, &dut, &probes, &peer);
+            if let Some((dir, _)) = css.estimate_direction(&readings) {
+                errors.push(dir.component_error(&truth).0);
+            }
+        }
+    }
+    assert!(errors.len() >= 15, "estimates succeed: {}", errors.len());
+    let med = geom::stats::median(&errors).unwrap();
+    assert!(med < 10.0, "median azimuth error {med}°");
+}
+
+#[test]
+fn firmware_override_carries_css_choice_onto_the_air() {
+    use std::sync::Arc;
+    use wil6210::{Qca9500Firmware, Wil6210Driver, WmiCommand};
+
+    let (patterns, dut, peer) = measured_setup(902);
+    let link = Link::new(Environment::lab());
+    let firmware = Arc::new(Qca9500Firmware::patched());
+    let driver = Wil6210Driver::new(Arc::clone(&firmware));
+
+    // Sweep 1: stock firmware path collects measurements into the ring
+    // buffer (peer sweeps; DUT's firmware is the responder policy).
+    let runner = SlsRunner::new(&link, &peer, &dut);
+    let mut rng = sub_rng(902, "e2e-firmware");
+    let out = runner.run(&mut rng, &mut MaxSnrPolicy, &mut &*firmware);
+    assert!(out.initiator_tx_sector.is_some());
+    let exported = driver.read_sweep_info();
+    assert!(!exported.is_empty(), "ring buffer filled");
+
+    // A user-space agent computes CSS from the export and arms the
+    // override.
+    let mut agent = CompressiveSelection::new(patterns, CssConfig::paper_default(), 902);
+    let readings: Vec<talon_channel::SweepReading> = exported
+        .iter()
+        .map(|e| talon_channel::SweepReading {
+            sector: e.sector,
+            measurement: Some(talon_channel::Measurement {
+                snr_db: e.snr_db,
+                rssi_dbm: e.rssi_dbm,
+            }),
+        })
+        .collect();
+    let choice = agent.select_from_readings(&readings).expect("agent selects");
+    driver
+        .wmi(&WmiCommand::SetSectorOverride(choice))
+        .expect("override accepted");
+
+    // Sweep 2: every responder frame now carries the override in its
+    // feedback field.
+    let out = runner.run(&mut rng, &mut MaxSnrPolicy, &mut &*firmware);
+    assert_eq!(out.initiator_tx_sector, Some(choice));
+    for (_, frame) in &out.frames {
+        if let mac80211ad::Frame::Ssw(f) = frame {
+            if f.ssw.direction == mac80211ad::SweepDirection::Responder {
+                assert_eq!(f.feedback.sector_select, choice);
+            }
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Full link lifecycle across every substrate: beacon discovery → A-BFT
+//! association → periodic CSS beam maintenance → blockage fail-over.
+
+use css::estimator::CorrelationMode;
+use css::multipath::MultipathEstimator;
+use css::selection::{CompressiveSelection, CssConfig};
+use geom::rng::sub_rng;
+use mac80211ad::addr::MacAddr;
+use mac80211ad::assoc::associate;
+use talon_channel::{Device, Environment, Link, Orientation, Ray};
+
+#[test]
+fn bring_up_then_css_maintenance_then_failover() {
+    let seed = 2000;
+    // --- Chamber: measure the AP's patterns once (it is the transmitter
+    // whose sector the client maintains).
+    let chamber_link = Link::new(Environment::anechoic(3.0));
+    let mut ap = Device::talon(seed);
+    let sta = Device::talon(seed + 1);
+    let cfg = chamber::CampaignConfig {
+        grid: geom::sphere::SphericalGrid::new(
+            geom::sphere::GridSpec::new(-90.0, 90.0, 4.5),
+            geom::sphere::GridSpec::new(0.0, 30.0, 7.5),
+        ),
+        sweeps_per_position: 6,
+        ..chamber::CampaignConfig::coarse()
+    };
+    let mut campaign = chamber::Campaign::new(cfg, seed);
+    let mut rng = sub_rng(seed, "lifecycle-campaign");
+    let patterns = campaign.measure_tx_patterns(&mut rng, &chamber_link, &mut ap, &sta);
+    ap.orientation = Orientation::NEUTRAL;
+
+    // --- Phase 1: bring-up in the lab (BTI + A-BFT).
+    let link = Link::new(Environment::lab());
+    let outcome = associate(
+        &mut rng,
+        &link,
+        &ap,
+        MacAddr::device(1),
+        &sta,
+        MacAddr::device(2),
+        2,
+    )
+    .expect("association succeeds");
+    let rxw = sta.codebook.rx_sector().weights.clone();
+    let initial_snr = link.true_snr_db(&ap, outcome.ap_tx_sector, &sta, &rxw);
+    assert!(initial_snr > 3.0, "initial beamforming works: {initial_snr:.1} dB");
+
+    // --- Phase 2: the AP rotates (someone moves the router); periodic CSS
+    // maintenance keeps the sector fresh with 14-probe sweeps.
+    let mut css = CompressiveSelection::new(patterns.clone(), CssConfig::paper_default(), seed);
+    let mut ap_moving = ap.clone();
+    let mut maintained = outcome.ap_tx_sector;
+    for step in 1..=6 {
+        ap_moving.orientation = Orientation::new(-5.0 * step as f64, 0.0);
+        let probes = css.draw_probes();
+        let readings = link.sweep(&mut rng, &ap_moving, &probes, &sta);
+        if let Some(sel) = css.select_from_readings(&readings) {
+            maintained = sel;
+        }
+    }
+    let final_snr = link.true_snr_db(&ap_moving, maintained, &sta, &rxw);
+    let best = ap_moving
+        .codebook
+        .sweep_order()
+        .into_iter()
+        .map(|s| link.true_snr_db(&ap_moving, s, &sta, &rxw))
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert!(
+        best - final_snr < 3.0,
+        "maintenance keeps the sector near-optimal after 30° of rotation: {final_snr:.1} vs best {best:.1}"
+    );
+
+    // --- Phase 3: a strong reflector exists; the multipath estimator arms
+    // a backup, and when the LoS is blocked the backup still carries data.
+    let mut env = Environment::anechoic(6.0);
+    env.rays.push(Ray {
+        depart_world: geom::Direction::new(-40.0, 0.0),
+        arrive_world: geom::Direction::new(40.0, 0.0),
+        length_m: 6.7,
+        reflection_loss_db: 5.0,
+    });
+    let link = Link::new(env.clone());
+    // The correlation map's energy prior suppresses off-primary scores,
+    // so a deployment that knows a strong reflector exists runs with a
+    // permissive secondary threshold.
+    let est = MultipathEstimator::new(patterns, CorrelationMode::JointSnrRssi)
+        .with_min_score_ratio(0.02);
+    let ap_static = {
+        let mut d = ap.clone();
+        d.orientation = Orientation::NEUTRAL;
+        d
+    };
+    let sweep_order = ap_static.codebook.sweep_order();
+    // The backup estimate is noisy per sweep; accept the first sweep that
+    // produces both sectors.
+    let mut armed = None;
+    for _ in 0..10 {
+        let readings = link.sweep(&mut rng, &ap_static, &sweep_order, &sta);
+        let (primary, backup) = est.primary_and_backup(&readings);
+        if let (Some(p), Some(b)) = (primary, backup) {
+            armed = Some((p, b));
+            break;
+        }
+    }
+    let (primary, backup) = armed.expect("backup armed within a few sweeps");
+    assert_ne!(primary, backup);
+
+    // Block the LoS by 30 dB: the primary collapses, the backup survives
+    // (it rides the reflection).
+    let mut blocked_env = env;
+    blocked_env.rays[0].reflection_loss_db += 30.0;
+    let blocked = Link::new(blocked_env);
+    let primary_snr = blocked.true_snr_db(&ap_static, primary, &sta, &rxw);
+    let backup_snr = blocked.true_snr_db(&ap_static, backup, &sta, &rxw);
+    assert!(
+        backup_snr > primary_snr,
+        "backup ({backup_snr:.1} dB) beats the blocked primary ({primary_snr:.1} dB)"
+    );
+    assert!(backup_snr > 0.0, "backup keeps the link alive: {backup_snr:.1} dB");
+}

@@ -1,0 +1,129 @@
+//! Fast-fidelity smoke checks over every reproduced table and figure:
+//! each experiment must run and show the paper's qualitative shape.
+
+use eval::estimation::estimation_error;
+use eval::overhead::training_time;
+use eval::patterns::{classify, measure_patterns, SectorTrait};
+use eval::scenario::{EvalScenario, Fidelity};
+use eval::snr_loss::snr_loss;
+use eval::stability::selection_stability;
+use eval::table1::{capture_table1, timing_audit};
+use eval::throughput::{throughput, DataLinkModel};
+use mac80211ad::schedule::BurstSchedule;
+
+#[test]
+fn table1_reproduces_the_slot_layout() {
+    let res = capture_table1(60, 1000);
+    let beacon = BurstSchedule::talon_beacon();
+    let sweep = BurstSchedule::talon_sweep();
+    for (i, cdown) in (0..=34u16).rev().enumerate() {
+        if let Some(obs) = res.beacon[i] {
+            assert_eq!(Some(obs), beacon.sector_at(cdown));
+        }
+        if let Some(obs) = res.sweep[i] {
+            assert_eq!(Some(obs), sweep.sector_at(cdown));
+        }
+    }
+    // Unused slots never carry frames; strong slots are always seen.
+    assert_eq!(res.beacon[0], None);
+    assert_eq!(res.sweep[31], None);
+    assert!(res.beacon[1].is_some());
+    assert!(res.sweep[34].is_some());
+}
+
+#[test]
+fn timing_matches_section_4_1() {
+    let t = timing_audit();
+    assert_eq!(t.beacon_interval_ms, 102.4);
+    assert_eq!(t.ssw_frame_us, 18.0);
+    assert_eq!(t.overhead_us, 49.1);
+    assert!((t.full_training_ms - 1.27).abs() < 0.01);
+}
+
+#[test]
+fn fig5_fig6_sector_traits_appear() {
+    let res = measure_patterns(chamber::CampaignConfig::coarse(), 1001);
+    let summary = classify(&res.tx_patterns);
+    let has = |t: SectorTrait| summary.iter().any(|s| s.trait_ == t);
+    assert!(has(SectorTrait::StrongSingleLobe));
+    assert!(has(SectorTrait::Weak));
+    // The torus sector and the multi-lobe sectors are present by design;
+    // their classification can vary with the noise draw, but the weak
+    // sectors 25/62 must always classify weak.
+    for id in [25u8, 62] {
+        assert_eq!(
+            summary.iter().find(|s| s.id == id).unwrap().trait_,
+            SectorTrait::Weak
+        );
+    }
+}
+
+#[test]
+fn fig7_error_shrinks_with_probe_count() {
+    let mut s = EvalScenario::lab(Fidelity::Fast, 1002);
+    let data = s.record(1002);
+    let res = estimation_error(&data, &s.patterns, &[4, 14, 34], 2, 1002);
+    let az4 = res.rows[0].azimuth.median;
+    let az34 = res.rows[2].azimuth.median;
+    assert!(az34 <= az4, "median error falls: {az4}° → {az34}°");
+    assert!(res.rows[2].azimuth.p995 <= res.rows[0].azimuth.p995);
+}
+
+#[test]
+fn fig8_fig9_shapes_hold() {
+    let mut s = EvalScenario::conference_room(Fidelity::Fast, 1003);
+    s.sweeps_per_position = 10;
+    let data = s.record(1003);
+    let ms = [6, 14, 34];
+    let stab = selection_stability(&data, &s.patterns, &ms, 1003);
+    let loss = snr_loss(&data, &s.patterns, &ms, 1003);
+    // Stability grows with M; with all probes CSS beats SSW.
+    assert!(stab.css[2].1 >= stab.css[0].1);
+    assert!(stab.css[2].1 >= stab.ssw_stability);
+    // The SSW is imperfectly stable (the paper's 73.9% effect).
+    assert!(stab.ssw_stability < 0.999);
+    // Loss falls with M and ends up at/below SSW's.
+    assert!(loss.css[2].1 <= loss.css[0].1);
+    assert!(loss.css[2].1 <= loss.ssw_loss_db + 0.3);
+    assert!(loss.ssw_loss_db < 2.0);
+}
+
+#[test]
+fn fig10_training_time_line() {
+    let res = training_time(&[14, 24, 34], 1004);
+    assert!((res.speedup() - 2.3).abs() < 0.02);
+    // Simulation agrees with the analytic model everywhere.
+    for ((_, a), (_, b)) in res.model.iter().zip(&res.simulated) {
+        assert!((a - b).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn fig11_throughput_in_the_operating_region() {
+    let mut s = EvalScenario::conference_room(Fidelity::Fast, 1005);
+    s.sweeps_per_position = 10;
+    let data = s.record(1005);
+    let res = throughput(
+        &data,
+        &s.patterns,
+        &[-45.0, 0.0, 45.0],
+        14,
+        DataLinkModel::default(),
+        1005,
+    );
+    for row in &res.rows {
+        assert!(
+            (0.6..=1.6).contains(&row.ssw_gbps),
+            "SSW at {}°: {} Gbps",
+            row.azimuth_deg,
+            row.ssw_gbps
+        );
+        assert!(
+            row.css_gbps >= row.ssw_gbps - 0.4,
+            "CSS competitive at {}°: {} vs {}",
+            row.azimuth_deg,
+            row.css_gbps,
+            row.ssw_gbps
+        );
+    }
+}
