@@ -78,10 +78,7 @@ fn crc32(data: &[u8]) -> u32 {
 /// Panics if sectors have inconsistent element counts.
 pub fn to_brd(codebook: &Codebook) -> Vec<u8> {
     let sectors = codebook.sectors();
-    let elements = sectors
-        .first()
-        .map(|s| s.weights.len())
-        .unwrap_or(0);
+    let elements = sectors.first().map(|s| s.weights.len()).unwrap_or(0);
     let mut out = Vec::with_capacity(16 + sectors.len() * (2 + 8 + elements * 8));
     out.extend_from_slice(b"TBRD");
     out.extend_from_slice(&1u16.to_le_bytes());

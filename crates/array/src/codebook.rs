@@ -90,7 +90,7 @@ impl Codebook {
         // centre.
         sectors.push(Sector {
             id: SectorId::RX,
-            weights: WeightVector::single_element(n, n / 2),
+            weights: WeightVector::single_element(n, quasi_omni_element(array)),
             nominal_dir: None,
         });
 
@@ -150,7 +150,7 @@ impl Codebook {
         let mut sectors = Vec::with_capacity(count + 1);
         sectors.push(Sector {
             id: SectorId::RX,
-            weights: WeightVector::single_element(n, n / 2),
+            weights: WeightVector::single_element(n, quasi_omni_element(array)),
             nominal_dir: None,
         });
         // Reuse the Talon's valid transmit IDs (1–31, 61–63) so the random
@@ -208,6 +208,19 @@ impl Codebook {
     }
 }
 
+/// The healthy element nearest the lattice centre. The quasi-omni receive
+/// pattern keys on a single element, and a device whose centre element
+/// happens to be dead must not end up deaf — the factory calibration
+/// assigns the pattern to a working element instead.
+fn quasi_omni_element(array: &PhasedArray) -> usize {
+    let n = array.num_elements();
+    let centre = n / 2;
+    (0..n)
+        .filter(|&i| !array.imperfections.dead[i])
+        .min_by_key(|&i| i.abs_diff(centre))
+        .unwrap_or(centre)
+}
+
 /// A plain steered sector: conjugate steering weights, quantized.
 fn steered(array: &PhasedArray, id: SectorId, dir: Direction) -> Sector {
     let weights = array.quantize(&array.steering_weights(&dir));
@@ -220,7 +233,12 @@ fn steered(array: &PhasedArray, id: SectorId, dir: Direction) -> Sector {
 
 /// A steered sector using only the central `active_cols` lattice columns:
 /// the reduced azimuth aperture widens the beam.
-fn steered_subarray(array: &PhasedArray, id: SectorId, dir: Direction, active_cols: usize) -> Sector {
+fn steered_subarray(
+    array: &PhasedArray,
+    id: SectorId,
+    dir: Direction,
+    active_cols: usize,
+) -> Sector {
     let cols = array.geometry.cols;
     let first = (cols - active_cols.min(cols)) / 2;
     let last = first + active_cols.min(cols);
@@ -333,7 +351,10 @@ mod tests {
     fn ids_32_to_60_are_undefined() {
         let (_, cb) = talon();
         for raw in 32..=60 {
-            assert!(cb.get(SectorId(raw)).is_none(), "sector {raw} must not exist");
+            assert!(
+                cb.get(SectorId(raw)).is_none(),
+                "sector {raw} must not exist"
+            );
         }
     }
 

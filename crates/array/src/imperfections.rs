@@ -77,9 +77,11 @@ impl HardwareProfile {
             dead.push(rng.gen::<f64>() < self.dead_element_prob);
         }
         // Random phases for the shadow ripple harmonics.
-        let ripple_phases = [rng.gen::<f64>() * std::f64::consts::TAU,
-                             rng.gen::<f64>() * std::f64::consts::TAU,
-                             rng.gen::<f64>() * std::f64::consts::TAU];
+        let ripple_phases = [
+            rng.gen::<f64>() * std::f64::consts::TAU,
+            rng.gen::<f64>() * std::f64::consts::TAU,
+            rng.gen::<f64>() * std::f64::consts::TAU,
+        ];
         FrozenImperfections {
             profile: *self,
             gain_err_db,

@@ -103,7 +103,10 @@ mod tests {
     use geom::sphere::GridSpec;
 
     fn small_grid() -> SphericalGrid {
-        SphericalGrid::new(GridSpec::new(-90.0, 90.0, 5.0), GridSpec::new(0.0, 30.0, 10.0))
+        SphericalGrid::new(
+            GridSpec::new(-90.0, 90.0, 5.0),
+            GridSpec::new(0.0, 30.0, 10.0),
+        )
     }
 
     #[test]

@@ -179,7 +179,10 @@ mod tests {
         let g0 = arr.gain_dbi(&w, &Direction::BROADSIDE);
         let g60 = arr.gain_dbi(&w, &Direction::new(60.0, 0.0));
         // A single element has no array gain; pattern follows the element.
-        assert!((g0 - 5.0).abs() < 0.1, "single element ≈ element gain: {g0}");
+        assert!(
+            (g0 - 5.0).abs() < 0.1,
+            "single element ≈ element gain: {g0}"
+        );
         assert!(g0 - g60 < 4.0, "wide coverage: {g0} vs {g60}");
     }
 

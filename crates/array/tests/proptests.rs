@@ -1,11 +1,11 @@
 //! Property-based tests for the phased-array model.
 
+use geom::sphere::Direction;
 use proptest::prelude::*;
 use talon_array::codebook::Codebook;
 use talon_array::complex::Complex;
 use talon_array::steering::PhasedArray;
 use talon_array::weights::{WeightQuantizer, WeightVector};
-use geom::sphere::Direction;
 
 proptest! {
     #[test]

@@ -27,7 +27,10 @@ fn bench_gain(c: &mut Criterion) {
         b.iter(|| black_box(Codebook::talon(black_box(&arr), 42)))
     });
 
-    let grid = SphericalGrid::new(GridSpec::new(-90.0, 90.0, 5.0), GridSpec::new(0.0, 30.0, 10.0));
+    let grid = SphericalGrid::new(
+        GridSpec::new(-90.0, 90.0, 5.0),
+        GridSpec::new(0.0, 30.0, 10.0),
+    );
     c.bench_function("array/pattern_sample_37x4_grid", |b| {
         b.iter(|| black_box(GainPattern::sample(&arr, &s63.weights, black_box(&grid))))
     });

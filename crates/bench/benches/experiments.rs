@@ -16,7 +16,12 @@ fn bench_experiments(c: &mut Criterion) {
     });
 
     group.bench_function("fig5_fig6_pattern_campaign", |b| {
-        b.iter(|| black_box(eval::patterns::measure_patterns(chamber::CampaignConfig::coarse(), 1)))
+        b.iter(|| {
+            black_box(eval::patterns::measure_patterns(
+                chamber::CampaignConfig::coarse(),
+                1,
+            ))
+        })
     });
 
     // Shared recording for the analysis benches (the expensive part is
@@ -28,7 +33,11 @@ fn bench_experiments(c: &mut Criterion) {
     group.bench_function("fig7_estimation_error", |b| {
         b.iter(|| {
             black_box(eval::estimation::estimation_error(
-                &data, &patterns, &[6, 14, 34], 1, 1,
+                &data,
+                &patterns,
+                &[6, 14, 34],
+                1,
+                1,
             ))
         })
     });
@@ -36,7 +45,10 @@ fn bench_experiments(c: &mut Criterion) {
     group.bench_function("fig8_selection_stability", |b| {
         b.iter(|| {
             black_box(eval::stability::selection_stability(
-                &data, &patterns, &[6, 14, 34], 1,
+                &data,
+                &patterns,
+                &[6, 14, 34],
+                1,
             ))
         })
     });
@@ -76,7 +88,11 @@ fn bench_experiments(c: &mut Criterion) {
             sample_step_s: 0.05,
             ..netsim::tracking::TrackingConfig::default()
         };
-        b.iter(|| black_box(eval::extensions::tracking_comparison(&cfg, &patterns, 14, 1)))
+        b.iter(|| {
+            black_box(eval::extensions::tracking_comparison(
+                &cfg, &patterns, 14, 1,
+            ))
+        })
     });
 
     group.finish();

@@ -1,0 +1,70 @@
+//! Cost of the observability primitives and their impact on the hot path.
+//!
+//! The acceptance bar for the obs layer is that with no sink installed the
+//! instrumentation stays in the noise (<2 %) of the estimation bench. The
+//! `primitives` group measures the raw cost of a counter bump and a span
+//! create/drop (with and without a sink draining events); the `estimate`
+//! group runs the instrumented estimator both sink-less and with a
+//! [`MemorySink`] attached, so the delta between the two is exactly the
+//! recording cost.
+
+use bench::bench_patterns;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use css::estimator::{CompressiveEstimator, CorrelationMode};
+use geom::rng::sub_rng;
+use std::hint::black_box;
+use std::sync::Arc;
+use talon_channel::{Environment, Link};
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_primitives");
+    let counter = obs::counter("bench.obs.counter");
+    group.bench_function("counter_inc", |b| b.iter(|| black_box(&counter).inc()));
+    let hist = obs::histogram("bench.obs.hist");
+    group.bench_function("histogram_record", |b| {
+        b.iter(|| black_box(&hist).record(black_box(1234)))
+    });
+    group.bench_function("span_no_sink", |b| {
+        obs::clear_sink();
+        b.iter(|| {
+            let mut s = obs::span("bench.obs.span");
+            s.field("x", black_box(1.0));
+        });
+    });
+    group.bench_function("span_memory_sink", |b| {
+        let _guard = obs::testing::lock();
+        obs::set_sink(Arc::new(obs::MemorySink::default()));
+        b.iter(|| {
+            let mut s = obs::span("bench.obs.span");
+            s.field("x", black_box(1.0));
+        });
+        obs::clear_sink();
+    });
+    group.finish();
+}
+
+fn bench_instrumented_estimate(c: &mut Criterion) {
+    let (patterns, dut, fixed) = bench_patterns(42);
+    let link = Link::new(Environment::lab());
+    let mut rng = sub_rng(42, "bench-obs-estimate");
+    let full = dut.codebook.sweep_order();
+    let full_sweep = link.sweep(&mut rng, &dut, &full, &fixed);
+    let readings: Vec<_> = full_sweep.iter().take(14).copied().collect();
+    let est = CompressiveEstimator::new(&patterns, CorrelationMode::JointSnrRssi);
+
+    let mut group = c.benchmark_group("obs_estimate");
+    group.bench_with_input(BenchmarkId::new("no_sink", 14), &readings, |b, r| {
+        obs::clear_sink();
+        b.iter(|| black_box(est.estimate(black_box(r))))
+    });
+    group.bench_with_input(BenchmarkId::new("memory_sink", 14), &readings, |b, r| {
+        let _guard = obs::testing::lock();
+        obs::set_sink(Arc::new(obs::MemorySink::default()));
+        b.iter(|| black_box(est.estimate(black_box(r))));
+        obs::clear_sink();
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives, bench_instrumented_estimate);
+criterion_main!(benches);

@@ -30,9 +30,7 @@ fn bench_sls(c: &mut Criterion) {
     for &m in &[14usize, 34] {
         group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
             let mut rng = sub_rng(7, "bench-sls");
-            b.iter(|| {
-                black_box(runner.run(&mut rng, &mut FixedCount(m), &mut FixedCount(m)))
-            })
+            b.iter(|| black_box(runner.run(&mut rng, &mut FixedCount(m), &mut FixedCount(m))))
         });
     }
     group.finish();

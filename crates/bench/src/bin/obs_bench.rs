@@ -1,0 +1,94 @@
+//! Emits `BENCH_obs.json`: measured cost of the obs primitives and the
+//! instrumentation share of one compressive estimate.
+//!
+//! ```text
+//! cargo run -p bench --release --bin obs_bench            # writes ./BENCH_obs.json
+//! cargo run -p bench --release --bin obs_bench -- --out p # writes p
+//! ```
+//!
+//! The headline number is `noop_overhead_percent`: the cost of the obs
+//! calls the estimator makes per `estimate()` (one span with ~5 fields and
+//! one counter bump, no sink installed) relative to the measured cost of
+//! the estimate itself. The obs acceptance bar is <2 %.
+
+use bench::bench_patterns;
+use css::estimator::{CompressiveEstimator, CorrelationMode};
+use geom::rng::sub_rng;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+use talon_channel::{Environment, Link};
+
+/// Mean nanoseconds per call of `f`, after a warm-up pass.
+fn time_ns(iters: u32, mut f: impl FnMut()) -> f64 {
+    for _ in 0..iters / 10 {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / f64::from(iters)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_obs.json".into());
+
+    obs::clear_sink();
+    let counter = obs::counter("bench.obs.counter");
+    let counter_inc_ns = time_ns(2_000_000, || black_box(&counter).inc());
+    let hist = obs::histogram("bench.obs.hist");
+    let histogram_record_ns = time_ns(2_000_000, || black_box(&hist).record(black_box(1234)));
+    let span_no_sink_ns = time_ns(500_000, || {
+        let mut s = obs::span("bench.obs.span");
+        s.field("x", black_box(1.0));
+    });
+    let span_memory_sink_ns = {
+        let _guard = obs::testing::lock();
+        obs::set_sink(Arc::new(obs::MemorySink::default()));
+        let ns = time_ns(200_000, || {
+            let mut s = obs::span("bench.obs.span");
+            s.field("x", black_box(1.0));
+        });
+        obs::clear_sink();
+        ns
+    };
+
+    // The instrumented estimator, sink-less (the shipping default).
+    let (patterns, dut, fixed) = bench_patterns(42);
+    let link = Link::new(Environment::lab());
+    let mut rng = sub_rng(42, "obs-bench-estimate");
+    let full = dut.codebook.sweep_order();
+    let sweep = link.sweep(&mut rng, &dut, &full, &fixed);
+    let readings: Vec<_> = sweep.iter().take(14).copied().collect();
+    let est = CompressiveEstimator::new(&patterns, CorrelationMode::JointSnrRssi);
+    let estimate_m14_ns = time_ns(2_000, || {
+        black_box(est.estimate(black_box(&readings)));
+    });
+
+    // Per-estimate obs bill: one span (5 fields ≈ the span timing above,
+    // fields are skipped without a sink) + one counter bump.
+    let per_estimate_obs_ns = span_no_sink_ns + counter_inc_ns;
+    let noop_overhead_percent = 100.0 * per_estimate_obs_ns / estimate_m14_ns;
+
+    let json = format!(
+        "{{\n  \"counter_inc_ns\": {counter_inc_ns:.2},\n  \
+         \"histogram_record_ns\": {histogram_record_ns:.2},\n  \
+         \"span_no_sink_ns\": {span_no_sink_ns:.2},\n  \
+         \"span_memory_sink_ns\": {span_memory_sink_ns:.2},\n  \
+         \"estimate_m14_ns\": {estimate_m14_ns:.2},\n  \
+         \"noop_overhead_percent\": {noop_overhead_percent:.4}\n}}\n"
+    );
+    std::fs::write(&out, &json).expect("write BENCH_obs.json");
+    println!("{json}");
+    println!("wrote {out}");
+    assert!(
+        noop_overhead_percent < 2.0,
+        "no-sink instrumentation overhead {noop_overhead_percent:.2}% exceeds the 2% budget"
+    );
+}

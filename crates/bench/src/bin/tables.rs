@@ -50,10 +50,7 @@ fn parse_args() -> Args {
                 i += 2;
             }
             "--seed" => {
-                seed = argv
-                    .get(i + 1)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or(42);
+                seed = argv.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(42);
                 i += 2;
             }
             "--csv" => {
@@ -140,7 +137,13 @@ fn exp_ext_dense(args: &Args) {
     println!(
         "{}",
         eval::ascii::table(
-            &["pairs", "SSW airtime", "SSW Gbps", "CSS airtime", "CSS Gbps"],
+            &[
+                "pairs",
+                "SSW airtime",
+                "SSW Gbps",
+                "CSS airtime",
+                "CSS Gbps"
+            ],
             &rows
         )
     );
@@ -201,7 +204,15 @@ fn exp_ext_tracking(args: &Args) {
     println!(
         "{}",
         eval::ascii::table(
-            &["policy", "trainings", "interval", "mean Gbps", "outage", "gap Gbps", "failovers"],
+            &[
+                "policy",
+                "trainings",
+                "interval",
+                "mean Gbps",
+                "outage",
+                "gap Gbps",
+                "failovers"
+            ],
             &rows
         )
     );
@@ -248,12 +259,31 @@ fn exp_timing() {
     println!("== §4.1 timing audit ==");
     let t = timing_audit();
     let rows = vec![
-        vec!["beacon interval".into(), format!("{:.1} ms", t.beacon_interval_ms), "102.4 ms".into()],
-        vec!["SSW frame".into(), format!("{:.1} us", t.ssw_frame_us), "18.0 us".into()],
-        vec!["init+feedback overhead".into(), format!("{:.1} us", t.overhead_us), "49.1 us".into()],
-        vec!["full mutual training".into(), format!("{:.3} ms", t.full_training_ms), "1.27 ms".into()],
+        vec![
+            "beacon interval".into(),
+            format!("{:.1} ms", t.beacon_interval_ms),
+            "102.4 ms".into(),
+        ],
+        vec![
+            "SSW frame".into(),
+            format!("{:.1} us", t.ssw_frame_us),
+            "18.0 us".into(),
+        ],
+        vec![
+            "init+feedback overhead".into(),
+            format!("{:.1} us", t.overhead_us),
+            "49.1 us".into(),
+        ],
+        vec![
+            "full mutual training".into(),
+            format!("{:.3} ms", t.full_training_ms),
+            "1.27 ms".into(),
+        ],
     ];
-    println!("{}", ascii::table(&["quantity", "measured", "paper"], &rows));
+    println!(
+        "{}",
+        ascii::table(&["quantity", "measured", "paper"], &rows)
+    );
 }
 
 fn exp_fig5(args: &Args) {
@@ -317,11 +347,8 @@ fn exp_fig6(args: &Args) {
         println!("{}", ascii::heatmap(&p.gain_db, grid.az.len(), -7.0, 12.0));
     }
     if args.csv {
-        std::fs::write(
-            "results/fig6_patterns.txt",
-            res.tx_patterns.to_text(),
-        )
-        .expect("write pattern store");
+        std::fs::write("results/fig6_patterns.txt", res.tx_patterns.to_text())
+            .expect("write pattern store");
         println!("(full 3D pattern store written to results/fig6_patterns.txt)");
     }
 }
@@ -363,7 +390,14 @@ fn exp_fig7(args: &Args) {
         println!(
             "{}",
             ascii::table(
-                &["M", "az med°", "az q75°", "az p99.5°", "el med°", "el p99.5°"],
+                &[
+                    "M",
+                    "az med°",
+                    "az q75°",
+                    "az p99.5°",
+                    "el med°",
+                    "el p99.5°"
+                ],
                 &rows
             )
         );
@@ -373,8 +407,16 @@ fn exp_fig7(args: &Args) {
                 csv.push_str(&format!(
                     "{},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3}\n",
                     r.probes,
-                    r.azimuth.median, r.azimuth.q25, r.azimuth.q75, r.azimuth.p005, r.azimuth.p995,
-                    r.elevation.median, r.elevation.q25, r.elevation.q75, r.elevation.p005, r.elevation.p995,
+                    r.azimuth.median,
+                    r.azimuth.q25,
+                    r.azimuth.q75,
+                    r.azimuth.p005,
+                    r.azimuth.p995,
+                    r.elevation.median,
+                    r.elevation.q25,
+                    r.elevation.q75,
+                    r.elevation.p005,
+                    r.elevation.p995,
                 ));
             }
             let path = format!("results/fig7_{}.csv", res.scenario);
@@ -411,7 +453,13 @@ fn exp_fig8_fig9(args: &Args) {
     println!(
         "{}",
         ascii::table(
-            &["M", "CSS stability", "SSW stability", "CSS loss dB", "SSW loss dB"],
+            &[
+                "M",
+                "CSS stability",
+                "SSW stability",
+                "CSS loss dB",
+                "SSW loss dB"
+            ],
             &rows
         )
     );
@@ -438,7 +486,12 @@ fn exp_fig10(args: &Args) {
     let ms: Vec<usize> = (12..=38).step_by(2).collect();
     let res = training_time(&ms, args.seed);
     for &(m, t) in &res.model {
-        println!("{}", ascii::bar(&format!("{m} probes"), t, 1.4, 40).replace("|", if m == 14 || m == 34 { "‖" } else { "|" }) + " ms");
+        println!(
+            "{}",
+            ascii::bar(&format!("{m} probes"), t, 1.4, 40)
+                .replace("|", if m == 14 || m == 34 { "‖" } else { "|" })
+                + " ms"
+        );
     }
     println!(
         "SSW (34 probes): {:.2} ms, CSS (14 probes): {:.2} ms, speedup {:.2}x (paper: 2.3x)\n",
@@ -489,7 +542,10 @@ fn exp_fig11(args: &Args) {
     if args.csv {
         let mut csv = String::from("azimuth_deg,ssw_gbps,css_gbps\n");
         for r in &res.rows {
-            csv.push_str(&format!("{},{:.4},{:.4}\n", r.azimuth_deg, r.ssw_gbps, r.css_gbps));
+            csv.push_str(&format!(
+                "{},{:.4},{:.4}\n",
+                r.azimuth_deg, r.ssw_gbps, r.css_gbps
+            ));
         }
         std::fs::write("results/fig11.csv", csv).expect("write CSV");
     }
@@ -527,8 +583,14 @@ fn exp_ablation(args: &Args) {
     let design = css::strategy::design_low_coherence(&scenario.patterns);
     let mut rows = Vec::new();
     for (name, strat) in [
-        ("uniform-random", css::strategy::ProbeStrategy::UniformRandom),
-        ("low-coherence", css::strategy::ProbeStrategy::LowCoherence(design)),
+        (
+            "uniform-random",
+            css::strategy::ProbeStrategy::UniformRandom,
+        ),
+        (
+            "low-coherence",
+            css::strategy::ProbeStrategy::LowCoherence(design),
+        ),
     ] {
         let mut losses = Vec::new();
         for &m in &ms {
@@ -558,8 +620,14 @@ fn exp_ablation(args: &Args) {
             .fold(f64::NEG_INFINITY, f64::max)
     };
     let rows = vec![
-        vec!["firmware sectors".to_string(), format!("{:.1}", peak(&talon))],
-        vec!["pseudo-random beams".to_string(), format!("{:.1}", peak(&random))],
+        vec![
+            "firmware sectors".to_string(),
+            format!("{:.1}", peak(&talon)),
+        ],
+        vec![
+            "pseudo-random beams".to_string(),
+            format!("{:.1}", peak(&random)),
+        ],
     ];
     println!("{}", ascii::table(&["codebook", "peak SNR dB"], &rows));
 }
@@ -656,17 +724,30 @@ fn exp_summary(args: &Args) {
     let rows = vec![
         vec![
             "training time @14 probes".into(),
-            format!("{:.2} ms (vs SSW {:.2} ms, {:.1}x)", t.css14_ms, t.ssw_ms, t.speedup()),
+            format!(
+                "{:.2} ms (vs SSW {:.2} ms, {:.1}x)",
+                t.css14_ms,
+                t.ssw_ms,
+                t.speedup()
+            ),
             "0.55 ms vs 1.27 ms, 2.3x".into(),
         ],
         vec![
             "stability @14 probes".into(),
-            format!("{:.1}% (SSW {:.1}%)", 100.0 * find(&stab_map, 14), 100.0 * stab.ssw_stability),
+            format!(
+                "{:.1}% (SSW {:.1}%)",
+                100.0 * find(&stab_map, 14),
+                100.0 * stab.ssw_stability
+            ),
             ">= SSW's 73.9% (crossover 13)".into(),
         ],
         vec![
             "SNR loss @14 probes".into(),
-            format!("{:.2} dB (SSW {:.2} dB)", find(&loss_map, 14), loss.ssw_loss_db),
+            format!(
+                "{:.2} dB (SSW {:.2} dB)",
+                find(&loss_map, 14),
+                loss.ssw_loss_db
+            ),
             "<= SSW's ~0.5 dB (crossover 14)".into(),
         ],
         vec![

@@ -106,7 +106,8 @@ impl Campaign {
         observer: &Device,
     ) -> SectorPatterns {
         let sectors = dut.codebook.sweep_order();
-        let mut raw: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); self.config.grid.len()]; sectors.len()];
+        let mut raw: Vec<Vec<Vec<f64>>> =
+            vec![vec![Vec::new(); self.config.grid.len()]; sectors.len()];
 
         for el_i in 0..self.config.grid.el.len() {
             let el = self.config.grid.el.value(el_i);
@@ -200,11 +201,7 @@ fn robust_mean(samples: &[f64], mad_threshold: f64) -> Option<f64> {
     let mad = median(&deviations)?;
     // Guard: with tiny samples/quantized data MAD can be 0; fall back to a
     // fixed 2 dB window around the median.
-    let window = if mad > 1e-9 {
-        mad * mad_threshold
-    } else {
-        2.0
-    };
+    let window = if mad > 1e-9 { mad * mad_threshold } else { 2.0 };
     let kept: Vec<f64> = samples
         .iter()
         .copied()
@@ -284,10 +281,7 @@ mod tests {
         let mut dut = Device::talon(11);
         let fixed = Device::talon(12);
         let cfg = CampaignConfig {
-            grid: SphericalGrid::new(
-                GridSpec::new(-60.0, 60.0, 15.0),
-                GridSpec::fixed(0.0),
-            ),
+            grid: SphericalGrid::new(GridSpec::new(-60.0, 60.0, 15.0), GridSpec::fixed(0.0)),
             sweeps_per_position: 4,
             ..CampaignConfig::coarse()
         };

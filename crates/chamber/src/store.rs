@@ -196,7 +196,10 @@ mod tests {
     use super::*;
 
     fn tiny_store() -> SectorPatterns {
-        let grid = SphericalGrid::new(GridSpec::new(-10.0, 10.0, 10.0), GridSpec::new(0.0, 10.0, 10.0));
+        let grid = SphericalGrid::new(
+            GridSpec::new(-10.0, 10.0, 10.0),
+            GridSpec::new(0.0, 10.0, 10.0),
+        );
         let mut s = SectorPatterns::new(grid.clone());
         s.insert(
             SectorId(1),
@@ -248,7 +251,10 @@ mod tests {
             Err(StoreError::Malformed(4))
         );
         let text = "talon-patterns-v1\nzz 0 10 5\nel 0 0 1\n";
-        assert_eq!(SectorPatterns::from_text(text), Err(StoreError::Malformed(2)));
+        assert_eq!(
+            SectorPatterns::from_text(text),
+            Err(StoreError::Malformed(2))
+        );
     }
 
     #[test]
@@ -272,7 +278,10 @@ mod tests {
     fn resample_preserves_values_at_original_points() {
         let s = tiny_store();
         // Upsample to 5° steps: original grid points must be exact.
-        let fine = SphericalGrid::new(GridSpec::new(-10.0, 10.0, 5.0), GridSpec::new(0.0, 10.0, 5.0));
+        let fine = SphericalGrid::new(
+            GridSpec::new(-10.0, 10.0, 5.0),
+            GridSpec::new(0.0, 10.0, 5.0),
+        );
         let r = s.resample(&fine);
         assert_eq!(r.len(), s.len());
         for id in s.sector_ids() {
@@ -283,7 +292,10 @@ mod tests {
             }
         }
         // Interpolated midpoint of sector 1's ramp (1.0 → 2.0 at el 0).
-        let mid = r.get(SectorId(1)).unwrap().gain_interp(&Direction::new(-5.0, 0.0));
+        let mid = r
+            .get(SectorId(1))
+            .unwrap()
+            .gain_interp(&Direction::new(-5.0, 0.0));
         assert!((mid - 1.5).abs() < 1e-9, "midpoint {mid}");
     }
 

@@ -66,12 +66,7 @@ impl Default for BlockageModel {
 
 impl BlockageModel {
     /// Generates the episodes of a time horizon.
-    pub fn generate<R: Rng>(
-        &self,
-        rng: &mut R,
-        horizon_s: f64,
-        num_rays: usize,
-    ) -> Vec<Blockage> {
+    pub fn generate<R: Rng>(&self, rng: &mut R, horizon_s: f64, num_rays: usize) -> Vec<Blockage> {
         assert!(num_rays > 0, "environment needs rays");
         let mut out = Vec::new();
         let mut t = 0.0;
@@ -216,8 +211,18 @@ mod tests {
         let dynenv = DynamicEnvironment {
             base,
             episodes: vec![
-                Blockage { ray: 0, start_s: 0.0, end_s: 1.0, attenuation_db: 10.0 },
-                Blockage { ray: 0, start_s: 0.5, end_s: 1.5, attenuation_db: 5.0 },
+                Blockage {
+                    ray: 0,
+                    start_s: 0.0,
+                    end_s: 1.0,
+                    attenuation_db: 10.0,
+                },
+                Blockage {
+                    ray: 0,
+                    start_s: 0.5,
+                    end_s: 1.5,
+                    attenuation_db: 5.0,
+                },
             ],
         };
         assert_eq!(dynenv.at(0.7).rays[0].reflection_loss_db, 15.0);

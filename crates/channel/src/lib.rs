@@ -43,5 +43,5 @@ pub use environment::{Environment, Ray};
 pub use link::{Device, Link, SweepReading};
 pub use linkbudget::LinkBudget;
 pub use measurement::{Measurement, MeasurementModel};
-pub use rate::{DataLinkModel, McsEntry, MCS_TABLE};
 pub use orientation::Orientation;
+pub use rate::{DataLinkModel, McsEntry, MCS_TABLE};

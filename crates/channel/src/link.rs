@@ -212,7 +212,10 @@ mod tests {
             .iter()
             .map(|&s| link.true_snr_db(&tx, s, &rx, &rxw))
             .fold(f64::NEG_INFINITY, f64::max);
-        assert!(best > broadside + 3.0, "best {best} vs broadside {broadside}");
+        assert!(
+            best > broadside + 3.0,
+            "best {best} vs broadside {broadside}"
+        );
     }
 
     #[test]
@@ -259,10 +262,10 @@ mod tests {
         let anech = Link::new(Environment::anechoic(6.0));
         // Steer at the strongest reflection's departure azimuth (~-26.6°).
         let refl_dir = conf.environment.rays[1].depart_world;
-        let w = tx.array.quantize(&tx.array.steering_weights(&Direction::new(
-            refl_dir.az_deg,
-            refl_dir.el_deg,
-        )));
+        let w = tx.array.quantize(
+            &tx.array
+                .steering_weights(&Direction::new(refl_dir.az_deg, refl_dir.el_deg)),
+        );
         let p_conf = conf.rx_power_dbm(&tx, &w, &rx, &rxw);
         let p_anech = anech.rx_power_dbm(&tx, &w, &rx, &rxw);
         assert!(

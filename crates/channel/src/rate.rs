@@ -24,18 +24,66 @@ pub struct McsEntry {
 
 /// The 802.11ad SC-PHY rate table with receiver-grade SNR thresholds.
 pub const MCS_TABLE: [McsEntry; 12] = [
-    McsEntry { index: 1, phy_mbps: 385.0, min_snr_db: 2.0 },
-    McsEntry { index: 2, phy_mbps: 770.0, min_snr_db: 4.0 },
-    McsEntry { index: 3, phy_mbps: 962.5, min_snr_db: 5.5 },
-    McsEntry { index: 4, phy_mbps: 1155.0, min_snr_db: 6.5 },
-    McsEntry { index: 5, phy_mbps: 1251.25, min_snr_db: 7.5 },
-    McsEntry { index: 6, phy_mbps: 1540.0, min_snr_db: 9.0 },
-    McsEntry { index: 7, phy_mbps: 1925.0, min_snr_db: 11.0 },
-    McsEntry { index: 8, phy_mbps: 2310.0, min_snr_db: 12.5 },
-    McsEntry { index: 9, phy_mbps: 2502.5, min_snr_db: 14.0 },
-    McsEntry { index: 10, phy_mbps: 3080.0, min_snr_db: 16.5 },
-    McsEntry { index: 11, phy_mbps: 3850.0, min_snr_db: 18.5 },
-    McsEntry { index: 12, phy_mbps: 4620.0, min_snr_db: 20.5 },
+    McsEntry {
+        index: 1,
+        phy_mbps: 385.0,
+        min_snr_db: 2.0,
+    },
+    McsEntry {
+        index: 2,
+        phy_mbps: 770.0,
+        min_snr_db: 4.0,
+    },
+    McsEntry {
+        index: 3,
+        phy_mbps: 962.5,
+        min_snr_db: 5.5,
+    },
+    McsEntry {
+        index: 4,
+        phy_mbps: 1155.0,
+        min_snr_db: 6.5,
+    },
+    McsEntry {
+        index: 5,
+        phy_mbps: 1251.25,
+        min_snr_db: 7.5,
+    },
+    McsEntry {
+        index: 6,
+        phy_mbps: 1540.0,
+        min_snr_db: 9.0,
+    },
+    McsEntry {
+        index: 7,
+        phy_mbps: 1925.0,
+        min_snr_db: 11.0,
+    },
+    McsEntry {
+        index: 8,
+        phy_mbps: 2310.0,
+        min_snr_db: 12.5,
+    },
+    McsEntry {
+        index: 9,
+        phy_mbps: 2502.5,
+        min_snr_db: 14.0,
+    },
+    McsEntry {
+        index: 10,
+        phy_mbps: 3080.0,
+        min_snr_db: 16.5,
+    },
+    McsEntry {
+        index: 11,
+        phy_mbps: 3850.0,
+        min_snr_db: 18.5,
+    },
+    McsEntry {
+        index: 12,
+        phy_mbps: 4620.0,
+        min_snr_db: 20.5,
+    },
 ];
 
 /// Data-plane link model relative to probe frames.

@@ -58,7 +58,10 @@ impl AdaptiveCss {
     /// clamped into the controller's range.
     pub fn new(mut css: CompressiveSelection, config: AdaptiveConfig) -> Self {
         assert!(config.min_probes >= 2, "need at least two probes");
-        assert!(config.min_probes <= config.max_probes, "min must not exceed max");
+        assert!(
+            config.min_probes <= config.max_probes,
+            "min must not exceed max"
+        );
         let m = css.num_probes().clamp(config.min_probes, config.max_probes);
         css.set_num_probes(m);
         AdaptiveCss {
@@ -81,7 +84,9 @@ impl AdaptiveCss {
             (Some(now), Some(before)) if now == before => {
                 self.stable_count += 1;
                 if self.stable_count >= self.config.stable_threshold {
-                    let new_m = m.saturating_sub(self.config.shrink_step).max(self.config.min_probes);
+                    let new_m = m
+                        .saturating_sub(self.config.shrink_step)
+                        .max(self.config.min_probes);
                     self.css.set_num_probes(new_m);
                 }
             }

@@ -87,15 +87,11 @@ impl HierarchicalSearch {
         // Greedy max-min spread of peak directions, anchored at the sector
         // with the strongest peak gain.
         let mut anchors: Vec<SectorId> = Vec::new();
-        if let Some(first) = patterns
-            .sector_ids()
-            .into_iter()
-            .max_by(|&a, &b| {
-                let ga = patterns.get(a).unwrap().peak().0;
-                let gb = patterns.get(b).unwrap().peak().0;
-                ga.partial_cmp(&gb).expect("gain is finite")
-            })
-        {
+        if let Some(first) = patterns.sector_ids().into_iter().max_by(|&a, &b| {
+            let ga = patterns.get(a).unwrap().peak().0;
+            let gb = patterns.get(b).unwrap().peak().0;
+            ga.partial_cmp(&gb).expect("gain is finite")
+        }) {
             anchors.push(first);
         }
         while anchors.len() < num_anchors.min(peaks.len()) {
@@ -324,8 +320,7 @@ mod tests {
         let mut h = HierarchicalSearch::new(&store, 4, 6);
         let full: Vec<SectorId> = store.sector_ids();
         let wide = h.probe_sectors(&full);
-        let readings: Vec<SweepReading> =
-            wide.iter().map(|&s| reading(s.raw(), 3.0)).collect();
+        let readings: Vec<SweepReading> = wide.iter().map(|&s| reading(s.raw(), 3.0)).collect();
         let winner = h.select(&readings);
         let _ = h.probe_sectors(&full);
         // All narrow probes missing: fall back to the wide winner.

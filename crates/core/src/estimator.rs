@@ -42,6 +42,11 @@ pub enum CorrelationMode {
 /// The SNR report floor of the Talon firmware, dB (§4.3).
 const REPORT_FLOOR_DB: f64 = -7.0;
 
+/// Exponent of the energy prior (see
+/// [`CompressiveEstimator::correlation_map`]): 1.0 tilts the map fully
+/// towards well-covered directions, 0.0 disables the prior.
+const ENERGY_PRIOR_EXPONENT: f64 = 0.25;
+
 /// Transforms a dB report into the correlation domain: dB above the floor.
 fn report_scale(db: f64) -> f64 {
     (db - REPORT_FLOOR_DB).max(0.0)
@@ -218,12 +223,17 @@ impl CompressiveEstimator {
             let w_snr = masked_correlation_sq(&p_snr, &x, &mask);
             let w_corr = match self.mode {
                 CorrelationMode::SnrOnly => w_snr,
-                CorrelationMode::JointSnrRssi => {
-                    w_snr * masked_correlation_sq(&p_rssi, &x, &mask)
-                }
+                CorrelationMode::JointSnrRssi => w_snr * masked_correlation_sq(&p_rssi, &x, &mask),
             };
             *w = if self.options.energy_prior {
-                w_corr * (energy[g] / energy_max)
+                // Soft prior: scaling W *proportionally* to the expected
+                // energy biases small probing sets towards the broadside
+                // region where most sectors overlap, while no prior at all
+                // lets dark grid cells at the map edge win on noise shape.
+                // The fractional exponent keeps the dark-region suppression
+                // but flattens the tilt (in dB) inside the illuminated
+                // region to a quarter of the proportional prior's.
+                w_corr * (energy[g] / energy_max).powf(ENERGY_PRIOR_EXPONENT)
             } else {
                 w_corr
             };
@@ -245,17 +255,33 @@ impl CompressiveEstimator {
     /// numerical equivalent of the paper's "we find the angles … with
     /// maximum correlation numerically" on a continuous surface.
     pub fn estimate(&self, readings: &[SweepReading]) -> Option<(Direction, f64)> {
+        let mut span = obs::span("css.estimate");
+        obs::counter("css.estimates").inc();
+        if span.is_recording() {
+            span.field("probes", readings.len() as f64);
+            let masked = readings.iter().filter(|r| r.measurement.is_none()).count();
+            span.field("masked", masked as f64);
+        }
         let map = self.correlation_map(readings);
-        let (best_i, best_w) = map
+        let Some((best_i, best_w)) = map
             .iter()
             .copied()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("correlation is finite"))?;
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("correlation is finite"))
+        else {
+            obs::counter("css.degenerate").inc();
+            return None;
+        };
         if best_w <= 0.0 {
+            obs::counter("css.degenerate").inc();
             return None;
         }
         let n_az = self.grid.az.len();
         let (el_i, az_i) = (best_i / n_az, best_i % n_az);
+        if span.is_recording() {
+            span.field("score", best_w);
+            span.field("argmax_margin", argmax_margin(&map, best_i, n_az, best_w));
+        }
         let coarse = self.grid.direction(best_i);
         if !self.options.subcell_refinement {
             return Some((coarse, best_w));
@@ -271,12 +297,33 @@ impl CompressiveEstimator {
         } else {
             0.0
         };
+        span.field("refine_daz_deg", az_off * self.grid.az.step_deg);
+        span.field("refine_del_deg", el_off * self.grid.el.step_deg);
         let refined = Direction::new(
             coarse.az_deg + az_off * self.grid.az.step_deg,
             coarse.el_deg + el_off * self.grid.el.step_deg,
         );
         Some((refined, best_w))
     }
+}
+
+/// How far the winning correlation peak stands above the best cell outside
+/// its own 3×3 neighbourhood (trace diagnostics: a small margin means the
+/// argmax nearly tipped to a different lobe). Only computed while a trace
+/// sink is recording.
+fn argmax_margin(map: &[f64], best_i: usize, n_az: usize, best_w: f64) -> f64 {
+    let (b_el, b_az) = (best_i / n_az, best_i % n_az);
+    let runner_up = map
+        .iter()
+        .copied()
+        .enumerate()
+        .filter(|&(i, _)| {
+            let (el, az) = (i / n_az, i % n_az);
+            el.abs_diff(b_el) > 1 || az.abs_diff(b_az) > 1
+        })
+        .map(|(_, w)| w)
+        .fold(0.0, f64::max);
+    best_w - runner_up
 }
 
 /// Peak offset of the parabola through `(−1, l)`, `(0, c)`, `(+1, r)`,
@@ -381,6 +428,31 @@ mod tests {
     }
 
     #[test]
+    fn masked_readings_equal_never_probed_sectors() {
+        // A sector that reported nothing must contribute exactly as much
+        // as one that was never probed at all: nothing. The mask drops the
+        // row from the correlation (Eq. 5); it must not leak a zero.
+        let store = synthetic_store();
+        let truth = Direction::new(20.0, 0.0);
+        for mode in [CorrelationMode::SnrOnly, CorrelationMode::JointSnrRssi] {
+            let est = CompressiveEstimator::new(&store, mode);
+            let with_masked = vec![
+                reading(1, store.get(SectorId(1)).unwrap().gain_interp(&truth)),
+                missing(2),
+                reading(3, store.get(SectorId(3)).unwrap().gain_interp(&truth)),
+            ];
+            let never_probed: Vec<SweepReading> = with_masked
+                .iter()
+                .filter(|r| r.measurement.is_some())
+                .copied()
+                .collect();
+            let a = est.estimate(&with_masked);
+            let b = est.estimate(&never_probed);
+            assert_eq!(a, b, "mode {mode:?}: masked {a:?} vs absent {b:?}");
+        }
+    }
+
+    #[test]
     fn too_few_measurements_yield_none() {
         let store = synthetic_store();
         let est = CompressiveEstimator::new(&store, CorrelationMode::SnrOnly);
@@ -435,9 +507,19 @@ mod tests {
     fn parabolic_refinement_recovers_off_grid_peaks() {
         // Pure function check.
         assert_eq!(super::parabolic_offset(1.0, 2.0, 1.0), 0.0);
-        assert!(super::parabolic_offset(1.0, 2.0, 1.8) > 0.0, "peak leans right");
-        assert!(super::parabolic_offset(1.8, 2.0, 1.0) < 0.0, "peak leans left");
-        assert_eq!(super::parabolic_offset(1.0, 1.0, 1.0), 0.0, "flat is degenerate");
+        assert!(
+            super::parabolic_offset(1.0, 2.0, 1.8) > 0.0,
+            "peak leans right"
+        );
+        assert!(
+            super::parabolic_offset(1.8, 2.0, 1.0) < 0.0,
+            "peak leans left"
+        );
+        assert_eq!(
+            super::parabolic_offset(1.0, 1.0, 1.0),
+            0.0,
+            "flat is degenerate"
+        );
         // Offsets never exceed half a cell.
         assert_eq!(super::parabolic_offset(0.0, 1.0, 1.0), 0.5);
 
@@ -453,7 +535,10 @@ mod tests {
         // The estimate is allowed to land off the 2° lattice…
         assert!((dir.az_deg - 14.7).abs() < 4.0, "refined estimate {dir}");
         // …and it must at least not be snapped away from the truth side.
-        assert!(dir.az_deg > 10.0, "estimate on the correct side: {dir} ({on_grid})");
+        assert!(
+            dir.az_deg > 10.0,
+            "estimate on the correct side: {dir} ({on_grid})"
+        );
     }
 
     #[test]
@@ -473,7 +558,10 @@ mod tests {
         let full = CompressiveEstimator::new(&store, CorrelationMode::SnrOnly);
         // Without refinement the estimate snaps to the 2° lattice.
         let (d_bare, _) = bare.estimate(&readings).unwrap();
-        assert!((d_bare.az_deg / 2.0).fract().abs() < 1e-9, "on-grid: {d_bare}");
+        assert!(
+            (d_bare.az_deg / 2.0).fract().abs() < 1e-9,
+            "on-grid: {d_bare}"
+        );
         // Both land near the truth on this clean input.
         let (d_full, _) = full.estimate(&readings).unwrap();
         assert!((d_full.az_deg - 15.0).abs() < 4.0);

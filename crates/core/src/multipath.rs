@@ -29,7 +29,7 @@ use crate::estimator::{CompressiveEstimator, CorrelationMode};
 use chamber::SectorPatterns;
 use geom::sphere::Direction;
 use talon_array::SectorId;
-use talon_channel::SweepReading;
+use talon_channel::{Measurement, SweepReading};
 
 /// One estimated propagation path.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -57,7 +57,14 @@ pub struct MultipathEstimator {
 impl MultipathEstimator {
     /// Builds the estimator from measured patterns.
     pub fn new(patterns: SectorPatterns, mode: CorrelationMode) -> Self {
-        let estimator = CompressiveEstimator::new(&patterns, mode);
+        let mut estimator = CompressiveEstimator::new(&patterns, mode);
+        // The energy prior exists to keep *small* probing sets from
+        // hallucinating peaks in directions they never illuminated.
+        // Multipath extraction runs on full (or near-full) sweeps, where
+        // every direction is illuminated — there the prior only tilts the
+        // map towards broadside and squashes off-axis secondaries below
+        // the score-ratio gate, so it is disabled here.
+        estimator.options.energy_prior = false;
         MultipathEstimator {
             estimator,
             patterns,
@@ -95,9 +102,17 @@ impl MultipathEstimator {
             direction: primary_dir,
             score: primary_w,
         });
-        // Secondary: argmax outside the exclusion zone.
+        // Secondary: magnitude-only successive cancellation. Correlating
+        // the *raw* readings a second time buries the secondary under the
+        // primary lobe's skirt (its map value sits barely above the pure
+        // noise floor). Subtracting the primary's least-squares-scaled
+        // linear-power contribution from each reading first leaves a
+        // residual dominated by the secondary path, whose correlation map
+        // then peaks cleanly at the reflection.
+        let residual = self.cancel_path(readings, &primary_dir);
+        let rmap = self.estimator.correlation_map(&residual);
         let mut best: Option<(usize, f64)> = None;
-        for (i, &w) in map.iter().enumerate() {
+        for (i, &w) in rmap.iter().enumerate() {
             if w <= 0.0 {
                 continue;
             }
@@ -113,11 +128,67 @@ impl MultipathEstimator {
             if w >= self.min_score_ratio * primary_w {
                 paths.push(PathEstimate {
                     direction: grid.direction(i),
-                    score: w,
+                    // Clamp so the primary stays the top-scoring path: the
+                    // residual map is normalized against much weaker
+                    // vectors, so its raw peak is not comparable to the
+                    // primary's score on the full readings.
+                    score: w.min(primary_w),
                 });
             }
         }
         paths
+    }
+
+    /// Subtracts the predicted contribution of a path in `dir` from the
+    /// readings (linear power, least-squares scale fit). Readings the
+    /// cancellation removes almost entirely are masked out, so the
+    /// residual correlation sees only sectors the cancelled path does not
+    /// explain.
+    fn cancel_path(&self, readings: &[SweepReading], dir: &Direction) -> Vec<SweepReading> {
+        use geom::db::{db_to_linear, linear_to_db};
+        // Least-squares amplitude of the path in linear power:
+        // a = Σ x·g / Σ g² over measured sectors.
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for r in readings {
+            let (Some(m), Some(p)) = (r.measurement, self.patterns.get(r.sector)) else {
+                continue;
+            };
+            let g = db_to_linear(p.gain_interp(dir));
+            num += db_to_linear(m.snr_db) * g;
+            den += g * g;
+        }
+        if den <= 0.0 {
+            return readings.to_vec();
+        }
+        let a = (num / den).max(0.0);
+        readings
+            .iter()
+            .map(|r| {
+                let (Some(m), Some(p)) = (r.measurement, self.patterns.get(r.sector)) else {
+                    return SweepReading {
+                        sector: r.sector,
+                        measurement: None,
+                    };
+                };
+                let x = db_to_linear(m.snr_db);
+                let resid = x - a * db_to_linear(p.gain_interp(dir));
+                // A residual more than ~10 dB below the reading means the
+                // path explains this sector; mask it so it cannot anchor
+                // the residual correlation.
+                let measurement = (resid > 0.1 * x).then(|| {
+                    let resid_db = linear_to_db(resid);
+                    Measurement {
+                        snr_db: resid_db,
+                        rssi_dbm: m.rssi_dbm + (resid_db - m.snr_db),
+                    }
+                });
+                SweepReading {
+                    sector: r.sector,
+                    measurement,
+                }
+            })
+            .collect()
     }
 
     /// Selects the primary sector (Eq. 4 at the dominant path) and a
@@ -138,12 +209,7 @@ impl MultipathEstimator {
                 .patterns
                 .sector_ids()
                 .into_iter()
-                .map(|id| {
-                    (
-                        id,
-                        self.patterns.get(id).unwrap().gain_interp(&p.direction),
-                    )
-                })
+                .map(|id| (id, self.patterns.get(id).unwrap().gain_interp(&p.direction)))
                 .collect();
             candidates.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("gains are finite"));
             candidates
@@ -269,8 +335,8 @@ mod tests {
                 }
             })
             .collect();
-        let est = MultipathEstimator::new(store, CorrelationMode::SnrOnly)
-            .with_min_score_ratio(0.6);
+        let est =
+            MultipathEstimator::new(store, CorrelationMode::SnrOnly).with_min_score_ratio(0.6);
         let paths = est.estimate_paths(&readings);
         assert_eq!(paths.len(), 1, "no spurious secondary: {paths:?}");
     }

@@ -103,6 +103,7 @@ impl CompressiveSelection {
     /// Runs steps 2 + 3 on existing readings (the offline-analysis entry
     /// point used by the evaluation, which replays recorded sweeps).
     pub fn select_from_readings(&mut self, readings: &[SweepReading]) -> Option<SectorId> {
+        obs::counter("css.selections").inc();
         match self.estimator.estimate(readings) {
             Some((dir, score)) => {
                 self.last_estimate = Some((dir, score));
@@ -113,6 +114,7 @@ impl CompressiveSelection {
                 // Degenerate sweep (fewer than two usable probes): fall
                 // back to whatever argmax can salvage, like the firmware
                 // would.
+                obs::counter("css.fallbacks").inc();
                 MaxSnrPolicy.select(readings)
             }
         }

@@ -149,7 +149,9 @@ mod tests {
         let avail = ids(&[1, 2]);
         let mut rng = sub_rng(2, "strategy");
         assert_eq!(
-            ProbeStrategy::UniformRandom.pick(&mut rng, &avail, 10).len(),
+            ProbeStrategy::UniformRandom
+                .pick(&mut rng, &avail, 10)
+                .len(),
             2
         );
     }

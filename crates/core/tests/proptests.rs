@@ -9,7 +9,10 @@ use talon_channel::{Measurement, SweepReading};
 
 /// A small synthetic store with parabolic lobes at fixed azimuths.
 fn lobe_store() -> SectorPatterns {
-    let grid = SphericalGrid::new(GridSpec::new(-60.0, 60.0, 3.0), GridSpec::new(0.0, 12.0, 6.0));
+    let grid = SphericalGrid::new(
+        GridSpec::new(-60.0, 60.0, 3.0),
+        GridSpec::new(0.0, 12.0, 6.0),
+    );
     let mut store = SectorPatterns::new(grid.clone());
     for (k, peak) in [-45.0, -15.0, 15.0, 45.0].iter().enumerate() {
         let gains: Vec<f64> = grid

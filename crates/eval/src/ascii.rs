@@ -39,7 +39,9 @@ pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
 /// Renders a horizontal bar chart line: label, bar, value.
 pub fn bar(label: &str, value: f64, max: f64, width: usize) -> String {
     let filled = if max > 0.0 {
-        ((value / max) * width as f64).round().clamp(0.0, width as f64) as usize
+        ((value / max) * width as f64)
+            .round()
+            .clamp(0.0, width as f64) as usize
     } else {
         0
     };
@@ -53,7 +55,10 @@ pub fn bar(label: &str, value: f64, max: f64, width: usize) -> String {
 /// Renders a small heatmap (row-major values) with a coarse character ramp.
 pub fn heatmap(values: &[f64], cols: usize, lo: f64, hi: f64) -> String {
     const RAMP: &[u8] = b" .:-=+*#%@";
-    assert!(cols > 0 && values.len().is_multiple_of(cols), "rectangular input");
+    assert!(
+        cols > 0 && values.len().is_multiple_of(cols),
+        "rectangular input"
+    );
     let mut out = String::new();
     for row in values.chunks(cols) {
         for &v in row {

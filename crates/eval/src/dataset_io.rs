@@ -61,12 +61,9 @@ pub fn to_text(data: &RecordedDataset) -> String {
             out.push_str(&format!("sweep {i} {k}"));
             for r in sweep {
                 match r.measurement {
-                    Some(m) => out.push_str(&format!(
-                        " {}:{}:{}",
-                        r.sector.raw(),
-                        m.snr_db,
-                        m.rssi_dbm
-                    )),
+                    Some(m) => {
+                        out.push_str(&format!(" {}:{}:{}", r.sector.raw(), m.snr_db, m.rssi_dbm))
+                    }
                     None => out.push_str(&format!(" {}:-", r.sector.raw())),
                 }
             }
@@ -123,27 +120,21 @@ pub fn from_text(text: &str) -> Result<RecordedDataset, DatasetError> {
             }
             Some("sweep") => {
                 let idx: usize = parts.next().and_then(|s| s.parse().ok()).ok_or_else(err)?;
-                let _sweep_no: usize =
-                    parts.next().and_then(|s| s.parse().ok()).ok_or_else(err)?;
+                let _sweep_no: usize = parts.next().and_then(|s| s.parse().ok()).ok_or_else(err)?;
                 let pos = positions
                     .get_mut(idx)
                     .ok_or(DatasetError::UnknownPosition(idx))?;
                 let mut readings = Vec::new();
                 for tok in parts {
                     let mut fields = tok.split(':');
-                    let sector: u8 = fields
-                        .next()
-                        .and_then(|s| s.parse().ok())
-                        .ok_or_else(err)?;
+                    let sector: u8 = fields.next().and_then(|s| s.parse().ok()).ok_or_else(err)?;
                     let second = fields.next().ok_or_else(err)?;
                     let measurement = if second == "-" {
                         None
                     } else {
                         let snr: f64 = second.parse().map_err(|_| err())?;
-                        let rssi: f64 = fields
-                            .next()
-                            .and_then(|s| s.parse().ok())
-                            .ok_or_else(err)?;
+                        let rssi: f64 =
+                            fields.next().and_then(|s| s.parse().ok()).ok_or_else(err)?;
                         Some(Measurement {
                             snr_db: snr,
                             rssi_dbm: rssi,

@@ -95,7 +95,11 @@ mod tests {
         let res = training_time(&[14, 34], 2);
         assert!((res.ssw_ms - 1.2731).abs() < 1e-6);
         assert!((res.css14_ms - 0.5531).abs() < 1e-6);
-        assert!((res.speedup() - 2.3).abs() < 0.02, "speedup {}", res.speedup());
+        assert!(
+            (res.speedup() - 2.3).abs() < 0.02,
+            "speedup {}",
+            res.speedup()
+        );
     }
 
     #[test]

@@ -157,8 +157,14 @@ mod tests {
         let summary = classify(&res.tx_patterns);
         assert_eq!(summary.len(), 34);
         let count = |t: SectorTrait| summary.iter().filter(|s| s.trait_ == t).count();
-        assert!(count(SectorTrait::StrongSingleLobe) >= 10, "many directional sectors");
-        assert!(count(SectorTrait::Weak) >= 1, "defective sectors exist (25, 62)");
+        assert!(
+            count(SectorTrait::StrongSingleLobe) >= 10,
+            "many directional sectors"
+        );
+        assert!(
+            count(SectorTrait::Weak) >= 1,
+            "defective sectors exist (25, 62)"
+        );
         // Sector 63 is a strong single lobe near broadside.
         let s63 = summary.iter().find(|s| s.id == 63).unwrap();
         assert_eq!(s63.trait_, SectorTrait::StrongSingleLobe);

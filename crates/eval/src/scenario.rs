@@ -68,14 +68,12 @@ impl EvalScenario {
     /// The §6.1 conference room: 6 m, az ±60° at 1.3°, elevation fixed.
     pub fn conference_room(fidelity: Fidelity, seed: u64) -> Self {
         let eval_grid = match fidelity {
-            Fidelity::Paper => SphericalGrid::new(
-                GridSpec::new(-60.0, 60.0, 1.3),
-                GridSpec::fixed(0.0),
-            ),
-            Fidelity::Fast => SphericalGrid::new(
-                GridSpec::new(-60.0, 60.0, 10.0),
-                GridSpec::fixed(0.0),
-            ),
+            Fidelity::Paper => {
+                SphericalGrid::new(GridSpec::new(-60.0, 60.0, 1.3), GridSpec::fixed(0.0))
+            }
+            Fidelity::Fast => {
+                SphericalGrid::new(GridSpec::new(-60.0, 60.0, 10.0), GridSpec::fixed(0.0))
+            }
         };
         Self::build(
             "conference-room",
@@ -122,6 +120,10 @@ impl EvalScenario {
 
     /// Records full sector sweeps at every orientation of the eval grid.
     pub fn record(&mut self, seed: u64) -> RecordedDataset {
+        let mut span = obs::span("eval.record");
+        obs::counter("eval.records").inc();
+        span.field("positions", self.eval_grid.len() as f64);
+        span.field("sweeps_per_position", self.sweeps_per_position as f64);
         let mut rng = sub_rng(seed, "scenario-record");
         let mut head = RotationHead::paper_setup(seed);
         let sweep_order = self.dut.codebook.sweep_order();
@@ -137,12 +139,16 @@ impl EvalScenario {
                 .map(|&s| {
                     (
                         s,
-                        self.link.true_snr_db(&self.dut, s, &self.fixed, &rx_weights),
+                        self.link
+                            .true_snr_db(&self.dut, s, &self.fixed, &rx_weights),
                     )
                 })
                 .collect();
             let sweeps: Vec<Vec<SweepReading>> = (0..self.sweeps_per_position)
-                .map(|_| self.link.sweep(&mut rng, &self.dut, &sweep_order, &self.fixed))
+                .map(|_| {
+                    self.link
+                        .sweep(&mut rng, &self.dut, &sweep_order, &self.fixed)
+                })
                 .collect();
             positions.push(RecordedPosition {
                 truth,
@@ -180,7 +186,10 @@ impl RecordedPosition {
 
     /// Noise-free SNR of a given sector.
     pub fn true_snr_of(&self, id: SectorId) -> Option<f64> {
-        self.true_snr.iter().find(|(s, _)| *s == id).map(|&(_, v)| v)
+        self.true_snr
+            .iter()
+            .find(|(s, _)| *s == id)
+            .map(|&(_, v)| v)
     }
 }
 

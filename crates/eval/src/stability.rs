@@ -10,8 +10,8 @@
 
 use crate::scenario::{random_subset, RecordedDataset};
 use chamber::SectorPatterns;
-use css::selection::{CompressiveSelection, CssConfig};
 use css::estimator::CorrelationMode;
+use css::selection::{CompressiveSelection, CssConfig};
 use css::strategy::ProbeStrategy;
 use geom::rng::sub_rng;
 use geom::stats::modal_fraction;

@@ -153,8 +153,18 @@ mod tests {
         );
         assert_eq!(res.rows.len(), 3);
         for row in &res.rows {
-            assert!(row.ssw_gbps > 0.5, "SSW usable at {}°: {}", row.azimuth_deg, row.ssw_gbps);
-            assert!(row.css_gbps > 0.5, "CSS usable at {}°: {}", row.azimuth_deg, row.css_gbps);
+            assert!(
+                row.ssw_gbps > 0.5,
+                "SSW usable at {}°: {}",
+                row.azimuth_deg,
+                row.ssw_gbps
+            );
+            assert!(
+                row.css_gbps > 0.5,
+                "CSS usable at {}°: {}",
+                row.azimuth_deg,
+                row.css_gbps
+            );
         }
     }
 

@@ -280,7 +280,10 @@ mod tests {
 
     #[test]
     fn nearest_index_snaps_off_grid_directions() {
-        let grid = SphericalGrid::new(GridSpec::new(-10.0, 10.0, 5.0), GridSpec::new(0.0, 10.0, 5.0));
+        let grid = SphericalGrid::new(
+            GridSpec::new(-10.0, 10.0, 5.0),
+            GridSpec::new(0.0, 10.0, 5.0),
+        );
         let idx = grid.nearest_index(&Direction::new(3.0, 7.0));
         let d = grid.direction(idx);
         assert_eq!(d.az_deg, 5.0);

@@ -11,11 +11,11 @@
 //! the channel simulator and reports which sector pair the link starts on
 //! and how long bring-up took.
 
-use crate::bti::{AbftConfig, AbftSlots, BeaconScheduler};
-use crate::sls::MaxSnrPolicy;
-use crate::sls::FeedbackPolicy;
-use crate::timing::{SimDuration, BEACON_INTERVAL};
 use crate::addr::MacAddr;
+use crate::bti::{AbftConfig, AbftSlots, BeaconScheduler};
+use crate::sls::FeedbackPolicy;
+use crate::sls::MaxSnrPolicy;
+use crate::timing::{SimDuration, BEACON_INTERVAL};
 use rand::Rng;
 use talon_array::SectorId;
 use talon_channel::{Device, Link, SweepReading};
@@ -179,12 +179,28 @@ mod tests {
         let runs = 20;
         for seed in 0..runs {
             let mut rng = sub_rng(seed, "assoc-contention");
-            let a = associate(&mut rng, &link, &ap, MacAddr::device(1), &sta, MacAddr::device(2), 7)
-                .expect("associates eventually");
+            let a = associate(
+                &mut rng,
+                &link,
+                &ap,
+                MacAddr::device(1),
+                &sta,
+                MacAddr::device(2),
+                7,
+            )
+            .expect("associates eventually");
             with_contention += a.beacon_intervals as f64;
             let mut rng = sub_rng(seed, "assoc-free");
-            let b = associate(&mut rng, &link, &ap, MacAddr::device(1), &sta, MacAddr::device(2), 0)
-                .expect("associates");
+            let b = associate(
+                &mut rng,
+                &link,
+                &ap,
+                MacAddr::device(1),
+                &sta,
+                MacAddr::device(2),
+                0,
+            )
+            .expect("associates");
             without += b.beacon_intervals as f64;
         }
         assert!(

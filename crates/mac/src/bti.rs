@@ -159,9 +159,7 @@ impl AbftSlots {
     pub fn winners(&self) -> Vec<MacAddr> {
         self.picks
             .iter()
-            .filter(|(_, slot)| {
-                self.picks.iter().filter(|(_, s)| s == slot).count() == 1
-            })
+            .filter(|(_, slot)| self.picks.iter().filter(|(_, s)| s == slot).count() == 1)
             .map(|&(sta, _)| sta)
             .collect()
     }
@@ -170,9 +168,7 @@ impl AbftSlots {
     pub fn collided(&self) -> Vec<MacAddr> {
         self.picks
             .iter()
-            .filter(|(_, slot)| {
-                self.picks.iter().filter(|(_, s)| s == slot).count() > 1
-            })
+            .filter(|(_, slot)| self.picks.iter().filter(|(_, s)| s == slot).count() > 1)
             .map(|&(sta, _)| sta)
             .collect()
     }

@@ -11,10 +11,10 @@
 //! and positions), parses them, and aggregates a CDOWN → sector table per
 //! burst kind.
 
+use crate::addr::MacAddr;
+use crate::fields::SswField;
 use crate::frames::Frame;
 use crate::schedule::{BurstKind, BurstSchedule};
-use crate::fields::SswField;
-use crate::addr::MacAddr;
 use rand::Rng;
 use std::collections::BTreeMap;
 use talon_array::SectorId;

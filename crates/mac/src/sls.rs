@@ -20,8 +20,8 @@ use crate::schedule::BurstSchedule;
 use crate::timing::{SimDuration, SimTime, SLS_OVERHEAD, SSW_FRAME_TIME};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use talon_channel::{Device, Link, SweepReading};
 use talon_array::SectorId;
+use talon_channel::{Device, Link, SweepReading};
 
 /// Chooses sectors from sweep measurements and decides what to probe.
 ///
@@ -134,6 +134,8 @@ impl<'a> SlsRunner<'a> {
         PI: FeedbackPolicy + ?Sized,
         PR: FeedbackPolicy + ?Sized,
     {
+        let mut span = obs::span("sls.run");
+        obs::counter("sls.runs").inc();
         let mut now = SimTime::ZERO;
         let mut frames = Vec::new();
 
@@ -224,6 +226,14 @@ impl<'a> SlsRunner<'a> {
         ));
         now += SLS_OVERHEAD;
 
+        obs::counter("sls.ssw_frames").add(frames.len() as u64);
+        span.field("iss_frames", iss_readings.len() as f64);
+        span.field("rss_frames", rss_readings.len() as f64);
+        span.field(
+            "feedback_sector",
+            initiator_tx_sector.map_or(-1.0, |s| f64::from(s.raw())),
+        );
+        span.field("sim_duration_us", now.since(SimTime::ZERO).as_ms() * 1000.0);
         SlsOutcome {
             initiator_tx_sector,
             responder_tx_sector,
@@ -371,12 +381,10 @@ mod tests {
             },
         ];
         assert_eq!(MaxSnrPolicy.select(&readings), Some(SectorId(2)));
-        let empty: Vec<SweepReading> = vec![
-            SweepReading {
-                sector: SectorId(1),
-                measurement: None,
-            },
-        ];
+        let empty: Vec<SweepReading> = vec![SweepReading {
+            sector: SectorId(1),
+            measurement: None,
+        }];
         assert_eq!(MaxSnrPolicy.select(&empty), None);
     }
 }

@@ -8,14 +8,8 @@ use proptest::prelude::*;
 use talon_array::SectorId;
 
 fn arb_ssw_field() -> impl Strategy<Value = SswField> {
-    (
-        any::<bool>(),
-        0u16..512,
-        0u8..64,
-        0u8..4,
-        0u8..64,
-    )
-        .prop_map(|(dir, cdown, sector, antenna, rxss)| SswField {
+    (any::<bool>(), 0u16..512, 0u8..64, 0u8..4, 0u8..64).prop_map(
+        |(dir, cdown, sector, antenna, rxss)| SswField {
             direction: if dir {
                 SweepDirection::Responder
             } else {
@@ -25,18 +19,19 @@ fn arb_ssw_field() -> impl Strategy<Value = SswField> {
             sector_id: SectorId(sector),
             dmg_antenna_id: antenna,
             rxss_length: rxss,
-        })
+        },
+    )
 }
 
 fn arb_feedback() -> impl Strategy<Value = SswFeedbackField> {
-    (0u8..64, 0u8..4, any::<u8>(), any::<bool>()).prop_map(
-        |(sector, antenna, snr, poll)| SswFeedbackField {
+    (0u8..64, 0u8..4, any::<u8>(), any::<bool>()).prop_map(|(sector, antenna, snr, poll)| {
+        SswFeedbackField {
             sector_select: SectorId(sector),
             dmg_antenna_select: antenna,
             snr_report: snr,
             poll_required: poll,
-        },
-    )
+        }
+    })
 }
 
 fn arb_addr() -> impl Strategy<Value = MacAddr> {

@@ -81,9 +81,11 @@ where
     F: FnMut(&SectorPatterns, u64) -> TrainingPolicy,
 {
     let mut rng = sub_rng(seed, "dense");
+    let mut span = obs::span("netsim.dense");
     let env = Environment::conference_room();
     let link = Link::new(env);
     let max_pairs = config.pair_counts.iter().copied().max().unwrap_or(0);
+    span.field("pairs", max_pairs as f64);
 
     // Simulate each pair once: orientation, training, achieved rate.
     let mut pair_rates = Vec::with_capacity(max_pairs);
@@ -155,7 +157,12 @@ mod tests {
             ..DenseConfig::default()
         };
         let ssw = dense_deployment(&config, &p, |_, _| TrainingPolicy::ssw(), 80);
-        let css = dense_deployment(&config, &p, |pat, s| TrainingPolicy::css(pat.clone(), 14, s), 80);
+        let css = dense_deployment(
+            &config,
+            &p,
+            |pat, s| TrainingPolicy::css(pat.clone(), 14, s),
+            80,
+        );
         // CSS's airtime bill is ~2.3× smaller at every pair count.
         for (a, b) in ssw.rows.iter().zip(&css.rows) {
             assert!(a.training_airtime >= b.training_airtime);

@@ -113,9 +113,10 @@ impl Room {
         // azimuth is its bearing.
         let dep_world = Direction::new(bearing_deg(tx.tx_pos, rx.rx_pos), 0.0);
         let arr_world = Direction::new(bearing_deg(rx.rx_pos, tx.tx_pos), 0.0);
-        let g_tx = tx
-            .tx
-            .gain_towards_world(&tx.tx.codebook.get(sector).expect("sector exists").weights, &dep_world);
+        let g_tx = tx.tx.gain_towards_world(
+            &tx.tx.codebook.get(sector).expect("sector exists").weights,
+            &dep_world,
+        );
         let g_rx = rx
             .rx
             .gain_towards_world(&rx.rx.codebook.rx_sector().weights, &arr_world);
@@ -227,7 +228,9 @@ mod tests {
         let r = room(6, 4);
         let pollution = r.sweep_pollution_db(0);
         assert_eq!(pollution.len(), 5);
-        let data_interf: Vec<f64> = (1..6).map(|j| r.rx_power_dbm(0, j, r.pairs[0].tx_sector)).collect();
+        let data_interf: Vec<f64> = (1..6)
+            .map(|j| r.rx_power_dbm(0, j, r.pairs[0].tx_sector))
+            .collect();
         let mean = |xs: &Vec<f64>| xs.iter().sum::<f64>() / xs.len() as f64;
         // Averaged over victims, a full sweep spreads at least comparable
         // energy into the room as the single steered beam.

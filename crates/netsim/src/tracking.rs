@@ -156,7 +156,11 @@ pub fn tracking_run(
             .codebook
             .sweep_order()
             .into_iter()
-            .map(|s| config.rate_model.tcp_gbps(link.true_snr_db(&tx, s, &rx, &rxw)))
+            .map(|s| {
+                config
+                    .rate_model
+                    .tcp_gbps(link.true_snr_db(&tx, s, &rx, &rxw))
+            })
             .fold(0.0_f64, f64::max);
         if rate == 0.0 {
             outages += 1;
@@ -166,7 +170,7 @@ pub fn tracking_run(
         t += config.sample_step_s;
     }
 
-    TrackingResult {
+    let result = TrackingResult {
         policy: policy.name(),
         trainings,
         train_interval_s,
@@ -174,7 +178,15 @@ pub fn tracking_run(
         outage_fraction: outages as f64 / rates.len() as f64,
         mean_rate_gap_gbps: geom::stats::mean(&gaps).unwrap_or(0.0),
         failovers,
-    }
+    };
+    // Per-run rollup for the trace (one span per tracking experiment).
+    let mut span = obs::span("netsim.tracking");
+    span.field("trainings", result.trainings as f64);
+    span.field("failovers", result.failovers as f64);
+    span.field("outage_fraction", result.outage_fraction);
+    span.field("mean_gbps", result.mean_gbps);
+    drop(span);
+    result
 }
 
 #[cfg(test)]

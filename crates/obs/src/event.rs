@@ -1,0 +1,70 @@
+//! Trace events: the unit written to sinks and to JSONL trace files.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One trace record.
+///
+/// JSONL schema (one object per line):
+/// `{"ts_us":12,"kind":"span","stage":"css.estimate","dur_us":34,"fields":{"probes":14.0}}`
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Microseconds since trace start (process clock origin).
+    pub ts_us: u64,
+    /// Record kind: `"span"` for timed stages, `"mark"` for point events.
+    pub kind: String,
+    /// Stage name, dot-separated by layer (e.g. `sls.run`, `wil.sweep`).
+    pub stage: String,
+    /// Span duration in microseconds (0 for marks).
+    pub dur_us: u64,
+    /// Numeric attributes attached by the instrumented code.
+    pub fields: BTreeMap<String, f64>,
+}
+
+impl Event {
+    /// A completed span record.
+    pub fn span(ts_us: u64, stage: &str, dur_us: u64, fields: BTreeMap<String, f64>) -> Self {
+        Event {
+            ts_us,
+            kind: "span".into(),
+            stage: stage.into(),
+            dur_us,
+            fields,
+        }
+    }
+
+    /// An instantaneous point event.
+    pub fn mark(ts_us: u64, stage: &str, fields: BTreeMap<String, f64>) -> Self {
+        Event {
+            ts_us,
+            kind: "mark".into(),
+            stage: stage.into(),
+            dur_us: 0,
+            fields,
+        }
+    }
+
+    /// Field value, if present.
+    pub fn field(&self, name: &str) -> Option<f64> {
+        self.fields.get(name).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_json_round_trip() {
+        let mut fields = BTreeMap::new();
+        fields.insert("probes".to_string(), 14.0);
+        fields.insert("margin_db".to_string(), 2.5);
+        let ev = Event::span(12, "css.estimate", 34, fields);
+        let json = serde::Serialize::serialize(&ev).to_json();
+        assert!(json.contains("\"kind\":\"span\""), "{json}");
+        let back: Event =
+            serde::Deserialize::deserialize(&serde::Value::from_json(&json).unwrap()).unwrap();
+        assert_eq!(back, ev);
+        assert_eq!(back.field("probes"), Some(14.0));
+    }
+}

@@ -1,0 +1,102 @@
+//! Reading JSONL trace files back (the `talon report` side).
+
+use crate::event::Event;
+use crate::registry::Snapshot;
+use serde::{Deserialize, Value};
+use std::path::Path;
+
+/// Everything parsed from a trace file.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Span and mark events, in file order.
+    pub events: Vec<Event>,
+    /// The final registry snapshot, when the trace was closed cleanly.
+    pub snapshot: Option<Snapshot>,
+}
+
+impl Trace {
+    /// Events for one stage, in order.
+    pub fn stage(&self, stage: &str) -> Vec<&Event> {
+        self.events.iter().filter(|e| e.stage == stage).collect()
+    }
+
+    /// Distinct stage names, in first-seen order.
+    pub fn stages(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for e in &self.events {
+            if !out.contains(&e.stage) {
+                out.push(e.stage.clone());
+            }
+        }
+        out
+    }
+}
+
+/// Parses a JSONL trace file. Blank lines are skipped; a malformed line
+/// is an error naming its line number.
+pub fn read_trace(path: impl AsRef<Path>) -> Result<Trace, String> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    parse_trace(&text)
+}
+
+/// Parses trace text (one JSON object per line).
+pub fn parse_trace(text: &str) -> Result<Trace, String> {
+    let mut trace = Trace::default();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let value = Value::from_json(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let kind = value
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("line {}: missing \"kind\"", lineno + 1))?;
+        match kind {
+            "snapshot" => {
+                let snap = value
+                    .get("snapshot")
+                    .ok_or_else(|| format!("line {}: missing \"snapshot\"", lineno + 1))?;
+                trace.snapshot = Some(
+                    Snapshot::deserialize(snap)
+                        .map_err(|e| format!("line {}: bad snapshot: {e}", lineno + 1))?,
+                );
+            }
+            _ => {
+                trace.events.push(
+                    Event::deserialize(&value)
+                        .map_err(|e| format!("line {}: bad event: {e}", lineno + 1))?,
+                );
+            }
+        }
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_events_and_snapshot() {
+        let text = concat!(
+            "{\"ts_us\":1,\"kind\":\"span\",\"stage\":\"css.estimate\",\"dur_us\":20,\"fields\":{\"probes\":14.0}}\n",
+            "\n",
+            "{\"ts_us\":5,\"kind\":\"mark\",\"stage\":\"wil.overflow\",\"dur_us\":0,\"fields\":{}}\n",
+            "{\"kind\":\"snapshot\",\"ts_us\":9,\"snapshot\":{\"counters\":{\"css.estimates\":1},\"gauges\":{},\"histograms\":{}}}\n",
+        );
+        let trace = parse_trace(text).unwrap();
+        assert_eq!(trace.events.len(), 2);
+        assert_eq!(trace.stages(), vec!["css.estimate", "wil.overflow"]);
+        assert_eq!(trace.stage("css.estimate")[0].field("probes"), Some(14.0));
+        assert_eq!(trace.snapshot.unwrap().counter("css.estimates"), 1);
+    }
+
+    #[test]
+    fn malformed_line_is_reported_with_number() {
+        let err = parse_trace("{\"kind\":\"span\"}\nnot json\n").unwrap_err();
+        assert!(err.contains("line 1") || err.contains("line 2"), "{err}");
+    }
+}

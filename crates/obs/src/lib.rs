@@ -1,0 +1,120 @@
+//! Dependency-light observability for the talon workspace.
+//!
+//! Three layers, all usable independently:
+//!
+//! - **Metrics** ([`Counter`], [`Gauge`], [`Histogram`]) registered by name
+//!   in the process-wide [`Registry`] (`obs::global()`), snapshottable to a
+//!   serde-serializable [`Snapshot`].
+//! - **Spans** ([`span`]) — RAII stage timers feeding `<stage>.dur_us`
+//!   histograms and, when a sink is installed, emitting [`Event`]s with
+//!   attached numeric fields.
+//! - **Sinks** ([`EventSink`]) — no-op by default, [`MemorySink`] for tests,
+//!   [`JsonlSink`] for `talon --trace <file>` capture; [`jsonl::read_trace`]
+//!   reads the files back for `talon report`.
+//!
+//! Everything is built on atomics and `parking_lot` locks; there are no
+//! tracing/metrics framework dependencies. The no-sink fast path is one
+//! relaxed atomic load, keeping instrumentation overhead in the noise
+//! (see `crates/bench/benches/obs.rs`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod jsonl;
+pub mod metrics;
+pub mod registry;
+pub mod sink;
+pub mod span;
+
+pub use event::Event;
+pub use metrics::{Bucket, Counter, Gauge, Histogram, HistogramSnapshot};
+pub use registry::{Registry, Snapshot};
+pub use sink::{clear_sink, set_sink, sink_active, EventSink, JsonlSink, MemorySink, NoopSink};
+pub use span::{span, Span};
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// The process-wide metric registry.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Microseconds since the process trace clock started (first call).
+pub fn now_us() -> u64 {
+    static ORIGIN: OnceLock<Instant> = OnceLock::new();
+    ORIGIN.get_or_init(Instant::now).elapsed().as_micros() as u64
+}
+
+/// Shortcut: bump the global counter `name`.
+pub fn counter(name: &str) -> std::sync::Arc<Counter> {
+    global().counter(name)
+}
+
+/// Shortcut: the global gauge `name`.
+pub fn gauge(name: &str) -> std::sync::Arc<Gauge> {
+    global().gauge(name)
+}
+
+/// Shortcut: the global histogram `name`.
+pub fn histogram(name: &str) -> std::sync::Arc<Histogram> {
+    global().histogram(name)
+}
+
+/// Test support for code that installs global sinks.
+pub mod testing {
+    use parking_lot::{Mutex, MutexGuard};
+    use std::sync::OnceLock;
+
+    /// Serializes tests that install a global sink, so concurrently running
+    /// `#[test]`s don't capture each other's events. Hold the guard for the
+    /// whole test.
+    pub fn lock() -> MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(())).lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_registry_is_shared() {
+        counter("obs.lib.test").add(2);
+        assert!(global().snapshot().counter("obs.lib.test") >= 2);
+    }
+
+    #[test]
+    fn now_us_is_monotonic() {
+        let a = now_us();
+        let b = now_us();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn jsonl_sink_round_trips_through_reader() {
+        let _guard = testing::lock();
+        let dir = std::env::temp_dir().join("obs-jsonl-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("trace-{}.jsonl", std::process::id()));
+
+        let sink = std::sync::Arc::new(JsonlSink::create(&path).unwrap());
+        set_sink(sink.clone());
+        {
+            let mut s = span("obs.jsonl.test");
+            s.field("x", 1.5);
+        }
+        sink.write_snapshot(&global().snapshot());
+        clear_sink();
+
+        let trace = jsonl::read_trace(&path).unwrap();
+        assert_eq!(trace.stage("obs.jsonl.test").len(), 1);
+        assert_eq!(trace.stage("obs.jsonl.test")[0].field("x"), Some(1.5));
+        let snap = trace.snapshot.expect("snapshot line present");
+        assert!(snap.histograms.contains_key("obs.jsonl.test.dur_us"));
+        std::fs::remove_file(&path).ok();
+    }
+}

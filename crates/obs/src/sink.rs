@@ -1,0 +1,175 @@
+//! Event sinks: where trace events go.
+//!
+//! The default sink is a no-op and the hot path is gated on one relaxed
+//! atomic load, so instrumentation costs almost nothing until a sink is
+//! installed (`--trace` in the CLI, or a [`MemorySink`] in tests).
+
+use crate::event::Event;
+use crate::registry::Snapshot;
+use parking_lot::{Mutex, RwLock};
+use serde::Serialize;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Receives trace events.
+pub trait EventSink: Send + Sync {
+    /// Handles one event.
+    fn emit(&self, event: &Event);
+
+    /// Flushes buffered output (no-op by default).
+    fn flush(&self) {}
+}
+
+/// Discards everything.
+#[derive(Debug, Default)]
+pub struct NoopSink;
+
+impl EventSink for NoopSink {
+    fn emit(&self, _event: &Event) {}
+}
+
+/// Buffers events in memory; used by tests and short capture windows.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// Removes and returns everything captured so far.
+    pub fn take(&self) -> Vec<Event> {
+        std::mem::take(&mut self.events.lock())
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Whether nothing has been captured.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+}
+
+impl EventSink for MemorySink {
+    fn emit(&self, event: &Event) {
+        self.events.lock().push(event.clone());
+    }
+}
+
+/// Streams events to a file as JSON Lines.
+#[derive(Debug)]
+pub struct JsonlSink {
+    out: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the trace file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(JsonlSink {
+            out: Mutex::new(BufWriter::new(File::create(path)?)),
+        })
+    }
+
+    /// Appends a final registry-snapshot line:
+    /// `{"kind":"snapshot","ts_us":...,"snapshot":{...}}`.
+    pub fn write_snapshot(&self, snapshot: &Snapshot) {
+        let line = serde::Value::Map(vec![
+            ("kind".into(), serde::Value::Str("snapshot".into())),
+            ("ts_us".into(), serde::Value::U64(crate::now_us())),
+            ("snapshot".into(), snapshot.serialize()),
+        ]);
+        let mut out = self.out.lock();
+        let _ = writeln!(out, "{}", line.to_json());
+    }
+}
+
+impl EventSink for JsonlSink {
+    fn emit(&self, event: &Event) {
+        let mut out = self.out.lock();
+        let _ = writeln!(out, "{}", event.serialize().to_json());
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().flush();
+    }
+}
+
+static SINK_ACTIVE: AtomicBool = AtomicBool::new(false);
+
+fn sink_slot() -> &'static RwLock<Option<Arc<dyn EventSink>>> {
+    static SLOT: OnceLock<RwLock<Option<Arc<dyn EventSink>>>> = OnceLock::new();
+    SLOT.get_or_init(|| RwLock::new(None))
+}
+
+/// Installs `sink` as the process-wide event sink.
+pub fn set_sink(sink: Arc<dyn EventSink>) {
+    *sink_slot().write() = Some(sink);
+    SINK_ACTIVE.store(true, Ordering::Release);
+}
+
+/// Flushes and removes the current sink, returning to no-op.
+pub fn clear_sink() {
+    SINK_ACTIVE.store(false, Ordering::Release);
+    if let Some(sink) = sink_slot().write().take() {
+        sink.flush();
+    }
+}
+
+/// Whether a sink is installed (the one-load fast path).
+#[inline]
+pub fn sink_active() -> bool {
+    SINK_ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Sends `event` to the installed sink, if any.
+pub fn emit(event: &Event) {
+    if !sink_active() {
+        return;
+    }
+    if let Some(sink) = sink_slot().read().as_ref() {
+        sink.emit(event);
+    }
+}
+
+/// Flushes the installed sink, if any.
+pub fn flush() {
+    if let Some(sink) = sink_slot().read().as_ref() {
+        sink.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn memory_sink_captures_emitted_events() {
+        let _guard = crate::testing::lock();
+        let sink = Arc::new(MemorySink::new());
+        set_sink(sink.clone());
+        emit(&Event::mark(1, "test.stage", BTreeMap::new()));
+        clear_sink();
+        emit(&Event::mark(2, "test.after", BTreeMap::new()));
+        let events = sink.take();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].stage, "test.stage");
+    }
+
+    #[test]
+    fn no_sink_is_silent() {
+        let _guard = crate::testing::lock();
+        clear_sink();
+        assert!(!sink_active());
+        emit(&Event::mark(0, "dropped", BTreeMap::new()));
+    }
+}

@@ -1,0 +1,211 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`proptest!`] macro, range / tuple / `any` / collection / option
+//! strategies, `prop_map`, and the `prop_assert*` / `prop_assume!` macros.
+//! Cases are sampled from a deterministic per-test RNG (seeded from the test
+//! name, overridable via `PROPTEST_SEED`); failing inputs are reported via
+//! panic message. **No shrinking** — a failure prints the unshrunk input.
+//!
+//! `*.proptest-regressions` files from the real crate are ignored.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategy constructors, grouped like upstream's `prop::` namespace.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::{btree_set, vec};
+    }
+    /// Option strategies.
+    pub mod option {
+        pub use crate::strategy::option_of as of;
+    }
+    /// Sampling helpers.
+    pub mod sample {
+        pub use crate::strategy::{select, Index};
+    }
+}
+
+/// The common import surface.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            panic!("property failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            panic!("property failed: {}: {}", stringify!($cond), format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if !(*left == *right) {
+            panic!("property failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($a), stringify!($b), left, right);
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        if !(*left == *right) {
+            panic!("property failed: {} == {} ({})\n  left: {:?}\n right: {:?}",
+                stringify!($a), stringify!($b), format!($($fmt)+), left, right);
+        }
+    }};
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if *left == *right {
+            panic!("property failed: {} != {}\n  both: {:?}",
+                stringify!($a), stringify!($b), left);
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        if *left == *right {
+            panic!("property failed: {} != {} ({})\n  both: {:?}",
+                stringify!($a), stringify!($b), format!($($fmt)+), left);
+        }
+    }};
+}
+
+/// Discards the current case (counts as rejected, not failed).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::Rejected);
+        }
+    };
+}
+
+/// Declares property tests. Each function runs `config.cases` times with
+/// freshly sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:pat_param in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            let mut ran: u32 = 0;
+            let mut rejected: u32 = 0;
+            while ran < cfg.cases {
+                if rejected > cfg.cases.saturating_mul(16).max(256) {
+                    panic!(
+                        "proptest {}: too many prop_assume rejections ({rejected})",
+                        stringify!($name)
+                    );
+                }
+                $(let $arg = $crate::strategy::Strategy::pick(&$strat, &mut rng);)+
+                #[allow(clippy::redundant_closure_call)]
+                let outcome: ::std::result::Result<(), $crate::test_runner::Rejected> =
+                    (move || { $body ::std::result::Result::Ok(()) })();
+                match outcome {
+                    Ok(()) => ran += 1,
+                    Err($crate::test_runner::Rejected) => rejected += 1,
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in -5.0f64..5.0, n in 1u8..10) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(
+            (a, b) in (0u32..100, 0u32..100).prop_map(|(x, y)| (x.min(y), x.max(y))),
+        ) {
+            prop_assert!(a <= b);
+        }
+
+        #[test]
+        fn collections_respect_size(
+            v in prop::collection::vec(0u8..255, 3..7),
+            s in prop::collection::btree_set(0u8..50, 1..6),
+            o in prop::option::of(0i32..4),
+        ) {
+            prop_assert!((3..7).contains(&v.len()));
+            prop_assert!((1..6).contains(&s.len()));
+            if let Some(x) = o {
+                prop_assert!((0..4).contains(&x));
+            }
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..10) {
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+        }
+
+        #[test]
+        fn index_is_always_in_range(ix in any::<prop::sample::Index>(), len in 1usize..40) {
+            prop_assert!(ix.index(len) < len);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        #[test]
+        fn config_caps_cases(_x in any::<u64>()) {
+            // Runs exactly 7 times; nothing to assert beyond not exploding.
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        use crate::strategy::Strategy;
+        let mut a = crate::test_runner::TestRng::for_test("same");
+        let mut b = crate::test_runner::TestRng::for_test("same");
+        let sa: Vec<u64> = (0..4).map(|_| any::<u64>().pick(&mut a)).collect();
+        let sb: Vec<u64> = (0..4).map(|_| any::<u64>().pick(&mut b)).collect();
+        assert_eq!(sa, sb);
+    }
+}

@@ -1,0 +1,503 @@
+//! Value-generation strategies.
+//!
+//! A [`Strategy`] here is just a sampler: `pick` draws one value from the
+//! test RNG. There is no shrinking tree — failures report the raw input.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::collections::BTreeSet;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Generates values for property tests.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn pick(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values satisfying `pred` (bounded retries).
+    fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            pred,
+            whence,
+        }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn pick(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.pick(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    pred: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn pick(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1_000 {
+            let v = self.inner.pick(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter `{}` rejected 1000 samples in a row",
+            self.whence
+        );
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn pick(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// --- ranges --------------------------------------------------------------
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn pick(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn pick(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+// --- any::<T>() ----------------------------------------------------------
+
+/// Types with a canonical "whole domain" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value of the type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    /// Uniform in [0, 1); infinities/NaN are never produced (the workspace's
+    /// properties all assume finite inputs).
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.rng().gen()
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.rng().gen()
+    }
+}
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        std::array::from_fn(|_| T::arbitrary(rng))
+    }
+}
+
+/// A random index into slices of any length (upstream `prop::sample::Index`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Maps the raw draw onto `0..len`.
+    ///
+    /// # Panics
+    /// Panics if `len == 0`.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        ((self.0 as u128 * len as u128) >> 64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        Index(rng.next_u64())
+    }
+}
+
+/// Strategy for any [`Arbitrary`] type.
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+/// The `any::<T>()` constructor.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn pick(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+// --- tuples --------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($(($($n:tt $s:ident),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn pick(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.pick(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy!(
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+    (0 A, 1 B, 2 C, 3 D, 4 E),
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+);
+
+// --- collections ---------------------------------------------------------
+
+/// Size specification for collection strategies.
+#[derive(Debug, Clone)]
+pub struct SizeRange(Range<usize>);
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        SizeRange(r)
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange(n..n + 1)
+    }
+}
+
+/// Strategy for `Vec<T>` with a length drawn from `size`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// Generates vectors of `element` values with length in `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into().0,
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn pick(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.rng().gen_range(self.size.clone());
+        (0..len).map(|_| self.element.pick(rng)).collect()
+    }
+}
+
+/// Strategy for `BTreeSet<T>` with a size drawn from `size`.
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// Generates sets of `element` values with size in `size`.
+///
+/// Sampling retries until the set reaches the drawn size, so the element
+/// strategy's domain must be comfortably larger than the maximum size.
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into().0,
+    }
+}
+
+impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn pick(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let target = rng.rng().gen_range(self.size.clone());
+        let mut out = BTreeSet::new();
+        let mut attempts = 0;
+        while out.len() < target {
+            out.insert(self.element.pick(rng));
+            attempts += 1;
+            if attempts > 1_000 + target * 100 {
+                panic!("btree_set: element domain too small for size {target}");
+            }
+        }
+        out
+    }
+}
+
+/// Uniformly picks one of the given values (upstream `prop::sample::select`).
+#[derive(Debug, Clone)]
+pub struct Select<T>(Vec<T>);
+
+/// Strategy choosing uniformly from `options`.
+///
+/// # Panics
+/// Panics if `options` is empty.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select needs at least one option");
+    Select(options)
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn pick(&self, rng: &mut TestRng) -> T {
+        let i = ((rng.next_u64() as u128 * self.0.len() as u128) >> 64) as usize;
+        self.0[i].clone()
+    }
+}
+
+// --- regex-ish string strategies -----------------------------------------
+
+/// `&str` strategies interpret the string as a simplified regex and generate
+/// matching strings. Supported syntax: literal chars, `.` (printable ASCII),
+/// `[...]` classes with ranges, escapes, and the quantifiers `{m}`, `{m,n}`,
+/// `?`, `*`, `+` (star/plus capped at 8 repeats).
+impl Strategy for &str {
+    type Value = String;
+
+    fn pick(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+#[derive(Debug)]
+enum Atom {
+    Dot,
+    Literal(char),
+    Class(Vec<(char, char)>),
+}
+
+impl Atom {
+    fn sample(&self, rng: &mut TestRng) -> char {
+        match self {
+            Atom::Dot => {
+                // Printable ASCII, like `.` over a single-line haystack.
+                let span = 0x7f - 0x20;
+                char::from(0x20 + (rng.next_u64() % span as u64) as u8)
+            }
+            Atom::Literal(c) => *c,
+            Atom::Class(ranges) => {
+                let total: u64 = ranges
+                    .iter()
+                    .map(|(lo, hi)| (*hi as u64) - (*lo as u64) + 1)
+                    .sum();
+                let mut k = rng.next_u64() % total;
+                for (lo, hi) in ranges {
+                    let n = (*hi as u64) - (*lo as u64) + 1;
+                    if k < n {
+                        return char::from_u32(*lo as u32 + k as u32).unwrap_or(*lo);
+                    }
+                    k -= n;
+                }
+                unreachable!()
+            }
+        }
+    }
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Atom {
+    let mut ranges = Vec::new();
+    let mut pending: Option<char> = None;
+    while let Some(c) = chars.next() {
+        match c {
+            ']' => {
+                if let Some(p) = pending {
+                    ranges.push((p, p));
+                }
+                return Atom::Class(ranges);
+            }
+            '-' if pending.is_some() && chars.peek().is_some_and(|&n| n != ']') => {
+                let lo = pending.take().unwrap();
+                let hi = chars.next().unwrap();
+                ranges.push((lo.min(hi), lo.max(hi)));
+            }
+            '\\' => {
+                if let Some(p) = pending.replace(chars.next().unwrap_or('\\')) {
+                    ranges.push((p, p));
+                }
+            }
+            other => {
+                if let Some(p) = pending.replace(other) {
+                    ranges.push((p, p));
+                }
+            }
+        }
+    }
+    if let Some(p) = pending {
+        ranges.push((p, p));
+    }
+    Atom::Class(ranges)
+}
+
+fn parse_repeat(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (usize, usize) {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let mut spec = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            let (lo, hi) = match spec.split_once(',') {
+                Some((lo, "")) => (lo.parse().unwrap_or(0), usize::MAX),
+                Some((lo, hi)) => (lo.parse().unwrap_or(0), hi.parse().unwrap_or(0)),
+                None => {
+                    let n = spec.parse().unwrap_or(1);
+                    (n, n)
+                }
+            };
+            (lo, hi.min(lo.saturating_add(1_000)))
+        }
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        Some('*') => {
+            chars.next();
+            (0, 8)
+        }
+        Some('+') => {
+            chars.next();
+            (1, 8)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut chars = pattern.chars().peekable();
+    let mut out = String::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '.' => Atom::Dot,
+            '[' => parse_class(&mut chars),
+            '\\' => Atom::Literal(chars.next().unwrap_or('\\')),
+            other => Atom::Literal(other),
+        };
+        let (lo, hi) = parse_repeat(&mut chars);
+        let n = if lo == hi {
+            lo
+        } else {
+            lo + (rng.next_u64() % (hi - lo + 1) as u64) as usize
+        };
+        for _ in 0..n {
+            out.push(atom.sample(rng));
+        }
+    }
+    out
+}
+
+/// Strategy for `Option<T>`: `None` 10% of the time, like upstream's
+/// default weighting.
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S>(S);
+
+/// Generates `Option` values from an inner strategy.
+pub fn option_of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy(inner)
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn pick(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.rng().gen_bool(0.1) {
+            None
+        } else {
+            Some(self.0.pick(rng))
+        }
+    }
+}

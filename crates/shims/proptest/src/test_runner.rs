@@ -1,0 +1,68 @@
+//! Test execution support: the per-test RNG and configuration.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Marker returned by `prop_assume!` when a case is discarded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rejected;
+
+/// Configuration for one `proptest!` block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases: smaller than upstream's 256 because several suites in this
+    /// workspace run full channel simulations per case. Override per-block
+    /// with `#![proptest_config(ProptestConfig::with_cases(n))]` or globally
+    /// with the `PROPTEST_CASES` environment variable.
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig { cases }
+    }
+}
+
+/// The deterministic RNG driving strategy sampling.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// RNG for a named test: seeded from the test name so each test has an
+    /// independent, reproducible stream. `PROPTEST_SEED=<u64>` perturbs all
+    /// streams at once to explore new inputs.
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let salt = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0u64);
+        TestRng(StdRng::seed_from_u64(h ^ salt))
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    /// Mutable access to the underlying generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.0
+    }
+}

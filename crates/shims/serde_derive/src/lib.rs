@@ -1,0 +1,365 @@
+//! Derive macros for the offline `serde` shim.
+//!
+//! `syn`/`quote` are unavailable offline, so the item is parsed directly from
+//! the `proc_macro` token stream. Supported shapes — which cover every derive
+//! in this workspace — are:
+//!
+//! * structs with named fields
+//! * tuple structs
+//! * unit structs
+//! * enums whose variants are units or tuples
+//!
+//! Generics and struct-variants are rejected with a compile error rather than
+//! silently mis-handled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    /// Variant name and tuple arity (0 = unit variant).
+    Enum(Vec<(String, usize)>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives `serde::Serialize` (shim data model).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated impl parses")
+}
+
+/// Derives `serde::Deserialize` (shim data model).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+// --- parsing -------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected struct/enum, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim derive: expected item name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive: generic type `{name}` is not supported");
+    }
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(tuple_arity(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("serde shim derive: unsupported struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(enum_variants(g.stream(), &name))
+            }
+            other => panic!("serde shim derive: unsupported enum body {other:?}"),
+        },
+        other => panic!("serde shim derive: cannot derive for `{other}`"),
+    };
+    Item { name, shape }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // `pub(crate)` etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Counts commas at angle-bracket depth 0 to split type lists; `->` arrows
+/// are recognized so return types do not unbalance the depth counter.
+struct AngleTracker {
+    depth: i32,
+    prev_dash: bool,
+}
+
+impl AngleTracker {
+    fn new() -> Self {
+        AngleTracker {
+            depth: 0,
+            prev_dash: false,
+        }
+    }
+
+    /// Feeds one token; returns true if it was a top-level comma.
+    fn feed(&mut self, t: &TokenTree) -> bool {
+        let mut top_comma = false;
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => self.depth += 1,
+                '>' if !self.prev_dash => self.depth -= 1,
+                ',' if self.depth == 0 => top_comma = true,
+                _ => {}
+            }
+            self.prev_dash = p.as_char() == '-';
+        } else {
+            self.prev_dash = false;
+        }
+        top_comma
+    }
+}
+
+fn named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde shim derive: expected `:` after field, found {other:?}"),
+        }
+        // Skip the type up to the next top-level comma.
+        let mut tracker = AngleTracker::new();
+        while let Some(t) = tokens.get(i) {
+            i += 1;
+            if tracker.feed(t) {
+                break;
+            }
+        }
+    }
+    fields
+}
+
+fn tuple_arity(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut tracker = AngleTracker::new();
+    let mut arity = 1;
+    let mut last_was_comma = false;
+    for t in &tokens {
+        last_was_comma = tracker.feed(t);
+        if last_was_comma {
+            arity += 1;
+        }
+    }
+    if last_was_comma {
+        arity -= 1; // trailing comma
+    }
+    arity
+}
+
+fn enum_variants(body: TokenStream, enum_name: &str) -> Vec<(String, usize)> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let vname = id.to_string();
+        i += 1;
+        let arity = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                tuple_arity(g.stream())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                panic!("serde shim derive: struct variant `{enum_name}::{vname}` is not supported");
+            }
+            _ => 0,
+        };
+        // Skip an optional discriminant (`= expr`) and the separating comma.
+        let mut tracker = AngleTracker::new();
+        while let Some(t) = tokens.get(i) {
+            if tracker.feed(t) {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push((vname, arity));
+    }
+    variants
+}
+
+// --- codegen -------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::serialize(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::serialize(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, arity)| {
+                    if *arity == 0 {
+                        format!(
+                            "{name}::{v} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{v}\"))"
+                        )
+                    } else {
+                        let binds: Vec<String> = (0..*arity).map(|k| format!("f{k}")).collect();
+                        let sers: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({binds}) => ::serde::Value::Map(::std::vec![\
+                             (::std::string::String::from(\"{v}\"), \
+                             ::serde::Value::Seq(::std::vec![{sers}]))])",
+                            binds = binds.join(", "),
+                            sers = sers.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+         fn serialize(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize(\
+                         ::serde::get_field(m, \"{f}\", \"{name}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let m = v.as_map().ok_or_else(|| ::serde::Error::ty(\"{name}\", \"map\"))?; \
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::deserialize(&s[{k}])?"))
+                .collect();
+            format!(
+                "let s = v.as_seq().ok_or_else(|| ::serde::Error::ty(\"{name}\", \"seq\"))?; \
+                 if s.len() != {n} {{ \
+                 return ::std::result::Result::Err(::serde::Error::ty(\"{name}\", \"{n}-element seq\")); }} \
+                 ::std::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, a)| *a == 0)
+                .map(|(v, _)| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v})"))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, a)| *a > 0)
+                .map(|(v, arity)| {
+                    let inits: Vec<String> = (0..*arity)
+                        .map(|k| format!("::serde::Deserialize::deserialize(&s[{k}])?"))
+                        .collect();
+                    format!(
+                        "\"{v}\" => {{ \
+                         let s = val.as_seq().ok_or_else(|| ::serde::Error::ty(\"{name}::{v}\", \"seq\"))?; \
+                         if s.len() != {arity} {{ \
+                         return ::std::result::Result::Err(::serde::Error::ty(\"{name}::{v}\", \"{arity}-element seq\")); }} \
+                         ::std::result::Result::Ok({name}::{v}({})) }}",
+                        inits.join(", ")
+                    )
+                })
+                .collect();
+            let unit_match = if unit_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "::serde::Value::Str(s) => match s.as_str() {{ {}, other => \
+                     ::std::result::Result::Err(::serde::Error(::std::format!(\
+                     \"{name}: unknown variant `{{other}}`\"))) }},",
+                    unit_arms.join(", ")
+                )
+            };
+            let data_match = if data_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "::serde::Value::Map(m) if m.len() == 1 => {{ \
+                     let (k, val) = &m[0]; match k.as_str() {{ {}, other => \
+                     ::std::result::Result::Err(::serde::Error(::std::format!(\
+                     \"{name}: unknown variant `{{other}}`\"))) }} }},",
+                    data_arms.join(", ")
+                )
+            };
+            format!(
+                "match v {{ {unit_match} {data_match} _ => \
+                 ::std::result::Result::Err(::serde::Error::ty(\"{name}\", \"variant\")) }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+         fn deserialize(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ \
+         {body} }} }}"
+    )
+}

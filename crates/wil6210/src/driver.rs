@@ -85,6 +85,7 @@ impl Wil6210Driver {
     /// Drains the exported measurements (the paper's "read from user space
     /// using our modified driver"). Clears the ring-pending counter.
     pub fn read_sweep_info(&self) -> Vec<SweepEntry> {
+        obs::counter("wil.driver.reads").inc();
         let entries = self.firmware.ring().drain();
         self.firmware.csr().fw_set_ring_pending(0);
         entries

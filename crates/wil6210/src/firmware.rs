@@ -101,6 +101,7 @@ impl Qca9500Firmware {
 
     /// Handles a WMI command from the driver.
     pub fn handle_wmi(&self, cmd: &WmiCommand) -> Result<WmiReply, WmiError> {
+        obs::counter("wil.wmi.commands").inc();
         match cmd {
             WmiCommand::GetFirmwareVersion => {
                 Ok(WmiReply::FirmwareVersion(FIRMWARE_VERSION.into()))
@@ -168,8 +169,11 @@ impl FeedbackPolicy for &Qca9500Firmware {
     }
 
     fn select(&mut self, readings: &[SweepReading]) -> Option<SectorId> {
+        let mut span = obs::span("wil.sweep");
+        obs::counter("wil.sweeps").inc();
         let sweep_id = self.sweep_counter.fetch_add(1, Ordering::SeqCst) + 1;
         // Export hook (white box "Access Sector Information" of Fig. 2).
+        let mut exported = 0u64;
         if self.export_patch_active() {
             for r in readings {
                 if let Some(m) = r.measurement {
@@ -179,9 +183,12 @@ impl FeedbackPolicy for &Qca9500Firmware {
                         snr_db: m.snr_db,
                         rssi_dbm: m.rssi_dbm,
                     });
+                    exported += 1;
                 }
             }
         }
+        span.field("sweep_id", sweep_id as f64);
+        span.field("exported", exported as f64);
         // Raise the sweep-complete interrupt and refresh the counters the
         // host polls.
         let high_water = self.ring.len() * 4 >= RingBuffer::FIRMWARE_CAPACITY * 3;

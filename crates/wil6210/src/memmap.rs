@@ -240,8 +240,14 @@ mod tests {
     fn unmapped_addresses_error() {
         let m = MemoryMap::new();
         let mut buf = [0u8; 1];
-        assert_eq!(m.read(0x0002_0000, &mut buf), Err(MemError::Unmapped(0x2_0000)));
-        assert_eq!(m.read(0x00a0_0000, &mut buf), Err(MemError::Unmapped(0xa0_0000)));
+        assert_eq!(
+            m.read(0x0002_0000, &mut buf),
+            Err(MemError::Unmapped(0x2_0000))
+        );
+        assert_eq!(
+            m.read(0x00a0_0000, &mut buf),
+            Err(MemError::Unmapped(0xa0_0000))
+        );
     }
 
     #[test]

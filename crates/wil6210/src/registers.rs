@@ -134,7 +134,9 @@ impl CsrBlock {
                 s.doorbell_rings = s.doorbell_rings.wrapping_add(1);
                 Ok(())
             }
-            offsets::CHIP_ID | offsets::FW_STATUS | offsets::SWEEP_COUNT
+            offsets::CHIP_ID
+            | offsets::FW_STATUS
+            | offsets::SWEEP_COUNT
             | offsets::RING_PENDING => Err(CsrError::ReadOnly(offset)),
             other => Err(CsrError::UnknownRegister(other)),
         }
@@ -186,7 +188,10 @@ mod tests {
     #[test]
     fn read_only_registers_reject_writes() {
         let csr = CsrBlock::new();
-        assert_eq!(csr.write(offsets::CHIP_ID, 1), Err(CsrError::ReadOnly(0x00)));
+        assert_eq!(
+            csr.write(offsets::CHIP_ID, 1),
+            Err(CsrError::ReadOnly(0x00))
+        );
         assert_eq!(
             csr.write(offsets::SWEEP_COUNT, 1),
             Err(CsrError::ReadOnly(0x10))

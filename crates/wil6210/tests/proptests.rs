@@ -1,10 +1,10 @@
 //! Property-based tests for the firmware emulation.
 
 use proptest::prelude::*;
+use talon_array::SectorId;
 use wil6210::memmap::{MemError, MemoryMap, Region};
 use wil6210::registers::{offsets, CsrBlock};
 use wil6210::ringbuf::{RingBuffer, SweepEntry};
-use talon_array::SectorId;
 
 proptest! {
     #[test]

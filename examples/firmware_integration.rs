@@ -24,10 +24,18 @@ fn main() {
 
     // --- Flash the patched firmware (the paper's §3.2 jailbreak) --------
     let firmware = Arc::new(Qca9500Firmware::stock());
-    println!("stock firmware: export patch active = {}", firmware.export_patch_active());
-    firmware.flash_patches().expect("patching via high-address mappings succeeds");
-    println!("patched       : export patch active = {}, override patch active = {}",
-        firmware.export_patch_active(), firmware.override_patch_active());
+    println!(
+        "stock firmware: export patch active = {}",
+        firmware.export_patch_active()
+    );
+    firmware
+        .flash_patches()
+        .expect("patching via high-address mappings succeeds");
+    println!(
+        "patched       : export patch active = {}, override patch active = {}",
+        firmware.export_patch_active(),
+        firmware.override_patch_active()
+    );
     let driver = Wil6210Driver::new(Arc::clone(&firmware));
     if let Ok(WmiReply::FirmwareVersion(v)) = driver.wmi(&WmiCommand::GetFirmwareVersion) {
         println!("firmware version: {v} (the paper's Acer TravelMate build)");
@@ -89,7 +97,10 @@ fn main() {
     driver
         .wmi(&WmiCommand::SetProbeSectors(probes.clone()))
         .expect("probe subset accepted");
-    println!("\nsweep 2: override armed (sector {css_choice}), probing {} sectors", probes.len());
+    println!(
+        "\nsweep 2: override armed (sector {css_choice}), probing {} sectors",
+        probes.len()
+    );
     let out = runner.run(&mut rng, &mut MaxSnrPolicy, &mut &*firmware);
     println!(
         "  firmware fed back sector {} (the override), own sweep had {} probes",
@@ -100,8 +111,12 @@ fn main() {
     assert_eq!(out.rss_readings.len(), probes.len());
 
     // Disarm and verify the stock path returns.
-    driver.wmi(&WmiCommand::ClearSectorOverride).expect("clear accepted");
-    driver.wmi(&WmiCommand::ClearProbeSectors).expect("clear accepted");
+    driver
+        .wmi(&WmiCommand::ClearSectorOverride)
+        .expect("clear accepted");
+    driver
+        .wmi(&WmiCommand::ClearProbeSectors)
+        .expect("clear accepted");
     let out = runner.run(&mut rng, &mut MaxSnrPolicy, &mut &*firmware);
     println!(
         "\nsweep 3: override cleared — firmware argmax again (sector {}, {} probes)",

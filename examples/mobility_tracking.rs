@@ -60,7 +60,9 @@ fn main() {
         println!(
             "{i:>5} | {yaw:>5.0} | {:>6} | {t:>7.3} | {}",
             probes.len(),
-            selected.map(|s| s.to_string()).unwrap_or_else(|| "-".into())
+            selected
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "-".into())
         );
     }
     let fixed_time = mutual_training_time(34).as_ms() * trajectory.len() as f64;

@@ -28,7 +28,10 @@ fn main() {
     scenario.sweeps_per_position = 10;
     let data = scenario.record(seed);
     eval::dataset_io::save(&data, &dataset_path).expect("save dataset");
-    scenario.patterns.save(&patterns_path).expect("save patterns");
+    scenario
+        .patterns
+        .save(&patterns_path)
+        .expect("save patterns");
     println!(
         "archived {} positions x {} sweeps to {}",
         data.positions.len(),
@@ -47,7 +50,10 @@ fn main() {
     let stab = selection_stability(&data, &patterns, &ms, seed);
     let loss = snr_loss(&data, &patterns, &ms, seed);
     println!("\nuniform random probing (the paper's default):");
-    println!("    M | stability | loss dB   (SSW: {:.3} / {:.2} dB)", stab.ssw_stability, loss.ssw_loss_db);
+    println!(
+        "    M | stability | loss dB   (SSW: {:.3} / {:.2} dB)",
+        stab.ssw_stability, loss.ssw_loss_db
+    );
     for ((m, s), (_, l)) in stab.css.iter().zip(&loss.css) {
         println!("  {m:>3} | {s:>9.3} | {l:>7.2}");
     }

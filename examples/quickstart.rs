@@ -89,7 +89,9 @@ fn main() {
     );
     if let Some((dir, score)) = peer_css.last_estimate {
         println!("                  estimated departure direction at the DUT: {dir} (correlation {score:.2})");
-        println!("                  ground truth: (az 25.00°, el 0.00°) — the DUT is rotated by -25°");
+        println!(
+            "                  ground truth: (az 25.00°, el 0.00°) — the DUT is rotated by -25°"
+        );
     }
 
     // Step 5 — score both selections against the noise-free optimum.

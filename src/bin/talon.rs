@@ -10,7 +10,12 @@
 //! talon analyze   --dataset dataset.txt --patterns patterns.txt [--probes 14,20]
 //! talon sls       --scenario lab|conference --policy ssw|css [--probes 14] [--yaw DEG]
 //! talon brd       --out codebook.brd [--seed N] | --check codebook.brd
+//! talon report    trace.jsonl
 //! ```
+//!
+//! `record`, `analyze` and `sls` accept `--trace <file>` to stream obs
+//! span events as JSON Lines and append a final registry snapshot;
+//! `report` renders such a trace as per-stage summary tables.
 
 use chamber::{Campaign, CampaignConfig, SectorPatterns};
 use css::selection::{CompressiveSelection, CssConfig};
@@ -29,18 +34,48 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
     let opts = parse_opts(&args[1..]);
+    // `--trace <file>`: stream obs events to a JSONL file while the
+    // command runs, and append a registry snapshot at the end.
+    let trace_sink = match opts.get("trace") {
+        // `report` reads an existing trace; never open a sink (which
+        // truncates the file) on what is this command's input.
+        Some(_) if cmd == "report" => None,
+        // A bare `--trace` parses as the value "true"; require a path
+        // instead of silently writing a file named `true`.
+        Some(path) if path == "true" => {
+            eprintln!("error: --trace needs a file path");
+            return ExitCode::from(2);
+        }
+        Some(path) => match obs::JsonlSink::create(path) {
+            Ok(sink) => {
+                let sink = std::sync::Arc::new(sink);
+                obs::set_sink(sink.clone());
+                Some(sink)
+            }
+            Err(e) => {
+                eprintln!("error: creating trace file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
     let result = match cmd.as_str() {
         "campaign" => cmd_campaign(&opts),
         "record" => cmd_record(&opts),
         "analyze" => cmd_analyze(&opts),
         "sls" => cmd_sls(&opts),
         "brd" => cmd_brd(&opts),
+        "report" => cmd_report(&args[1..], &opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
         }
         other => Err(format!("unknown command `{other}`\n{USAGE}")),
     };
+    if let Some(sink) = trace_sink {
+        sink.write_snapshot(&obs::global().snapshot());
+        obs::clear_sink();
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -54,28 +89,32 @@ const USAGE: &str = "talon — compressive sector selection toolkit
 
 commands:
   campaign  --out <file> [--scan azimuth|3d|coarse] [--seed N]
-  record    --scenario lab|conference --out <file> [--seed N] [--paper]
-  analyze   --dataset <file> --patterns <file> [--probes 14,20] [--seed N]
-  sls       --scenario lab|conference --policy ssw|css [--probes 14] [--yaw DEG] [--seed N]
-  brd       --out <file> [--seed N]  |  --check <file>";
+  record    --scenario lab|conference --out <file> [--seed N] [--paper] [--trace <file>]
+  analyze   --dataset <file> --patterns <file> [--probes 14,20] [--seed N] [--trace <file>]
+  sls       --scenario lab|conference --policy ssw|css [--probes 14] [--yaw DEG] [--seed N] [--trace <file>]
+  brd       --out <file> [--seed N]  |  --check <file>
+  report    <trace.jsonl>";
 
+/// Parses `--key value` and bare `--flag` options; non-option arguments
+/// are skipped (commands read them positionally). A `--flag` followed by
+/// another option (or nothing) maps to the value `"true"`; a flag whose
+/// next argument happens to be the literal string `"true"` consumes it
+/// like any other value.
 fn parse_opts(args: &[String]) -> HashMap<String, String> {
     let mut out = HashMap::new();
     let mut i = 0;
     while i < args.len() {
         if let Some(key) = args[i].strip_prefix("--") {
-            let value = args
-                .get(i + 1)
-                .filter(|v| !v.starts_with("--"))
-                .cloned()
-                .unwrap_or_else(|| "true".into());
-            let step = if value == "true" && args.get(i + 1).map(|v| v.starts_with("--")).unwrap_or(true) {
-                1
-            } else {
-                2
-            };
-            out.insert(key.to_string(), value);
-            i += step;
+            match args.get(i + 1) {
+                Some(v) if !v.starts_with("--") => {
+                    out.insert(key.to_string(), v.clone());
+                    i += 2;
+                }
+                _ => {
+                    out.insert(key.to_string(), "true".into());
+                    i += 1;
+                }
+            }
         } else {
             i += 1;
         }
@@ -147,13 +186,20 @@ fn cmd_record(opts: &HashMap<String, String>) -> Result<(), String> {
             .map_err(|e| format!("writing {pat_out}: {e}"))?;
         eprintln!("wrote matching pattern store to {pat_out}");
     }
-    eprintln!("wrote dataset ({} positions) to {out}", data.positions.len());
+    eprintln!(
+        "wrote dataset ({} positions) to {out}",
+        data.positions.len()
+    );
     Ok(())
 }
 
 fn cmd_analyze(opts: &HashMap<String, String>) -> Result<(), String> {
-    let dataset_path = opts.get("dataset").ok_or("analyze needs --dataset <file>")?;
-    let patterns_path = opts.get("patterns").ok_or("analyze needs --patterns <file>")?;
+    let dataset_path = opts
+        .get("dataset")
+        .ok_or("analyze needs --dataset <file>")?;
+    let patterns_path = opts
+        .get("patterns")
+        .ok_or("analyze needs --patterns <file>")?;
     let seed = seed_of(opts);
     let data = eval::dataset_io::load(Path::new(dataset_path))
         .map_err(|e| format!("reading {dataset_path}: {e}"))?
@@ -164,7 +210,11 @@ fn cmd_analyze(opts: &HashMap<String, String>) -> Result<(), String> {
     let probes: Vec<usize> = match opts.get("probes") {
         Some(spec) => spec
             .split(',')
-            .map(|t| t.trim().parse().map_err(|_| format!("bad probe count `{t}`")))
+            .map(|t| {
+                t.trim()
+                    .parse()
+                    .map_err(|_| format!("bad probe count `{t}`"))
+            })
             .collect::<Result<_, _>>()?,
         None => vec![6, 10, 14, 20, 34],
     };
@@ -187,7 +237,13 @@ fn cmd_analyze(opts: &HashMap<String, String>) -> Result<(), String> {
     println!(
         "{}",
         eval::ascii::table(
-            &["M", "CSS stability", "SSW stability", "CSS loss dB", "SSW loss dB"],
+            &[
+                "M",
+                "CSS stability",
+                "SSW stability",
+                "CSS loss dB",
+                "SSW loss dB"
+            ],
             &rows
         )
     );
@@ -214,6 +270,12 @@ fn cmd_sls(opts: &HashMap<String, String>) -> Result<(), String> {
     let outcome = match opts.get("policy").map(String::as_str) {
         Some("ssw") | None => runner.run(&mut rng, &mut MaxSnrPolicy, &mut MaxSnrPolicy),
         Some("css") => {
+            // The paper's deployment (§3): the peer's patched firmware
+            // exports the sweep measurements, a user-space agent computes
+            // the compressive selection and arms the WMI override, and
+            // the next training carries it on the air.
+            use std::sync::Arc;
+            use wil6210::{Qca9500Firmware, Wil6210Driver, WmiCommand};
             struct ProbeOnly<'a>(&'a mut CompressiveSelection);
             impl FeedbackPolicy for ProbeOnly<'_> {
                 fn probe_sectors(
@@ -229,6 +291,28 @@ fn cmd_sls(opts: &HashMap<String, String>) -> Result<(), String> {
                     MaxSnrPolicy.select(readings)
                 }
             }
+            // The peer: patched firmware handles the frames (export +
+            // override), while its user-space agent restricts the sweep to
+            // the compressive probe subset — both devices send M frames,
+            // which is where the 2.3× training speedup comes from.
+            struct FirmwareCss<'a> {
+                fw: &'a Qca9500Firmware,
+                agent: &'a mut CompressiveSelection,
+            }
+            impl FeedbackPolicy for FirmwareCss<'_> {
+                fn probe_sectors(
+                    &mut self,
+                    full: &[talon_array::SectorId],
+                ) -> Vec<talon_array::SectorId> {
+                    self.agent.probe_sectors(full)
+                }
+                fn select(
+                    &mut self,
+                    readings: &[talon_channel::SweepReading],
+                ) -> Option<talon_array::SectorId> {
+                    (&mut &*self.fw).select(readings)
+                }
+            }
             let mut dut_side = CompressiveSelection::new(
                 scenario.patterns.clone(),
                 CssConfig {
@@ -237,7 +321,9 @@ fn cmd_sls(opts: &HashMap<String, String>) -> Result<(), String> {
                 },
                 seed,
             );
-            let mut peer_side = CompressiveSelection::new(
+            let firmware = Arc::new(Qca9500Firmware::patched());
+            let driver = Wil6210Driver::new(Arc::clone(&firmware));
+            let mut agent = CompressiveSelection::new(
                 scenario.patterns.clone(),
                 CssConfig {
                     num_probes: probes,
@@ -245,7 +331,41 @@ fn cmd_sls(opts: &HashMap<String, String>) -> Result<(), String> {
                 },
                 seed + 1,
             );
-            runner.run(&mut rng, &mut ProbeOnly(&mut dut_side), &mut peer_side)
+            // Sweep 1: the firmware's export patch fills the ring buffer.
+            let _ = runner.run(
+                &mut rng,
+                &mut ProbeOnly(&mut dut_side),
+                &mut FirmwareCss {
+                    fw: &firmware,
+                    agent: &mut agent,
+                },
+            );
+            // User space drains the export and computes CSS.
+            let readings: Vec<talon_channel::SweepReading> = driver
+                .read_sweep_info()
+                .into_iter()
+                .map(|e| talon_channel::SweepReading {
+                    sector: e.sector,
+                    measurement: Some(talon_channel::Measurement {
+                        snr_db: e.snr_db,
+                        rssi_dbm: e.rssi_dbm,
+                    }),
+                })
+                .collect();
+            if let Some(choice) = agent.select_from_readings(&readings) {
+                driver
+                    .wmi(&WmiCommand::SetSectorOverride(choice))
+                    .map_err(|e| format!("arming override: {e:?}"))?;
+            }
+            // Sweep 2: the armed override rides the feedback field.
+            runner.run(
+                &mut rng,
+                &mut ProbeOnly(&mut dut_side),
+                &mut FirmwareCss {
+                    fw: &firmware,
+                    agent: &mut agent,
+                },
+            )
         }
         Some(other) => return Err(format!("unknown policy `{other}`")),
     };
@@ -263,6 +383,62 @@ fn cmd_sls(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_report(args: &[String], opts: &HashMap<String, String>) -> Result<(), String> {
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .or_else(|| opts.get("trace"))
+        .ok_or("report needs a trace file: talon report <trace.jsonl>")?;
+    let trace =
+        obs::jsonl::read_trace(Path::new(path)).map_err(|e| format!("reading {path}: {e}"))?;
+
+    // Per-stage span statistics from the event stream.
+    let mut stages: Vec<String> = trace.stages();
+    stages.sort();
+    let mut rows = Vec::new();
+    for stage in &stages {
+        let mut durs: Vec<u64> = trace.stage(stage).iter().map(|e| e.dur_us).collect();
+        if durs.is_empty() {
+            continue;
+        }
+        durs.sort_unstable();
+        let count = durs.len();
+        let mean = durs.iter().sum::<u64>() as f64 / count as f64;
+        let p95 = durs[((count - 1) as f64 * 0.95).round() as usize];
+        let max = *durs.last().expect("non-empty");
+        rows.push(vec![
+            stage.clone(),
+            count.to_string(),
+            format!("{mean:.1}"),
+            p95.to_string(),
+            max.to_string(),
+        ]);
+    }
+    if rows.is_empty() {
+        println!("no span events in {path}");
+    } else {
+        println!(
+            "{}",
+            eval::ascii::table(&["stage", "spans", "mean µs", "p95 µs", "max µs"], &rows)
+        );
+    }
+
+    // Counters from the final registry snapshot, when present.
+    if let Some(snapshot) = &trace.snapshot {
+        if !snapshot.counters.is_empty() {
+            let rows: Vec<Vec<String>> = snapshot
+                .counters
+                .iter()
+                .map(|(name, value)| vec![name.clone(), value.to_string()])
+                .collect();
+            println!("{}", eval::ascii::table(&["counter", "value"], &rows));
+        }
+    } else {
+        println!("(no registry snapshot line in trace)");
+    }
+    Ok(())
+}
+
 fn cmd_brd(opts: &HashMap<String, String>) -> Result<(), String> {
     if let Some(path) = opts.get("check") {
         let bytes = std::fs::read(path).map_err(|e| format!("reading {path}: {e}"))?;
@@ -274,11 +450,73 @@ fn cmd_brd(opts: &HashMap<String, String>) -> Result<(), String> {
         );
         return Ok(());
     }
-    let out = opts.get("out").ok_or("brd needs --out <file> or --check <file>")?;
+    let out = opts
+        .get("out")
+        .ok_or("brd needs --out <file> or --check <file>")?;
     let seed = seed_of(opts);
     let device = Device::talon(seed);
     let bytes = talon_array::brd::to_brd(&device.codebook);
     std::fs::write(out, &bytes).map_err(|e| format!("writing {out}: {e}"))?;
-    println!("wrote {} bytes ({} sectors) to {out}", bytes.len(), device.codebook.sectors().len());
+    println!(
+        "wrote {} bytes ({} sectors) to {out}",
+        bytes.len(),
+        device.codebook.sectors().len()
+    );
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_opts;
+
+    fn opts(args: &[&str]) -> std::collections::HashMap<String, String> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        parse_opts(&owned)
+    }
+
+    #[test]
+    fn bare_flag_maps_to_true() {
+        let o = opts(&["--paper"]);
+        assert_eq!(o.get("paper").map(String::as_str), Some("true"));
+    }
+
+    #[test]
+    fn flag_with_value_consumes_it() {
+        let o = opts(&["--seed", "7", "--out", "x.txt"]);
+        assert_eq!(o.get("seed").map(String::as_str), Some("7"));
+        assert_eq!(o.get("out").map(String::as_str), Some("x.txt"));
+    }
+
+    #[test]
+    fn flag_followed_by_flag_stays_bare() {
+        let o = opts(&["--paper", "--seed", "9"]);
+        assert_eq!(o.get("paper").map(String::as_str), Some("true"));
+        assert_eq!(o.get("seed").map(String::as_str), Some("9"));
+    }
+
+    #[test]
+    fn literal_true_value_is_consumed_not_reparsed() {
+        // `--verbose true --seed 3`: "true" is the value of --verbose and
+        // must not be skipped over in a way that desyncs later options
+        // (the old parser double-checked the next token and could step
+        // by the wrong amount).
+        let o = opts(&["--verbose", "true", "--seed", "3"]);
+        assert_eq!(o.get("verbose").map(String::as_str), Some("true"));
+        assert_eq!(o.get("seed").map(String::as_str), Some("3"));
+        assert_eq!(o.len(), 2);
+    }
+
+    #[test]
+    fn positional_arguments_are_skipped() {
+        let o = opts(&["trace.jsonl", "--seed", "4"]);
+        assert_eq!(o.get("seed").map(String::as_str), Some("4"));
+        assert_eq!(o.len(), 1);
+    }
+
+    #[test]
+    fn trailing_bare_flag() {
+        let o = opts(&["--out", "f.txt", "--paper"]);
+        assert_eq!(o.get("paper").map(String::as_str), Some("true"));
+        assert_eq!(o.get("out").map(String::as_str), Some("f.txt"));
+    }
 }

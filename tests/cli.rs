@@ -23,10 +23,20 @@ fn full_cli_workflow() {
 
     // campaign: measure coarse patterns.
     let out = talon()
-        .args(["campaign", "--out", patterns.to_str().unwrap(), "--scan", "coarse"])
+        .args([
+            "campaign",
+            "--out",
+            patterns.to_str().unwrap(),
+            "--scan",
+            "coarse",
+        ])
         .output()
         .expect("run campaign");
-    assert!(out.status.success(), "campaign: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "campaign: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(patterns.exists());
 
     // record: conference-room dataset with matching patterns.
@@ -42,7 +52,11 @@ fn full_cli_workflow() {
         ])
         .output()
         .expect("run record");
-    assert!(out.status.success(), "record: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "record: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     // analyze: offline re-analysis must print the comparison table.
     let out = talon()
@@ -57,7 +71,11 @@ fn full_cli_workflow() {
         ])
         .output()
         .expect("run analyze");
-    assert!(out.status.success(), "analyze: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "analyze: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("CSS stability"), "table printed: {stdout}");
     assert!(stdout.contains("14"), "requested probe row present");
@@ -67,7 +85,11 @@ fn full_cli_workflow() {
         .args(["sls", "--scenario", "lab", "--policy", "css", "--yaw", "20"])
         .output()
         .expect("run sls");
-    assert!(out.status.success(), "sls: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "sls: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("selected sector"), "{stdout}");
     assert!(stdout.contains("0.553 ms"), "compressive timing: {stdout}");

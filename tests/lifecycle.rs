@@ -44,7 +44,10 @@ fn bring_up_then_css_maintenance_then_failover() {
     .expect("association succeeds");
     let rxw = sta.codebook.rx_sector().weights.clone();
     let initial_snr = link.true_snr_db(&ap, outcome.ap_tx_sector, &sta, &rxw);
-    assert!(initial_snr > 3.0, "initial beamforming works: {initial_snr:.1} dB");
+    assert!(
+        initial_snr > 3.0,
+        "initial beamforming works: {initial_snr:.1} dB"
+    );
 
     // --- Phase 2: the AP rotates (someone moves the router); periodic CSS
     // maintenance keeps the sector fresh with 14-probe sweeps.
@@ -84,8 +87,8 @@ fn bring_up_then_css_maintenance_then_failover() {
     // The correlation map's energy prior suppresses off-primary scores,
     // so a deployment that knows a strong reflector exists runs with a
     // permissive secondary threshold.
-    let est = MultipathEstimator::new(patterns, CorrelationMode::JointSnrRssi)
-        .with_min_score_ratio(0.02);
+    let est =
+        MultipathEstimator::new(patterns, CorrelationMode::JointSnrRssi).with_min_score_ratio(0.02);
     let ap_static = {
         let mut d = ap.clone();
         d.orientation = Orientation::NEUTRAL;
@@ -117,5 +120,8 @@ fn bring_up_then_css_maintenance_then_failover() {
         backup_snr > primary_snr,
         "backup ({backup_snr:.1} dB) beats the blocked primary ({primary_snr:.1} dB)"
     );
-    assert!(backup_snr > 0.0, "backup keeps the link alive: {backup_snr:.1} dB");
+    assert!(
+        backup_snr > 0.0,
+        "backup keeps the link alive: {backup_snr:.1} dB"
+    );
 }
