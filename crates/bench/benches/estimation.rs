@@ -1,10 +1,14 @@
 //! Angle-of-arrival estimation cost vs probe count (the online cost of
-//! Eqs. 2/3/5, which a firmware implementation would pay once per sweep).
+//! Eqs. 2/3/5, which a firmware implementation would pay once per sweep),
+//! plus grid-size scaling of the fused kernel and a fused-vs-reference
+//! comparison (the reference is the retained pre-optimization naive path).
 
 use bench::bench_patterns;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use css::estimator::reference::ReferenceEstimator;
 use css::estimator::{CompressiveEstimator, CorrelationMode};
 use geom::rng::sub_rng;
+use geom::sphere::{GridSpec, SphericalGrid};
 use std::hint::black_box;
 use talon_channel::{Environment, Link};
 
@@ -26,6 +30,39 @@ fn bench_estimation(c: &mut Criterion) {
                 |b, r| b.iter(|| black_box(est.estimate(black_box(r)))),
             );
         }
+    }
+    group.finish();
+
+    // Fused vs retained naive reference at the paper's operating point.
+    let readings14: Vec<_> = full_sweep.iter().take(14).copied().collect();
+    let mut group = c.benchmark_group("estimate_kernel");
+    let fused = CompressiveEstimator::new(&patterns, CorrelationMode::JointSnrRssi);
+    group.bench_function("fused_m14", |b| {
+        b.iter(|| black_box(fused.estimate(black_box(&readings14))))
+    });
+    let naive = ReferenceEstimator::new(&patterns, CorrelationMode::JointSnrRssi);
+    group.bench_function("reference_m14", |b| {
+        b.iter(|| black_box(naive.estimate(black_box(&readings14))))
+    });
+    group.finish();
+
+    // Grid scaling: the same M=14 estimate over increasingly fine grids
+    // (the kernel is O(grid × M); the paper-scale 3-D scan is ~1010 cells).
+    let mut group = c.benchmark_group("estimate_grid");
+    for &(label, az_step, el_step) in &[
+        ("100pt", 7.5, 10.8),
+        ("404pt", 1.8, 10.8),
+        ("1010pt", 1.8, 3.6),
+    ] {
+        let grid = SphericalGrid::new(
+            GridSpec::new(-90.0, 90.0, az_step),
+            GridSpec::new(0.0, 32.4, el_step),
+        );
+        let fine = patterns.resample(&grid);
+        let est = CompressiveEstimator::new(&fine, CorrelationMode::JointSnrRssi);
+        group.bench_with_input(BenchmarkId::new("m14", label), &readings14, |b, r| {
+            b.iter(|| black_box(est.estimate(black_box(r))))
+        });
     }
     group.finish();
 }

@@ -1,0 +1,200 @@
+//! Emits `BENCH_estimation.json`: measured cost of the fused correlation
+//! kernel and throughput of the parallel Monte Carlo evaluation engine.
+//!
+//! ```text
+//! cargo run -p bench --release --bin estimation_bench                 # full run
+//! cargo run -p bench --release --bin estimation_bench -- --smoke     # CI-sized
+//! cargo run -p bench --release --bin estimation_bench -- \
+//!     --smoke --check BENCH_estimation.json                          # regression gate
+//! ```
+//!
+//! `--check <baseline>` fails the process when a required key is missing
+//! from the fresh measurement or when the M=14 estimate is more than 25 %
+//! slower than the committed baseline. The parallel-efficiency floor
+//! (≥ 0.6× per core) is enforced only on machines with ≥ 4 cores, since
+//! smaller hosts cannot exhibit the scaling in the first place.
+
+use bench::bench_patterns;
+use css::estimator::reference::ReferenceEstimator;
+use css::estimator::{CompressiveEstimator, CorrelationMode};
+use eval::engine;
+use eval::estimation::estimation_error_par;
+use eval::scenario::{EvalScenario, Fidelity};
+use geom::rng::sub_rng;
+use std::hint::black_box;
+use std::time::Instant;
+use talon_channel::{Environment, Link};
+
+/// The pre-optimization M=14 estimate cost on the original `Vec<Vec<f64>>`
+/// kernel, ns (the `estimate_m14_ns` of the PR-2 `BENCH_obs.json`).
+const PRECHANGE_ESTIMATE_M14_NS: f64 = 10648.03;
+
+/// Keys every `BENCH_estimation.json` must carry (the `--check` contract).
+const REQUIRED_KEYS: &[&str] = &[
+    "estimate_m14_ns",
+    "reference_estimate_m14_ns",
+    "kernel_speedup",
+    "speedup_vs_prechange",
+    "eval_units",
+    "eval_1t_ms",
+    "eval_nt_ms",
+    "eval_threads",
+    "parallel_speedup",
+    "parallel_efficiency",
+    "cores",
+];
+
+/// Mean nanoseconds per call of `f`, after a warm-up pass.
+fn time_ns(iters: u32, mut f: impl FnMut()) -> f64 {
+    for _ in 0..iters / 10 {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / f64::from(iters)
+}
+
+/// Extracts a numeric value from a flat JSON object without a parser
+/// (the serde shim has no `from_str`; the files are machine-written).
+fn json_f64(text: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\"");
+    let at = text.find(&pat)?;
+    let rest = text[at + pat.len()..].trim_start().strip_prefix(':')?;
+    let rest = rest.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_estimation.json".into());
+    let check = args
+        .iter()
+        .position(|a| a == "--check")
+        .and_then(|i| args.get(i + 1).cloned());
+
+    obs::clear_sink();
+
+    // ── Kernel: M=14 joint estimate on the 100-point coarse grid (the
+    // same measurement `BENCH_obs.json` has always reported).
+    let (patterns, dut, fixed) = bench_patterns(42);
+    let link = Link::new(Environment::lab());
+    let mut rng = sub_rng(42, "estimation-bench");
+    let full = dut.codebook.sweep_order();
+    let sweep = link.sweep(&mut rng, &dut, &full, &fixed);
+    let readings: Vec<_> = sweep.iter().take(14).copied().collect();
+
+    let kernel_iters = if smoke { 2_000 } else { 50_000 };
+    let fused = CompressiveEstimator::new(&patterns, CorrelationMode::JointSnrRssi);
+    let estimate_m14_ns = time_ns(kernel_iters, || {
+        black_box(fused.estimate(black_box(&readings)));
+    });
+    let naive = ReferenceEstimator::new(&patterns, CorrelationMode::JointSnrRssi);
+    let reference_estimate_m14_ns = time_ns(kernel_iters / 4, || {
+        black_box(naive.estimate(black_box(&readings)));
+    });
+    let kernel_speedup = reference_estimate_m14_ns / estimate_m14_ns;
+    let speedup_vs_prechange = PRECHANGE_ESTIMATE_M14_NS / estimate_m14_ns;
+
+    // ── Engine: Fig. 7 Monte Carlo on 1 thread vs all cores. The result
+    // is bit-identical either way (see eval::engine); only time differs.
+    let eval_seed = 4242;
+    let mut scenario = EvalScenario::conference_room(Fidelity::Fast, eval_seed);
+    let data = scenario.record(eval_seed);
+    let (m_values, draws) = if smoke {
+        (vec![6usize, 14], 4)
+    } else {
+        (vec![6usize, 10, 14, 18, 24, 30], 16)
+    };
+    let n_sweeps: usize = data.positions.iter().map(|p| p.sweeps.len()).sum();
+    let eval_units = m_values.len() * n_sweeps * draws;
+    let threads = engine::default_threads();
+
+    let t0 = Instant::now();
+    let r1 = estimation_error_par(&data, &scenario.patterns, &m_values, draws, eval_seed, 1);
+    let eval_1t_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let tn = Instant::now();
+    let rn = estimation_error_par(
+        &data,
+        &scenario.patterns,
+        &m_values,
+        draws,
+        eval_seed,
+        threads,
+    );
+    let eval_nt_ms = tn.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        format!("{r1:?}"),
+        format!("{rn:?}"),
+        "parallel eval must be bit-identical to sequential"
+    );
+    let parallel_speedup = eval_1t_ms / eval_nt_ms;
+    let parallel_efficiency = parallel_speedup / threads as f64;
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let json = format!(
+        "{{\n  \"estimate_m14_ns\": {estimate_m14_ns:.2},\n  \
+         \"reference_estimate_m14_ns\": {reference_estimate_m14_ns:.2},\n  \
+         \"kernel_speedup\": {kernel_speedup:.2},\n  \
+         \"speedup_vs_prechange\": {speedup_vs_prechange:.2},\n  \
+         \"eval_units\": {eval_units},\n  \
+         \"eval_1t_ms\": {eval_1t_ms:.2},\n  \
+         \"eval_nt_ms\": {eval_nt_ms:.2},\n  \
+         \"eval_threads\": {threads},\n  \
+         \"parallel_speedup\": {parallel_speedup:.2},\n  \
+         \"parallel_efficiency\": {parallel_efficiency:.2},\n  \
+         \"cores\": {cores},\n  \
+         \"smoke\": {smoke}\n}}\n"
+    );
+    std::fs::write(&out, &json).expect("write BENCH_estimation.json");
+    println!("{json}");
+    println!("wrote {out}");
+
+    if let Some(baseline_path) = check {
+        let baseline = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("--check: cannot read {baseline_path}: {e}"));
+        let mut failures = Vec::new();
+        for key in REQUIRED_KEYS {
+            if json_f64(&json, key).is_none() {
+                failures.push(format!("fresh measurement is missing key {key:?}"));
+            }
+            if json_f64(&baseline, key).is_none() {
+                failures.push(format!("baseline {baseline_path} is missing key {key:?}"));
+            }
+        }
+        if let Some(base_ns) = json_f64(&baseline, "estimate_m14_ns") {
+            let limit = base_ns * 1.25;
+            if estimate_m14_ns > limit {
+                failures.push(format!(
+                    "M=14 estimate regressed >25%: {estimate_m14_ns:.0} ns vs baseline \
+                     {base_ns:.0} ns (limit {limit:.0} ns)"
+                ));
+            }
+        }
+        if cores >= 4 && parallel_efficiency < 0.6 {
+            failures.push(format!(
+                "parallel efficiency {parallel_efficiency:.2} below the 0.6×/core floor \
+                 on a {cores}-core host"
+            ));
+        }
+        if !failures.is_empty() {
+            eprintln!("BENCH_estimation check FAILED:");
+            for f in &failures {
+                eprintln!("  - {f}");
+            }
+            std::process::exit(1);
+        }
+        println!("check against {baseline_path}: OK");
+    }
+}

@@ -22,12 +22,33 @@
 //! makes the vector scale-free in distance. Sectors whose measurement is
 //! missing are masked out of both vectors — the paper's "we naturally
 //! compensate missing measurements" (§5).
+//!
+//! # Performance
+//!
+//! Eq. 2/3/5 is the hot path of every Monte Carlo experiment, so the
+//! evaluation is organized as a cache-friendly fused kernel:
+//!
+//! * the per-sector gain tables are stored as one contiguous **grid-major**
+//!   matrix (`gains[g * n_sectors + s]`), so evaluating one grid point
+//!   touches a single short row instead of chasing `M` separate heap
+//!   allocations;
+//! * the energy prior and the SNR/RSSI correlations are computed in **one
+//!   sweep** over the grid from the same gathered gains (the expected
+//!   energy at a grid point is exactly the `‖x‖²` the correlation needs);
+//! * sector → matrix-row resolution is a precomputed O(1) table instead of
+//!   a linear scan per reading;
+//! * all intermediate buffers live in a reusable [`EstimatorScratch`], so a
+//!   steady-state [`CompressiveEstimator::estimate`] performs no heap
+//!   allocation (`css.estimate_allocs` gauges the per-call allocation count).
+//!
+//! The pre-optimization implementation is retained verbatim in
+//! [`reference`] as the golden model: `tests/golden_kernel.rs` asserts the
+//! fused kernel matches it to ≤ 1e-12 over randomized inputs.
 
 use chamber::SectorPatterns;
 use geom::sphere::Direction;
-use geom::vector::masked_correlation_sq;
 use serde::{Deserialize, Serialize};
-use talon_array::SectorId;
+use std::cell::RefCell;
 use talon_channel::SweepReading;
 
 /// Which measurements enter the correlation.
@@ -52,10 +73,19 @@ fn report_scale(db: f64) -> f64 {
     (db - REPORT_FLOOR_DB).max(0.0)
 }
 
-/// One-cell box smoothing of a correlation map in elevation-major layout.
-fn smooth_map(map: &[f64], n_az: usize, n_el: usize) -> Vec<f64> {
+/// The energy prior `(e / e_max)^0.25`, computed as two square roots
+/// (≈ 5–10× cheaper than `powf` and within 2 ulp of it). Hardcodes
+/// [`ENERGY_PRIOR_EXPONENT`] = 0.25.
+fn energy_prior(ratio: f64) -> f64 {
+    ratio.sqrt().sqrt()
+}
+
+/// One-cell box smoothing of a correlation map in elevation-major layout,
+/// written into `out` (resized as needed).
+fn smooth_map_into(map: &[f64], n_az: usize, n_el: usize, out: &mut Vec<f64>) {
     debug_assert_eq!(map.len(), n_az * n_el);
-    let mut out = vec![0.0; map.len()];
+    out.clear();
+    out.resize(map.len(), 0.0);
     for e in 0..n_el {
         for a in 0..n_az {
             let mut acc = 0.0;
@@ -69,7 +99,6 @@ fn smooth_map(map: &[f64], n_az: usize, n_el: usize) -> Vec<f64> {
             out[e * n_az + a] = acc / cnt;
         }
     }
-    out
 }
 
 /// Numerical options of the Eq. 3 argmax (all on by default; exposed so
@@ -95,18 +124,81 @@ impl Default for EstimatorOptions {
     }
 }
 
+/// Reusable scratch buffers for the correlation kernel.
+///
+/// A steady-state [`CompressiveEstimator::estimate_with`] reuses these
+/// buffers and allocates nothing; [`EstimatorScratch::last_allocations`]
+/// reports how many buffers had to grow during the most recent call (0 once
+/// warm), which the estimator also publishes on the `css.estimate_allocs`
+/// gauge.
+#[derive(Debug, Default)]
+pub struct EstimatorScratch {
+    /// Pattern-matrix rows of the usable probes, in reading order.
+    rows: Vec<u32>,
+    /// Report-scale SNR probe vector (usable probes only).
+    p_snr: Vec<f64>,
+    /// Shifted RSSI probe vector (usable probes only).
+    p_rssi: Vec<f64>,
+    /// The correlation map (final output lives here).
+    map: Vec<f64>,
+    /// Expected-energy `‖x(g)‖` per grid point.
+    energy: Vec<f64>,
+    /// Smoothing output buffer (swapped into `map`).
+    smoothed: Vec<f64>,
+    /// Buffers grown during the current call.
+    grew: usize,
+}
+
+impl EstimatorScratch {
+    /// Fresh, empty scratch (the first estimate through it allocates).
+    pub fn new() -> Self {
+        EstimatorScratch::default()
+    }
+
+    /// How many buffers had to (re)allocate during the most recent
+    /// estimate. Reads 0 once the scratch is warm for the grid in use.
+    pub fn last_allocations(&self) -> usize {
+        self.grew
+    }
+}
+
+/// Grows `buf` to `len` zeros, counting a capacity growth in `grew`.
+fn reuse_zeroed(buf: &mut Vec<f64>, len: usize, grew: &mut usize) {
+    if buf.capacity() < len {
+        *grew += 1;
+    }
+    buf.clear();
+    buf.resize(len, 0.0);
+}
+
+thread_local! {
+    /// Per-thread scratch backing the allocation-free [`CompressiveEstimator::estimate`]
+    /// convenience API. Shared by all estimators on the thread; sized to the
+    /// largest grid seen.
+    static THREAD_SCRATCH: RefCell<EstimatorScratch> = RefCell::new(EstimatorScratch::new());
+}
+
 /// The estimator: measured patterns pre-expanded to the correlation domain.
 pub struct CompressiveEstimator {
-    /// IDs in pattern-matrix row order.
-    ids: Vec<SectorId>,
-    /// `gains[s][g]`: report-scale gain of sector row `s` at grid point `g`.
-    gains: Vec<Vec<f64>>,
+    /// Grid-major report-scale gain matrix: `gains[g * n_sectors + s]` is
+    /// the gain of sector row `s` at grid point `g`. Grid-major layout keeps
+    /// the whole per-grid-point working set (`n_sectors` doubles, ≈ 272 B
+    /// for the Talon's 34 sectors) in one or two cache lines.
+    gains: Vec<f64>,
+    /// Number of sector rows (the matrix minor dimension).
+    n_sectors: usize,
+    /// O(1) sector-id → matrix-row table (`u16::MAX` = no measured pattern).
+    row_of: [u16; 256],
     /// The angular grid shared by all patterns.
     grid: geom::sphere::SphericalGrid,
     /// Correlation mode.
     pub mode: CorrelationMode,
     /// Numerical argmax options.
     pub options: EstimatorOptions,
+    /// Cached metric handles (registry lookups are off the hot path).
+    ctr_estimates: std::sync::Arc<obs::Counter>,
+    ctr_degenerate: std::sync::Arc<obs::Counter>,
+    gauge_allocs: std::sync::Arc<obs::Gauge>,
 }
 
 impl CompressiveEstimator {
@@ -114,24 +206,28 @@ impl CompressiveEstimator {
     pub fn new(patterns: &SectorPatterns, mode: CorrelationMode) -> Self {
         let ids = patterns.sector_ids();
         let grid = patterns.grid().clone();
-        let gains = ids
-            .iter()
-            .map(|id| {
-                patterns
-                    .get(*id)
-                    .expect("id comes from the store")
-                    .gain_db
-                    .iter()
-                    .map(|&db| report_scale(db))
-                    .collect()
-            })
-            .collect();
+        let n_sectors = ids.len();
+        let n_grid = grid.len();
+        assert!(n_sectors < u16::MAX as usize, "sector count fits the index");
+        let mut gains = vec![0.0; n_sectors * n_grid];
+        let mut row_of = [u16::MAX; 256];
+        for (s, id) in ids.iter().enumerate() {
+            row_of[id.raw() as usize] = s as u16;
+            let table = &patterns.get(*id).expect("id comes from the store").gain_db;
+            for (g, &db) in table.iter().enumerate() {
+                gains[g * n_sectors + s] = report_scale(db);
+            }
+        }
         CompressiveEstimator {
-            ids,
             gains,
+            n_sectors,
+            row_of,
             grid,
             mode,
             options: EstimatorOptions::default(),
+            ctr_estimates: obs::counter("css.estimates"),
+            ctr_degenerate: obs::counter("css.degenerate"),
+            gauge_allocs: obs::gauge("css.estimate_allocs"),
         }
     }
 
@@ -149,12 +245,23 @@ impl CompressiveEstimator {
     /// Computes the correlation map `W` over the grid for a set of probe
     /// readings. Readings for sectors without a measured pattern are
     /// ignored; missing measurements are masked.
+    ///
+    /// Allocates a fresh map; hot paths should use [`Self::estimate_with`]
+    /// (or [`Self::estimate`], which reuses a per-thread scratch).
     pub fn correlation_map(&self, readings: &[SweepReading]) -> Vec<f64> {
-        // Build the probe vectors in pattern-row order.
-        let mut rows: Vec<usize> = Vec::with_capacity(readings.len());
-        let mut p_snr: Vec<f64> = Vec::with_capacity(readings.len());
-        let mut p_rssi: Vec<f64> = Vec::with_capacity(readings.len());
-        let mut mask: Vec<bool> = Vec::with_capacity(readings.len());
+        let mut scratch = EstimatorScratch::new();
+        self.correlation_into(&mut scratch, readings);
+        scratch.map
+    }
+
+    /// The fused correlation kernel: gathers the probe vectors, then makes
+    /// a single sweep over the grid computing expected energy and the
+    /// SNR/RSSI correlations from the same gathered gains. The final map is
+    /// left in `scratch.map`.
+    fn correlation_into(&self, s: &mut EstimatorScratch, readings: &[SweepReading]) {
+        s.grew = 0;
+        let n_grid = self.grid.len();
+        reuse_zeroed(&mut s.map, n_grid, &mut s.grew);
         // RSSI is a power in dBm whose absolute level depends on distance.
         // Shift the vector so its strongest reading lines up with the
         // strongest SNR reading on the report scale; relative differences
@@ -169,118 +276,174 @@ impl CompressiveEstimator {
             .filter_map(|r| r.measurement.map(|m| report_scale(m.snr_db)))
             .fold(0.0, f64::max);
         let rssi_offset = max_snr_scaled - max_rssi;
+        // Build the probe vectors in pattern-row order. Readings whose
+        // measurement is missing contribute nothing to any sum (the mask of
+        // Eq. 5), so they are dropped here instead of branch-masked in the
+        // inner loop.
+        if s.rows.capacity() < readings.len() {
+            s.grew += 1;
+        }
+        s.rows.clear();
+        s.p_snr.clear();
+        s.p_rssi.clear();
+        s.rows.reserve(readings.len());
+        s.p_snr.reserve(readings.len());
+        s.p_rssi.reserve(readings.len());
         for r in readings {
-            let Some(row) = self.ids.iter().position(|&id| id == r.sector) else {
-                continue;
-            };
-            rows.push(row);
-            match r.measurement {
-                Some(m) => {
-                    p_snr.push(report_scale(m.snr_db));
-                    p_rssi.push((m.rssi_dbm + rssi_offset).max(0.0));
-                    mask.push(true);
-                }
-                None => {
-                    p_snr.push(0.0);
-                    p_rssi.push(0.0);
-                    mask.push(false);
-                }
+            let row = self.row_of[r.sector.raw() as usize];
+            if row == u16::MAX {
+                continue; // no measured pattern for this sector
             }
+            let Some(m) = r.measurement else {
+                continue; // masked: drops out of the correlation entirely
+            };
+            s.rows.push(u32::from(row));
+            s.p_snr.push(report_scale(m.snr_db));
+            s.p_rssi.push((m.rssi_dbm + rssi_offset).max(0.0));
         }
-        let n_grid = self.grid.len();
-        let mut map = vec![0.0; n_grid];
-        if rows.is_empty() || mask.iter().filter(|&&m| m).count() < 2 {
-            return map; // not enough information; flat zero map
+        if s.rows.len() < 2 {
+            return; // not enough information; flat zero map
         }
+        reuse_zeroed(&mut s.energy, n_grid, &mut s.grew);
+        // Probe-vector norms do not depend on the grid point: hoist them.
+        let uu_snr: f64 = s.p_snr.iter().map(|v| v * v).sum();
+        let uu_rssi: f64 = s.p_rssi.iter().map(|v| v * v).sum();
+        let su_snr = uu_snr.sqrt();
+        let su_rssi = uu_rssi.sqrt();
+        let joint = self.mode == CorrelationMode::JointSnrRssi;
+        let n_s = self.n_sectors;
         // Energy prior: normalized correlation is blind to the absolute
         // level of the expected vector, so directions none of the probed
         // sectors illuminates ("dark" grid points) can spuriously win on
         // noise shape alone. Scaling W by the relative expected energy
         // keeps the argmax inside the region the probing set can actually
         // see. (Ablation: disabling this roughly doubles the selection's
-        // SNR loss at M = 14.)
-        let mut energy = vec![0.0; n_grid];
+        // SNR loss at M = 14.) The energy at a grid point is `‖x‖`, which
+        // the correlation computes anyway — one fused sweep covers both.
         let mut energy_max = 0.0_f64;
-        for (g, e) in energy.iter_mut().enumerate() {
-            let mut acc = 0.0;
-            for (k, &row) in rows.iter().enumerate() {
-                if mask[k] {
-                    let v = self.gains[row][g];
-                    acc += v * v;
+        for g in 0..n_grid {
+            let grid_row = &self.gains[g * n_s..(g + 1) * n_s];
+            let mut vv = 0.0;
+            let mut uv_snr = 0.0;
+            let mut uv_rssi = 0.0;
+            if joint {
+                for ((&row, &ps), &pr) in s.rows.iter().zip(&s.p_snr).zip(&s.p_rssi) {
+                    let x = grid_row[row as usize];
+                    vv += x * x;
+                    uv_snr += ps * x;
+                    uv_rssi += pr * x;
+                }
+            } else {
+                for (&row, &ps) in s.rows.iter().zip(&s.p_snr) {
+                    let x = grid_row[row as usize];
+                    vv += x * x;
+                    uv_snr += ps * x;
                 }
             }
-            *e = acc.sqrt();
-            energy_max = energy_max.max(*e);
+            let sv = vv.sqrt();
+            s.energy[g] = sv;
+            energy_max = energy_max.max(sv);
+            let w_snr = if uu_snr <= f64::EPSILON || vv <= f64::EPSILON {
+                0.0
+            } else {
+                let c = uv_snr / (su_snr * sv);
+                c * c
+            };
+            s.map[g] = if joint {
+                let w_rssi = if uu_rssi <= f64::EPSILON || vv <= f64::EPSILON {
+                    0.0
+                } else {
+                    let c = uv_rssi / (su_rssi * sv);
+                    c * c
+                };
+                w_snr * w_rssi
+            } else {
+                w_snr
+            };
         }
         if energy_max <= f64::EPSILON {
-            return map;
+            s.map.iter_mut().for_each(|w| *w = 0.0);
+            return;
         }
-        let mut x = vec![0.0; rows.len()];
-        for (g, w) in map.iter_mut().enumerate() {
-            for (k, &row) in rows.iter().enumerate() {
-                x[k] = self.gains[row][g];
+        if self.options.energy_prior {
+            // Soft prior: scaling W *proportionally* to the expected
+            // energy biases small probing sets towards the broadside
+            // region where most sectors overlap, while no prior at all
+            // lets dark grid cells at the map edge win on noise shape.
+            // The fractional exponent keeps the dark-region suppression
+            // but flattens the tilt (in dB) inside the illuminated
+            // region to a quarter of the proportional prior's.
+            for (w, &e) in s.map.iter_mut().zip(&s.energy) {
+                *w *= energy_prior(e / energy_max);
             }
-            let w_snr = masked_correlation_sq(&p_snr, &x, &mask);
-            let w_corr = match self.mode {
-                CorrelationMode::SnrOnly => w_snr,
-                CorrelationMode::JointSnrRssi => w_snr * masked_correlation_sq(&p_rssi, &x, &mask),
-            };
-            *w = if self.options.energy_prior {
-                // Soft prior: scaling W *proportionally* to the expected
-                // energy biases small probing sets towards the broadside
-                // region where most sectors overlap, while no prior at all
-                // lets dark grid cells at the map edge win on noise shape.
-                // The fractional exponent keeps the dark-region suppression
-                // but flattens the tilt (in dB) inside the illuminated
-                // region to a quarter of the proportional prior's.
-                w_corr * (energy[g] / energy_max).powf(ENERGY_PRIOR_EXPONENT)
-            } else {
-                w_corr
-            };
         }
         // Light spatial smoothing suppresses single-cell noise spikes
         // before the argmax (the numerical maximization of Eq. 3).
         if self.options.smoothing {
-            smooth_map(&map, self.grid.az.len(), self.grid.el.len())
-        } else {
-            map
+            if s.smoothed.capacity() < s.map.len() {
+                s.grew += 1;
+            }
+            smooth_map_into(
+                &s.map,
+                self.grid.az.len(),
+                self.grid.el.len(),
+                &mut s.smoothed,
+            );
+            std::mem::swap(&mut s.map, &mut s.smoothed);
         }
     }
 
     /// Eq. 3: the direction maximizing the correlation, with its score.
     /// `None` when fewer than two probes carried a measurement.
     ///
+    /// Convenience wrapper over [`Self::estimate_with`] backed by a
+    /// per-thread scratch, so steady-state calls allocate nothing.
+    pub fn estimate(&self, readings: &[SweepReading]) -> Option<(Direction, f64)> {
+        THREAD_SCRATCH.with(|s| self.estimate_with(&mut s.borrow_mut(), readings))
+    }
+
+    /// Eq. 3 with an explicit scratch (for callers that manage their own
+    /// buffers, e.g. the parallel evaluation engine).
+    ///
     /// The argmax is refined to sub-cell precision by fitting a parabola
     /// through the winning cell and its azimuth/elevation neighbours — the
     /// numerical equivalent of the paper's "we find the angles … with
     /// maximum correlation numerically" on a continuous surface.
-    pub fn estimate(&self, readings: &[SweepReading]) -> Option<(Direction, f64)> {
-        let mut span = obs::span("css.estimate");
-        obs::counter("css.estimates").inc();
-        if span.is_recording() {
-            span.field("probes", readings.len() as f64);
+    pub fn estimate_with(
+        &self,
+        scratch: &mut EstimatorScratch,
+        readings: &[SweepReading],
+    ) -> Option<(Direction, f64)> {
+        self.ctr_estimates.inc();
+        // A full span (two clock reads + histogram) only while tracing; the
+        // no-sink bill is the counter above and the allocation gauge below.
+        let mut span = obs::sink_active().then(|| obs::span("css.estimate"));
+        if let Some(sp) = &mut span {
+            sp.field("probes", readings.len() as f64);
             let masked = readings.iter().filter(|r| r.measurement.is_none()).count();
-            span.field("masked", masked as f64);
+            sp.field("masked", masked as f64);
         }
-        let map = self.correlation_map(readings);
+        self.correlation_into(scratch, readings);
+        self.gauge_allocs.set(scratch.grew as i64);
+        let map = &scratch.map;
         let Some((best_i, best_w)) = map
             .iter()
             .copied()
             .enumerate()
             .max_by(|a, b| a.1.partial_cmp(&b.1).expect("correlation is finite"))
         else {
-            obs::counter("css.degenerate").inc();
+            self.ctr_degenerate.inc();
             return None;
         };
         if best_w <= 0.0 {
-            obs::counter("css.degenerate").inc();
+            self.ctr_degenerate.inc();
             return None;
         }
         let n_az = self.grid.az.len();
         let (el_i, az_i) = (best_i / n_az, best_i % n_az);
-        if span.is_recording() {
-            span.field("score", best_w);
-            span.field("argmax_margin", argmax_margin(&map, best_i, n_az, best_w));
+        if let Some(sp) = &mut span {
+            sp.field("score", best_w);
+            sp.field("argmax_margin", argmax_margin(map, best_i, n_az, best_w));
         }
         let coarse = self.grid.direction(best_i);
         if !self.options.subcell_refinement {
@@ -297,8 +460,10 @@ impl CompressiveEstimator {
         } else {
             0.0
         };
-        span.field("refine_daz_deg", az_off * self.grid.az.step_deg);
-        span.field("refine_del_deg", el_off * self.grid.el.step_deg);
+        if let Some(sp) = &mut span {
+            sp.field("refine_daz_deg", az_off * self.grid.az.step_deg);
+            sp.field("refine_del_deg", el_off * self.grid.el.step_deg);
+        }
         let refined = Direction::new(
             coarse.az_deg + az_off * self.grid.az.step_deg,
             coarse.el_deg + el_off * self.grid.el.step_deg,
@@ -310,19 +475,22 @@ impl CompressiveEstimator {
 /// How far the winning correlation peak stands above the best cell outside
 /// its own 3×3 neighbourhood (trace diagnostics: a small margin means the
 /// argmax nearly tipped to a different lobe). Only computed while a trace
-/// sink is recording.
+/// sink is recording. Single pass, no allocation.
 fn argmax_margin(map: &[f64], best_i: usize, n_az: usize, best_w: f64) -> f64 {
     let (b_el, b_az) = (best_i / n_az, best_i % n_az);
-    let runner_up = map
-        .iter()
-        .copied()
-        .enumerate()
-        .filter(|&(i, _)| {
-            let (el, az) = (i / n_az, i % n_az);
-            el.abs_diff(b_el) > 1 || az.abs_diff(b_az) > 1
-        })
-        .map(|(_, w)| w)
-        .fold(0.0, f64::max);
+    let mut runner_up = 0.0_f64;
+    let mut el = 0usize;
+    let mut az = 0usize;
+    for &w in map {
+        if (el.abs_diff(b_el) > 1 || az.abs_diff(b_az) > 1) && w > runner_up {
+            runner_up = w;
+        }
+        az += 1;
+        if az == n_az {
+            az = 0;
+            el += 1;
+        }
+    }
     best_w - runner_up
 }
 
@@ -336,11 +504,200 @@ fn parabolic_offset(l: f64, c: f64, r: f64) -> f64 {
     (0.5 * (l - r) / denom).clamp(-0.5, 0.5)
 }
 
+/// The pre-optimization estimator, retained as the golden model for the
+/// fused kernel (see `crates/core/tests/golden_kernel.rs`) and as the
+/// baseline of `crates/bench/src/bin/estimation_bench.rs`.
+///
+/// This is the original shipped implementation, verbatim minus the obs
+/// instrumentation: per-sector `Vec<Vec<f64>>` gain tables, an O(N) sector
+/// lookup per reading, a separate energy pass, and per-grid-point masked
+/// correlations. Do not "optimize" it — its value is being the slow,
+/// obviously-correct reference.
+pub mod reference {
+    use super::{
+        parabolic_offset, report_scale, CorrelationMode, EstimatorOptions, ENERGY_PRIOR_EXPONENT,
+    };
+    use chamber::SectorPatterns;
+    use geom::sphere::Direction;
+    use geom::vector::masked_correlation_sq;
+    use talon_array::SectorId;
+    use talon_channel::SweepReading;
+
+    /// One-cell box smoothing of a correlation map (allocating variant).
+    fn smooth_map(map: &[f64], n_az: usize, n_el: usize) -> Vec<f64> {
+        let mut out = vec![0.0; map.len()];
+        super::smooth_map_into(map, n_az, n_el, &mut out);
+        out
+    }
+
+    /// The naive reference estimator.
+    pub struct ReferenceEstimator {
+        /// IDs in pattern-matrix row order.
+        ids: Vec<SectorId>,
+        /// `gains[s][g]`: report-scale gain of sector row `s` at grid point `g`.
+        gains: Vec<Vec<f64>>,
+        /// The angular grid shared by all patterns.
+        grid: geom::sphere::SphericalGrid,
+        /// Correlation mode.
+        pub mode: CorrelationMode,
+        /// Numerical argmax options.
+        pub options: EstimatorOptions,
+    }
+
+    impl ReferenceEstimator {
+        /// Builds the reference estimator from a measured pattern database.
+        pub fn new(patterns: &SectorPatterns, mode: CorrelationMode) -> Self {
+            let ids = patterns.sector_ids();
+            let grid = patterns.grid().clone();
+            let gains = ids
+                .iter()
+                .map(|id| {
+                    patterns
+                        .get(*id)
+                        .expect("id comes from the store")
+                        .gain_db
+                        .iter()
+                        .map(|&db| report_scale(db))
+                        .collect()
+                })
+                .collect();
+            ReferenceEstimator {
+                ids,
+                gains,
+                grid,
+                mode,
+                options: EstimatorOptions::default(),
+            }
+        }
+
+        /// Overrides the numerical argmax options (builder style).
+        pub fn with_options(mut self, options: EstimatorOptions) -> Self {
+            self.options = options;
+            self
+        }
+
+        /// The original two-pass correlation map.
+        pub fn correlation_map(&self, readings: &[SweepReading]) -> Vec<f64> {
+            let mut rows: Vec<usize> = Vec::with_capacity(readings.len());
+            let mut p_snr: Vec<f64> = Vec::with_capacity(readings.len());
+            let mut p_rssi: Vec<f64> = Vec::with_capacity(readings.len());
+            let mut mask: Vec<bool> = Vec::with_capacity(readings.len());
+            let max_rssi = readings
+                .iter()
+                .filter_map(|r| r.measurement.map(|m| m.rssi_dbm))
+                .fold(f64::NEG_INFINITY, f64::max);
+            let max_snr_scaled = readings
+                .iter()
+                .filter_map(|r| r.measurement.map(|m| report_scale(m.snr_db)))
+                .fold(0.0, f64::max);
+            let rssi_offset = max_snr_scaled - max_rssi;
+            for r in readings {
+                let Some(row) = self.ids.iter().position(|&id| id == r.sector) else {
+                    continue;
+                };
+                rows.push(row);
+                match r.measurement {
+                    Some(m) => {
+                        p_snr.push(report_scale(m.snr_db));
+                        p_rssi.push((m.rssi_dbm + rssi_offset).max(0.0));
+                        mask.push(true);
+                    }
+                    None => {
+                        p_snr.push(0.0);
+                        p_rssi.push(0.0);
+                        mask.push(false);
+                    }
+                }
+            }
+            let n_grid = self.grid.len();
+            let mut map = vec![0.0; n_grid];
+            if rows.is_empty() || mask.iter().filter(|&&m| m).count() < 2 {
+                return map;
+            }
+            let mut energy = vec![0.0; n_grid];
+            let mut energy_max = 0.0_f64;
+            for (g, e) in energy.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for (k, &row) in rows.iter().enumerate() {
+                    if mask[k] {
+                        let v = self.gains[row][g];
+                        acc += v * v;
+                    }
+                }
+                *e = acc.sqrt();
+                energy_max = energy_max.max(*e);
+            }
+            if energy_max <= f64::EPSILON {
+                return map;
+            }
+            let mut x = vec![0.0; rows.len()];
+            for (g, w) in map.iter_mut().enumerate() {
+                for (k, &row) in rows.iter().enumerate() {
+                    x[k] = self.gains[row][g];
+                }
+                let w_snr = masked_correlation_sq(&p_snr, &x, &mask);
+                let w_corr = match self.mode {
+                    CorrelationMode::SnrOnly => w_snr,
+                    CorrelationMode::JointSnrRssi => {
+                        w_snr * masked_correlation_sq(&p_rssi, &x, &mask)
+                    }
+                };
+                *w = if self.options.energy_prior {
+                    w_corr * (energy[g] / energy_max).powf(ENERGY_PRIOR_EXPONENT)
+                } else {
+                    w_corr
+                };
+            }
+            if self.options.smoothing {
+                smooth_map(&map, self.grid.az.len(), self.grid.el.len())
+            } else {
+                map
+            }
+        }
+
+        /// The original argmax + sub-cell refinement.
+        pub fn estimate(&self, readings: &[SweepReading]) -> Option<(Direction, f64)> {
+            let map = self.correlation_map(readings);
+            let (best_i, best_w) = map
+                .iter()
+                .copied()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("correlation is finite"))?;
+            if best_w <= 0.0 {
+                return None;
+            }
+            let n_az = self.grid.az.len();
+            let (el_i, az_i) = (best_i / n_az, best_i % n_az);
+            let coarse = self.grid.direction(best_i);
+            if !self.options.subcell_refinement {
+                return Some((coarse, best_w));
+            }
+            let az_off = if az_i > 0 && az_i + 1 < n_az {
+                parabolic_offset(map[best_i - 1], best_w, map[best_i + 1])
+            } else {
+                0.0
+            };
+            let el_off = if el_i > 0 && el_i + 1 < self.grid.el.len() {
+                parabolic_offset(map[best_i - n_az], best_w, map[best_i + n_az])
+            } else {
+                0.0
+            };
+            Some((
+                Direction::new(
+                    coarse.az_deg + az_off * self.grid.az.step_deg,
+                    coarse.el_deg + el_off * self.grid.el.step_deg,
+                ),
+                best_w,
+            ))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use geom::sphere::{GridSpec, SphericalGrid};
-    use talon_array::GainPattern;
+    use talon_array::{GainPattern, SectorId};
     use talon_channel::Measurement;
 
     /// Builds a synthetic pattern store with three Gaussian-lobe sectors
@@ -576,5 +933,48 @@ mod tests {
         let map = est.correlation_map(&readings);
         assert_eq!(map.len(), est.grid().len());
         assert!(map.iter().all(|&w| (0.0..=1.0 + 1e-9).contains(&w)));
+    }
+
+    #[test]
+    fn scratch_reaches_zero_allocations() {
+        let store = synthetic_store();
+        let est = CompressiveEstimator::new(&store, CorrelationMode::JointSnrRssi);
+        let readings = vec![reading(1, 3.0), reading(2, 6.0), reading(3, 1.0)];
+        let mut scratch = EstimatorScratch::new();
+        est.estimate_with(&mut scratch, &readings).unwrap();
+        assert!(scratch.last_allocations() > 0, "cold scratch allocates");
+        for _ in 0..3 {
+            est.estimate_with(&mut scratch, &readings).unwrap();
+            assert_eq!(
+                scratch.last_allocations(),
+                0,
+                "steady-state estimate allocates nothing"
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_adapts_across_grid_sizes() {
+        // A shared scratch (like the thread-local behind `estimate`) must
+        // stay correct when estimators with different grids interleave.
+        let coarse = synthetic_store();
+        let fine_grid = SphericalGrid::new(
+            GridSpec::new(-60.0, 60.0, 1.0),
+            GridSpec::new(0.0, 10.0, 5.0),
+        );
+        let fine = coarse.resample(&fine_grid);
+        let est_c = CompressiveEstimator::new(&coarse, CorrelationMode::SnrOnly);
+        let est_f = CompressiveEstimator::new(&fine, CorrelationMode::SnrOnly);
+        let truth = Direction::new(30.0, 0.0);
+        let readings: Vec<SweepReading> = (1..=3)
+            .map(|s| reading(s, coarse.get(SectorId(s)).unwrap().gain_interp(&truth)))
+            .collect();
+        let mut scratch = EstimatorScratch::new();
+        let (a1, _) = est_c.estimate_with(&mut scratch, &readings).unwrap();
+        let (b1, _) = est_f.estimate_with(&mut scratch, &readings).unwrap();
+        let (a2, _) = est_c.estimate_with(&mut scratch, &readings).unwrap();
+        let (b2, _) = est_f.estimate_with(&mut scratch, &readings).unwrap();
+        assert_eq!(a1, a2, "coarse estimate independent of scratch history");
+        assert_eq!(b1, b2, "fine estimate independent of scratch history");
     }
 }

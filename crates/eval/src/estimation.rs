@@ -5,11 +5,17 @@
 //! the azimuth and elevation differences between the estimate and the
 //! physical orientation are collected and summarized as the paper's box
 //! plots (boxes 50 %, whiskers 99 %, dash median).
+//!
+//! The Monte Carlo grid (`M` × position × sweep × draw) runs on the
+//! [`crate::engine`]: each cell is one work unit with its own
+//! index-derived RNG stream, so the result is bit-identical for any
+//! thread count.
 
+use crate::engine;
 use crate::scenario::{random_subset, RecordedDataset};
 use chamber::SectorPatterns;
-use css::estimator::{CompressiveEstimator, CorrelationMode};
-use geom::rng::sub_rng;
+use css::estimator::{CompressiveEstimator, CorrelationMode, EstimatorScratch};
+use geom::rng::sub_rng_indexed;
 use geom::stats::BoxStats;
 use serde::Serialize;
 
@@ -33,7 +39,7 @@ pub struct EstimationErrorRow {
     pub elevation: BoxStats,
 }
 
-/// Runs the Fig. 7 analysis.
+/// Runs the Fig. 7 analysis on [`engine::default_threads`] threads.
 ///
 /// `m_values` is the x-axis (the paper sweeps 4–34); `draws_per_sweep`
 /// controls how many random subsets are sampled from each recorded sweep.
@@ -44,24 +50,51 @@ pub fn estimation_error(
     draws_per_sweep: usize,
     seed: u64,
 ) -> EstimationErrorResult {
+    estimation_error_par(
+        data,
+        patterns,
+        m_values,
+        draws_per_sweep,
+        seed,
+        engine::default_threads(),
+    )
+}
+
+/// [`estimation_error`] with an explicit thread count. The result does not
+/// depend on `threads`.
+pub fn estimation_error_par(
+    data: &RecordedDataset,
+    patterns: &SectorPatterns,
+    m_values: &[usize],
+    draws_per_sweep: usize,
+    seed: u64,
+    threads: usize,
+) -> EstimationErrorResult {
     let estimator = CompressiveEstimator::new(patterns, CorrelationMode::JointSnrRssi);
-    let mut rng = sub_rng(seed, "fig7-subsets");
+    // Flatten the recorded sweeps once; each work unit addresses one
+    // (m, sweep, draw) cell of the Monte Carlo grid by flat index.
+    let sweeps: Vec<_> = data
+        .positions
+        .iter()
+        .flat_map(|pos| pos.sweeps.iter().map(move |sweep| (&pos.truth, sweep)))
+        .collect();
+    let units_per_m = sweeps.len() * draws_per_sweep;
+    let n_units = m_values.len() * units_per_m;
+    let errors: Vec<Option<(f64, f64)>> =
+        engine::par_map(n_units, threads, EstimatorScratch::new, |scratch, unit| {
+            let m = m_values[unit / units_per_m];
+            let (truth, sweep) = sweeps[(unit % units_per_m) / draws_per_sweep];
+            let mut rng = sub_rng_indexed(seed, "fig7-subsets", unit as u64);
+            let subset = random_subset(&mut rng, sweep, m);
+            estimator
+                .estimate_with(scratch, &subset)
+                .map(|(dir, _)| dir.component_error(truth))
+        });
     let mut rows = Vec::with_capacity(m_values.len());
-    for &m in m_values {
-        let mut az_errors = Vec::new();
-        let mut el_errors = Vec::new();
-        for pos in &data.positions {
-            for sweep in &pos.sweeps {
-                for _ in 0..draws_per_sweep {
-                    let subset = random_subset(&mut rng, sweep, m);
-                    if let Some((dir, _)) = estimator.estimate(&subset) {
-                        let (az_e, el_e) = dir.component_error(&pos.truth);
-                        az_errors.push(az_e);
-                        el_errors.push(el_e);
-                    }
-                }
-            }
-        }
+    for (mi, &m) in m_values.iter().enumerate() {
+        let cell = &errors[mi * units_per_m..(mi + 1) * units_per_m];
+        let az_errors: Vec<f64> = cell.iter().flatten().map(|&(az, _)| az).collect();
+        let el_errors: Vec<f64> = cell.iter().flatten().map(|&(_, el)| el).collect();
         let azimuth = BoxStats::from_samples(&az_errors)
             .expect("at least one successful estimate per probe count");
         let elevation = BoxStats::from_samples(&el_errors).expect("elevation errors present");

@@ -8,6 +8,7 @@
 //!
 //! | module | reproduces |
 //! |---|---|
+//! | [`engine`]     | deterministic parallel Monte Carlo execution |
 //! | [`scenario`]   | §6.1 setups (lab, conference room) + sweep recording |
 //! | [`table1`]     | Table 1 (beacon/sweep CDOWN slots) and §4.1 timings |
 //! | [`patterns`]   | Fig. 5 (azimuth cuts) and Fig. 6 (3-D heatmaps) |
@@ -29,6 +30,7 @@
 
 pub mod ascii;
 pub mod dataset_io;
+pub mod engine;
 pub mod estimation;
 pub mod extensions;
 pub mod overhead;

@@ -7,13 +7,18 @@
 //! averaged over all evaluated directions. The stock sweep loses ≈ 0.5 dB
 //! (noise occasionally crowns the wrong sector); CSS starts around 2.5 dB
 //! at 6 probes and crosses below the sweep at ≈ 14.
+//!
+//! The CSS side runs on the [`crate::engine`]: one work unit per
+//! `(M, sweep)` cell with an index-derived RNG, so the figure is
+//! bit-identical for any thread count.
 
+use crate::engine;
 use crate::scenario::{random_subset, RecordedDataset};
 use chamber::SectorPatterns;
 use css::estimator::CorrelationMode;
 use css::selection::{CompressiveSelection, CssConfig};
 use css::strategy::ProbeStrategy;
-use geom::rng::sub_rng;
+use geom::rng::sub_rng_indexed;
 use mac80211ad::sls::{FeedbackPolicy, MaxSnrPolicy};
 use serde::Serialize;
 
@@ -39,12 +44,24 @@ impl SnrLossResult {
     }
 }
 
-/// Runs the Fig. 9 analysis.
+/// Runs the Fig. 9 analysis on [`engine::default_threads`] threads.
 pub fn snr_loss(
     data: &RecordedDataset,
     patterns: &SectorPatterns,
     m_values: &[usize],
     seed: u64,
+) -> SnrLossResult {
+    snr_loss_par(data, patterns, m_values, seed, engine::default_threads())
+}
+
+/// [`snr_loss`] with an explicit thread count. The result does not depend
+/// on `threads`.
+pub fn snr_loss_par(
+    data: &RecordedDataset,
+    patterns: &SectorPatterns,
+    m_values: &[usize],
+    seed: u64,
+    threads: usize,
 ) -> SnrLossResult {
     // Stock sweep loss.
     let mut ssw_losses = Vec::new();
@@ -60,33 +77,56 @@ pub fn snr_loss(
     }
     let ssw_loss_db = geom::stats::mean(&ssw_losses).unwrap_or(f64::NAN);
 
-    // CSS loss per probe count.
-    let mut rng = sub_rng(seed, "fig9-subsets");
-    let mut css_rows = Vec::with_capacity(m_values.len());
-    for &m in m_values {
-        let mut css = CompressiveSelection::new(
-            patterns.clone(),
-            CssConfig {
-                num_probes: m,
-                mode: CorrelationMode::JointSnrRssi,
-                strategy: ProbeStrategy::UniformRandom,
-            },
-            seed,
-        );
-        let mut losses = Vec::new();
-        for pos in &data.positions {
-            let (_, opt_snr) = pos.optimal();
-            for sweep in &pos.sweeps {
-                let subset = random_subset(&mut rng, sweep, m);
-                if let Some(sel) = css.select_from_readings(&subset) {
-                    if let Some(snr) = pos.true_snr_of(sel) {
-                        losses.push(opt_snr - snr);
-                    }
-                }
-            }
-        }
-        css_rows.push((m, geom::stats::mean(&losses).unwrap_or(f64::NAN)));
-    }
+    // CSS loss per probe count, one work unit per (m, sweep) cell. The
+    // selection pipeline instance is per-thread worker state (its RNG only
+    // drives probe draws, which the replay path does not use — subsets come
+    // from the unit-keyed stream below).
+    let sweeps: Vec<_> = data
+        .positions
+        .iter()
+        .flat_map(|pos| {
+            let opt_snr = pos.optimal().1;
+            pos.sweeps.iter().map(move |sweep| (pos, opt_snr, sweep))
+        })
+        .collect();
+    let units_per_m = sweeps.len();
+    let n_units = m_values.len() * units_per_m;
+    let losses: Vec<Option<f64>> = engine::par_map(
+        n_units,
+        threads,
+        || {
+            CompressiveSelection::new(
+                patterns.clone(),
+                CssConfig {
+                    num_probes: 0, // replay path; per-unit m sets the subset size
+                    mode: CorrelationMode::JointSnrRssi,
+                    strategy: ProbeStrategy::UniformRandom,
+                },
+                seed,
+            )
+        },
+        |css, unit| {
+            let m = m_values[unit / units_per_m];
+            let (pos, opt_snr, sweep) = sweeps[unit % units_per_m];
+            let mut rng = sub_rng_indexed(seed, "fig9-subsets", unit as u64);
+            let subset = random_subset(&mut rng, sweep, m);
+            css.select_from_readings(&subset)
+                .and_then(|sel| pos.true_snr_of(sel))
+                .map(|snr| opt_snr - snr)
+        },
+    );
+    let css_rows = m_values
+        .iter()
+        .enumerate()
+        .map(|(mi, &m)| {
+            let cell: Vec<f64> = losses[mi * units_per_m..(mi + 1) * units_per_m]
+                .iter()
+                .flatten()
+                .copied()
+                .collect();
+            (m, geom::stats::mean(&cell).unwrap_or(f64::NAN))
+        })
+        .collect();
     SnrLossResult {
         scenario: data.scenario.clone(),
         ssw_loss_db,

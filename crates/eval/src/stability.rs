@@ -7,13 +7,18 @@
 //! the selection stability" (§6.3). The paper finds the stock sweep stuck
 //! at 73.9 % (measurement noise makes similar sectors alternate) while CSS
 //! with ≥ 13 probes is more stable, reaching ~94.7 % with all probes.
+//!
+//! The CSS side runs on the [`crate::engine`]: one work unit per
+//! `(M, position)` cell (stability is a per-position statistic) with an
+//! index-derived RNG, so the figure is bit-identical for any thread count.
 
+use crate::engine;
 use crate::scenario::{random_subset, RecordedDataset};
 use chamber::SectorPatterns;
 use css::estimator::CorrelationMode;
 use css::selection::{CompressiveSelection, CssConfig};
 use css::strategy::ProbeStrategy;
-use geom::rng::sub_rng;
+use geom::rng::sub_rng_indexed;
 use geom::stats::modal_fraction;
 use mac80211ad::sls::{FeedbackPolicy, MaxSnrPolicy};
 use serde::Serialize;
@@ -41,12 +46,24 @@ impl StabilityResult {
     }
 }
 
-/// Runs the Fig. 8 analysis.
+/// Runs the Fig. 8 analysis on [`engine::default_threads`] threads.
 pub fn selection_stability(
     data: &RecordedDataset,
     patterns: &SectorPatterns,
     m_values: &[usize],
     seed: u64,
+) -> StabilityResult {
+    selection_stability_par(data, patterns, m_values, seed, engine::default_threads())
+}
+
+/// [`selection_stability`] with an explicit thread count. The result does
+/// not depend on `threads`.
+pub fn selection_stability_par(
+    data: &RecordedDataset,
+    patterns: &SectorPatterns,
+    m_values: &[usize],
+    seed: u64,
+    threads: usize,
 ) -> StabilityResult {
     // Stock sweep: argmax per recorded sweep.
     let mut ssw_stabilities = Vec::new();
@@ -62,21 +79,28 @@ pub fn selection_stability(
     }
     let ssw_stability = geom::stats::mean(&ssw_stabilities).unwrap_or(0.0);
 
-    // CSS at each probe count.
-    let mut rng = sub_rng(seed, "fig8-subsets");
-    let mut css_rows = Vec::with_capacity(m_values.len());
-    for &m in m_values {
-        let mut css = CompressiveSelection::new(
-            patterns.clone(),
-            CssConfig {
-                num_probes: m,
-                mode: CorrelationMode::JointSnrRssi,
-                strategy: ProbeStrategy::UniformRandom,
-            },
-            seed,
-        );
-        let mut stabilities = Vec::new();
-        for pos in &data.positions {
+    // CSS: one work unit per (m, position). The unit's RNG drives the
+    // subset draws of all sweeps at that position, in sweep order.
+    let units_per_m = data.positions.len();
+    let n_units = m_values.len() * units_per_m;
+    let stabilities: Vec<Option<f64>> = engine::par_map(
+        n_units,
+        threads,
+        || {
+            CompressiveSelection::new(
+                patterns.clone(),
+                CssConfig {
+                    num_probes: 0, // replay path; per-unit m sets the subset size
+                    mode: CorrelationMode::JointSnrRssi,
+                    strategy: ProbeStrategy::UniformRandom,
+                },
+                seed,
+            )
+        },
+        |css, unit| {
+            let m = m_values[unit / units_per_m];
+            let pos = &data.positions[unit % units_per_m];
+            let mut rng = sub_rng_indexed(seed, "fig8-subsets", unit as u64);
             let selections: Vec<SectorId> = pos
                 .sweeps
                 .iter()
@@ -85,12 +109,21 @@ pub fn selection_stability(
                     css.select_from_readings(&subset)
                 })
                 .collect();
-            if let Some(s) = modal_fraction(&selections) {
-                stabilities.push(s);
-            }
-        }
-        css_rows.push((m, geom::stats::mean(&stabilities).unwrap_or(0.0)));
-    }
+            modal_fraction(&selections)
+        },
+    );
+    let css_rows = m_values
+        .iter()
+        .enumerate()
+        .map(|(mi, &m)| {
+            let cell: Vec<f64> = stabilities[mi * units_per_m..(mi + 1) * units_per_m]
+                .iter()
+                .flatten()
+                .copied()
+                .collect();
+            (m, geom::stats::mean(&cell).unwrap_or(0.0))
+        })
+        .collect();
     StabilityResult {
         scenario: data.scenario.clone(),
         ssw_stability,

@@ -1,0 +1,61 @@
+//! Thread-count determinism: every `_par` experiment entry point must
+//! produce byte-identical results at 1, 2, and 8 threads.
+//!
+//! The engine guarantees this by keying each work unit's RNG on its flat
+//! index and merging chunks in index order (see `eval::engine`); these
+//! tests pin the guarantee end-to-end through the three Monte Carlo
+//! figures. Results are compared through their full `Debug` rendering,
+//! which includes every float exactly.
+
+use eval::estimation::estimation_error_par;
+use eval::scenario::{EvalScenario, Fidelity};
+use eval::snr_loss::snr_loss_par;
+use eval::stability::selection_stability_par;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+#[test]
+fn estimation_error_is_thread_count_invariant() {
+    let mut s = EvalScenario::conference_room(Fidelity::Fast, 901);
+    let data = s.record(901);
+    let renders: Vec<String> = THREAD_COUNTS
+        .iter()
+        .map(|&t| {
+            format!(
+                "{:?}",
+                estimation_error_par(&data, &s.patterns, &[6, 14], 2, 901, t)
+            )
+        })
+        .collect();
+    assert_eq!(renders[0], renders[1], "1 vs 2 threads");
+    assert_eq!(renders[0], renders[2], "1 vs 8 threads");
+}
+
+#[test]
+fn snr_loss_is_thread_count_invariant() {
+    let mut s = EvalScenario::conference_room(Fidelity::Fast, 902);
+    let data = s.record(902);
+    let renders: Vec<String> = THREAD_COUNTS
+        .iter()
+        .map(|&t| format!("{:?}", snr_loss_par(&data, &s.patterns, &[4, 14], 902, t)))
+        .collect();
+    assert_eq!(renders[0], renders[1], "1 vs 2 threads");
+    assert_eq!(renders[0], renders[2], "1 vs 8 threads");
+}
+
+#[test]
+fn selection_stability_is_thread_count_invariant() {
+    let mut s = EvalScenario::conference_room(Fidelity::Fast, 903);
+    let data = s.record(903);
+    let renders: Vec<String> = THREAD_COUNTS
+        .iter()
+        .map(|&t| {
+            format!(
+                "{:?}",
+                selection_stability_par(&data, &s.patterns, &[4, 14], 903, t)
+            )
+        })
+        .collect();
+    assert_eq!(renders[0], renders[1], "1 vs 2 threads");
+    assert_eq!(renders[0], renders[2], "1 vs 8 threads");
+}

@@ -5,9 +5,51 @@
 //! implemented with a `Mutex<VecDeque>` + `Condvar`. Throughput is far below
 //! real crossbeam, but the workspace only ships sweep-completion
 //! notifications over it.
+//!
+//! Also provides `thread::scope` for the parallel evaluation engine,
+//! delegating to `std::thread::scope` (stable since Rust 1.63).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+/// Scoped threads.
+///
+/// Thin adapter over [`std::thread::scope`] keeping crossbeam's call shape
+/// (`thread::scope(|s| ...)` returning a `thread::Result`). One documented
+/// deviation from real crossbeam: spawn closures take no scope argument —
+/// use `s.spawn(|| ...)` (std style), not `s.spawn(|s| ...)`. Since std
+/// scopes propagate child panics to the caller, the returned `Result` is
+/// always `Ok`; it exists so call sites stay source-compatible with the
+/// real crate.
+pub mod thread {
+    pub use std::thread::{Scope, ScopedJoinHandle};
+
+    /// Runs `f` with a scope in which borrowing spawned threads can be
+    /// created; all threads are joined before this returns.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(f))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let data = [1u64, 2, 3, 4];
+            let total = super::scope(|s| {
+                let handles: Vec<_> = data
+                    .chunks(2)
+                    .map(|c| s.spawn(move || c.iter().sum::<u64>()))
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+            })
+            .unwrap();
+            assert_eq!(total, 10);
+        }
+    }
+}
 
 /// MPMC channels.
 pub mod channel {
