@@ -445,6 +445,7 @@ impl CompressiveEstimator {
             sp.field("score", best_w);
             sp.field("argmax_margin", argmax_margin(map, best_i, n_az, best_w));
         }
+        self.check_residuals(scratch, best_i);
         let coarse = self.grid.direction(best_i);
         if !self.options.subcell_refinement {
             return Some((coarse, best_w));
@@ -469,6 +470,59 @@ impl CompressiveEstimator {
             coarse.el_deg + el_off * self.grid.el.step_deg,
         );
         Some((refined, best_w))
+    }
+
+    /// Link-health check on the Eq. 5 fit: with the estimated direction
+    /// fixed, the probe vector should match the expected sector gains at
+    /// that grid point up to one least-squares scale factor. A probe far
+    /// off that fit disagrees with the path model — a strong reflection,
+    /// a mislabelled sector, or a corrupted report. O(M) on top of the
+    /// O(M·|grid|) correlation, so it runs unconditionally; the anomaly
+    /// event itself is only emitted while a sink records.
+    fn check_residuals(&self, s: &EstimatorScratch, best_i: usize) {
+        let grid_row = &self.gains[best_i * self.n_sectors..(best_i + 1) * self.n_sectors];
+        let mut gg = 0.0_f64;
+        let mut pg = 0.0_f64;
+        let mut p_max = 0.0_f64;
+        for (&row, &p) in s.rows.iter().zip(&s.p_snr) {
+            let g = grid_row[row as usize];
+            gg += g * g;
+            pg += p * g;
+            p_max = p_max.max(p);
+        }
+        if gg <= f64::EPSILON || p_max <= f64::EPSILON {
+            return;
+        }
+        let c = pg / gg;
+        let mut sum_sq = 0.0_f64;
+        for (&row, &p) in s.rows.iter().zip(&s.p_snr) {
+            let r = p - c * grid_row[row as usize];
+            sum_sq += r * r;
+        }
+        let rms = (sum_sq / s.rows.len() as f64).sqrt();
+        // The absolute floor keeps quantization wiggle on clean links from
+        // tripping the 3-sigma test when rms is tiny.
+        let threshold = (3.0 * rms).max(0.15 * p_max);
+        let mut outliers = 0usize;
+        let mut worst = 0.0_f64;
+        for (&row, &p) in s.rows.iter().zip(&s.p_snr) {
+            let r = (p - c * grid_row[row as usize]).abs();
+            if r > threshold {
+                outliers += 1;
+                worst = worst.max(r);
+            }
+        }
+        if outliers > 0 {
+            obs::health::anomaly(
+                "outlier_residual",
+                &[
+                    ("outliers", outliers as f64),
+                    ("worst_residual", worst),
+                    ("rms_residual", rms),
+                    ("probes", s.rows.len() as f64),
+                ],
+            );
+        }
     }
 }
 

@@ -17,6 +17,13 @@
 //! Together these make the output of `par_map` **bit-identical** for any
 //! thread count, including the inline `threads == 1` path — asserted by
 //! `tests/parallel_determinism.rs` at 1, 2 and 8 threads.
+//!
+//! The same discipline extends to observability: while a sink records,
+//! each work unit runs as its own trace (ids reserved in a block on the
+//! coordinating thread, so unit *i* is always trace `base + i`), its
+//! events are captured in per-thread buffers instead of hitting the sink
+//! from workers, and the merge replays them in unit-index order — the
+//! emitted trace stream is structurally identical at any thread count.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -56,16 +63,46 @@ where
     F: Fn(&mut W, usize) -> T + Sync,
 {
     let threads = threads.clamp(1, n_units.max(1));
-    let mut span = obs::span("eval.par_map");
-    span.field("units", n_units as f64);
-    span.field("threads", threads as f64);
+    let recording = obs::sink_active();
+    let mut span = recording.then(|| obs::span("eval.par_map"));
+    if let Some(span) = &mut span {
+        span.field("units", n_units as f64);
+        span.field("threads", threads as f64);
+    }
+    // While a sink records, every work unit becomes its own trace. The id
+    // block is reserved here, on the coordinating thread, so unit i always
+    // gets `trace_base + i` no matter which worker runs it; unit events are
+    // captured per unit (see `obs::with_context`) and forwarded to the sink
+    // in unit-index order below, which makes the trace stream — not just
+    // the results — identical at any thread count.
+    let trace_base = recording.then(|| obs::reserve_trace_ids(n_units.max(1) as u64));
+    let run_unit = |w: &mut W, i: usize, events: &mut Vec<obs::Event>| -> T {
+        match trace_base {
+            Some(base) => {
+                let ctx = obs::TraceContext::for_trace_id(base + i as u64);
+                let (out, mut unit_events) = obs::with_context(&ctx, || f(w, i));
+                events.append(&mut unit_events);
+                out
+            }
+            None => f(w, i),
+        }
+    };
     if threads == 1 {
         let mut w = make_worker();
-        return (0..n_units).map(|i| f(&mut w, i)).collect();
+        let mut events = Vec::new();
+        let out = (0..n_units)
+            .map(|i| run_unit(&mut w, i, &mut events))
+            .collect();
+        for event in &events {
+            obs::sink::emit(event);
+        }
+        return out;
     }
+    // One finished chunk: (first unit index, results, captured trace events).
+    type Chunk<T> = (usize, Vec<T>, Vec<obs::Event>);
     let chunk = (n_units / (threads * CHUNKS_PER_THREAD)).max(1);
     let cursor = AtomicUsize::new(0);
-    let parts: Mutex<Vec<(usize, Vec<T>)>> = Mutex::new(Vec::new());
+    let parts: Mutex<Vec<Chunk<T>>> = Mutex::new(Vec::new());
     crossbeam::thread::scope(|s| {
         for _ in 0..threads {
             s.spawn(|| {
@@ -76,21 +113,29 @@ where
                         break;
                     }
                     let end = (start + chunk).min(n_units);
-                    let out: Vec<T> = (start..end).map(|i| f(&mut w, i)).collect();
+                    let mut events = Vec::new();
+                    let out: Vec<T> = (start..end)
+                        .map(|i| run_unit(&mut w, i, &mut events))
+                        .collect();
                     parts
                         .lock()
                         .expect("no poisoned workers")
-                        .push((start, out));
+                        .push((start, out, events));
                 }
             });
         }
     })
     .expect("scoped eval workers join cleanly");
     let mut parts = parts.into_inner().expect("workers done");
-    parts.sort_unstable_by_key(|&(start, _)| start);
+    parts.sort_unstable_by_key(|&(start, ..)| start);
     let mut merged = Vec::with_capacity(n_units);
-    for (_, mut part) in parts {
+    for (_, mut part, events) in parts {
         merged.append(&mut part);
+        // Units within a chunk ran sequentially, and chunks are sorted by
+        // start, so this replays the capture in global unit order.
+        for event in &events {
+            obs::sink::emit(event);
+        }
     }
     debug_assert_eq!(merged.len(), n_units);
     merged

@@ -120,10 +120,12 @@ impl EvalScenario {
 
     /// Records full sector sweeps at every orientation of the eval grid.
     pub fn record(&mut self, seed: u64) -> RecordedDataset {
-        let mut span = obs::span("eval.record");
+        let mut span = obs::sink_active().then(|| obs::span("eval.record"));
         obs::counter("eval.records").inc();
-        span.field("positions", self.eval_grid.len() as f64);
-        span.field("sweeps_per_position", self.sweeps_per_position as f64);
+        if let Some(span) = &mut span {
+            span.field("positions", self.eval_grid.len() as f64);
+            span.field("sweeps_per_position", self.sweeps_per_position as f64);
+        }
         let mut rng = sub_rng(seed, "scenario-record");
         let mut head = RotationHead::paper_setup(seed);
         let sweep_order = self.dut.codebook.sweep_order();

@@ -59,3 +59,57 @@ fn selection_stability_is_thread_count_invariant() {
     assert_eq!(renders[0], renders[1], "1 vs 2 threads");
     assert_eq!(renders[0], renders[2], "1 vs 8 threads");
 }
+
+/// Captures every trace event emitted during one `estimation_error_par`
+/// run at the given thread count.
+fn capture_eval_trace(threads: usize) -> Vec<obs::Event> {
+    let mut s = EvalScenario::conference_room(Fidelity::Fast, 904);
+    let data = s.record(904);
+    let _guard = obs::testing::lock();
+    let mem = std::sync::Arc::new(obs::MemorySink::new());
+    obs::set_sink(mem.clone());
+    let _ = estimation_error_par(&data, &s.patterns, &[6, 14], 2, 904, threads);
+    obs::clear_sink();
+    mem.take()
+}
+
+#[test]
+fn eval_traces_are_structurally_thread_count_invariant() {
+    // Not just results: the *trace* of a parallel eval must be the same
+    // tree regardless of worker count. Each work unit gets a reserved
+    // trace id on the coordinating thread and its events are captured
+    // per-thread and merged in unit-index order, so after normalizing
+    // wall-clock values (ts/dur) and remapping trace ids by first
+    // appearance, the event streams are identical. The coordinator's own
+    // `eval.par_map` span is excluded — its `threads` field differs by
+    // construction.
+    let renders: Vec<String> = THREAD_COUNTS
+        .iter()
+        .map(|&t| {
+            let events: Vec<obs::Event> = capture_eval_trace(t)
+                .into_iter()
+                .filter(|e| e.stage != "eval.par_map")
+                .collect();
+            assert!(!events.is_empty(), "{t} threads emitted no unit events");
+            format!("{:?}", obs::tree::normalize_structural(&events))
+        })
+        .collect();
+    assert_eq!(renders[0], renders[1], "trace at 1 vs 2 threads");
+    assert_eq!(renders[0], renders[2], "trace at 1 vs 8 threads");
+}
+
+#[test]
+fn eval_units_root_their_own_traces() {
+    let events = capture_eval_trace(4);
+    let trees = obs::tree::build_trees(&events);
+    assert!(!trees.is_empty());
+    // Every per-unit trace is a single rooted tree (one top-level span per
+    // work unit), and ids are unique within each trace.
+    for tree in &trees {
+        assert_eq!(tree.roots.len(), 1, "trace {} roots", tree.trace_id);
+        let mut ids: Vec<u64> = tree.nodes.iter().map(|n| n.span_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), tree.nodes.len(), "duplicate span ids");
+    }
+}

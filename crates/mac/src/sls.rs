@@ -134,7 +134,7 @@ impl<'a> SlsRunner<'a> {
         PI: FeedbackPolicy + ?Sized,
         PR: FeedbackPolicy + ?Sized,
     {
-        let mut span = obs::span("sls.run");
+        let mut span = obs::sink_active().then(|| obs::span("sls.run"));
         obs::counter("sls.runs").inc();
         let mut now = SimTime::ZERO;
         let mut frames = Vec::new();
@@ -172,6 +172,8 @@ impl<'a> SlsRunner<'a> {
             });
         }
 
+        report_missing_probes("iss", &iss_readings);
+
         // The responder picks the initiator's sector ("Select Best Sector"
         // box of Fig. 2 — or our patched override).
         let initiator_tx_sector = responder_policy.select(&iss_readings);
@@ -203,6 +205,8 @@ impl<'a> SlsRunner<'a> {
             });
         }
 
+        report_missing_probes("rss", &rss_readings);
+
         // The initiator picks the responder's sector and sends feedback;
         // the responder acknowledges. We account for both plus the sweep
         // initialization with the measured 49.1 µs overhead (§4.1).
@@ -227,13 +231,15 @@ impl<'a> SlsRunner<'a> {
         now += SLS_OVERHEAD;
 
         obs::counter("sls.ssw_frames").add(frames.len() as u64);
-        span.field("iss_frames", iss_readings.len() as f64);
-        span.field("rss_frames", rss_readings.len() as f64);
-        span.field(
-            "feedback_sector",
-            initiator_tx_sector.map_or(-1.0, |s| f64::from(s.raw())),
-        );
-        span.field("sim_duration_us", now.since(SimTime::ZERO).as_ms() * 1000.0);
+        if let Some(span) = &mut span {
+            span.field("iss_frames", iss_readings.len() as f64);
+            span.field("rss_frames", rss_readings.len() as f64);
+            span.field(
+                "feedback_sector",
+                initiator_tx_sector.map_or(-1.0, |s| f64::from(s.raw())),
+            );
+            span.field("sim_duration_us", now.since(SimTime::ZERO).as_ms() * 1000.0);
+        }
         SlsOutcome {
             initiator_tx_sector,
             responder_tx_sector,
@@ -245,18 +251,45 @@ impl<'a> SlsRunner<'a> {
     }
 }
 
+/// Flags probes that went on the air but produced no measurement (below
+/// sensitivity, blockage, or a deaf receiver) as link-health anomalies.
+fn report_missing_probes(sweep: &str, readings: &[SweepReading]) {
+    let missing = readings.iter().filter(|r| r.measurement.is_none()).count();
+    if missing > 0 {
+        obs::health::anomaly(
+            "missing_probe",
+            &[
+                ("missing", missing as f64),
+                ("swept", readings.len() as f64),
+                ("rss", f64::from(u8::from(sweep == "rss"))),
+            ],
+        );
+    }
+}
+
 /// Builds the feedback field for a selection, reporting the selected
 /// sector's SNR when available.
 fn feedback_field(selection: Option<SectorId>, readings: &[SweepReading]) -> SswFeedbackField {
-    let snr = selection
-        .and_then(|sel| {
-            readings
-                .iter()
-                .find(|r| r.sector == sel)
-                .and_then(|r| r.measurement)
-        })
-        .map(|m| m.snr_db)
-        .unwrap_or(-8.0);
+    let measured = selection.and_then(|sel| {
+        readings
+            .iter()
+            .find(|r| r.sector == sel)
+            .and_then(|r| r.measurement)
+    });
+    if let Some(m) = measured {
+        // The wire format saturates outside [-8.0, 55.75] dB (see
+        // `encode_snr`); a clamp means the peer sees a lie about the link.
+        if !(-8.0..=55.75).contains(&m.snr_db) {
+            obs::health::anomaly(
+                "snr_clamped",
+                &[
+                    ("snr_db", m.snr_db),
+                    ("sector", selection.map_or(-1.0, |s| f64::from(s.raw()))),
+                ],
+            );
+        }
+    }
+    let snr = measured.map(|m| m.snr_db).unwrap_or(-8.0);
     SswFeedbackField {
         sector_select: selection.unwrap_or(SectorId(0)),
         dmg_antenna_select: 0,
@@ -363,6 +396,54 @@ mod tests {
         assert_eq!(out.iss_readings.len(), 14);
         // 2×14×18 + 49.1 = 553.1 µs ≈ 0.55 ms (Fig. 10).
         assert!((out.duration.as_ms() - 0.5531).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_probes_and_clamped_snr_raise_health_counters() {
+        let before = obs::global().snapshot().counter("health.missing_probe");
+        report_missing_probes(
+            "iss",
+            &[SweepReading {
+                sector: SectorId(1),
+                measurement: None,
+            }],
+        );
+        assert_eq!(
+            obs::global().snapshot().counter("health.missing_probe"),
+            before + 1
+        );
+
+        let before = obs::global().snapshot().counter("health.snr_clamped");
+        feedback_field(
+            Some(SectorId(2)),
+            &[SweepReading {
+                sector: SectorId(2),
+                measurement: Some(talon_channel::Measurement {
+                    snr_db: 60.0, // above the 55.75 dB wire ceiling
+                    rssi_dbm: -30.0,
+                }),
+            }],
+        );
+        assert_eq!(
+            obs::global().snapshot().counter("health.snr_clamped"),
+            before + 1
+        );
+        // An in-range SNR must not be flagged.
+        let before = obs::global().snapshot().counter("health.snr_clamped");
+        feedback_field(
+            Some(SectorId(2)),
+            &[SweepReading {
+                sector: SectorId(2),
+                measurement: Some(talon_channel::Measurement {
+                    snr_db: 12.0,
+                    rssi_dbm: -55.0,
+                }),
+            }],
+        );
+        assert_eq!(
+            obs::global().snapshot().counter("health.snr_clamped"),
+            before
+        );
     }
 
     #[test]

@@ -81,11 +81,13 @@ where
     F: FnMut(&SectorPatterns, u64) -> TrainingPolicy,
 {
     let mut rng = sub_rng(seed, "dense");
-    let mut span = obs::span("netsim.dense");
+    let mut span = obs::sink_active().then(|| obs::span("netsim.dense"));
     let env = Environment::conference_room();
     let link = Link::new(env);
     let max_pairs = config.pair_counts.iter().copied().max().unwrap_or(0);
-    span.field("pairs", max_pairs as f64);
+    if let Some(span) = &mut span {
+        span.field("pairs", max_pairs as f64);
+    }
 
     // Simulate each pair once: orientation, training, achieved rate.
     let mut pair_rates = Vec::with_capacity(max_pairs);
@@ -121,6 +123,17 @@ where
         let aggregate = mean_rate * data_share;
         if airtime < 1.0 {
             saturation_pairs = Some(n);
+        } else {
+            // Training alone eats the whole channel: no data airtime left
+            // at this density for this policy.
+            obs::health::anomaly(
+                "airtime_saturated",
+                &[
+                    ("pairs", n as f64),
+                    ("training_ms", training_ms),
+                    ("tracking_hz", config.tracking_hz),
+                ],
+            );
         }
         rows.push(DenseRow {
             pairs: n,

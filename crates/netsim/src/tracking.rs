@@ -163,6 +163,17 @@ pub fn tracking_run(
             })
             .fold(0.0_f64, f64::max);
         if rate == 0.0 {
+            if outages == 0 || *rates.last().expect("outage implies a prior sample") > 0.0 {
+                // Report the transition into outage, not every sample spent
+                // in it — one anomaly per blockage/rotation event.
+                obs::health::anomaly(
+                    "link_outage",
+                    &[
+                        ("t_s", t),
+                        ("sector", current.map_or(-1.0, |s| f64::from(s.raw()))),
+                    ],
+                );
+            }
             outages += 1;
         }
         rates.push(rate);
@@ -180,12 +191,12 @@ pub fn tracking_run(
         failovers,
     };
     // Per-run rollup for the trace (one span per tracking experiment).
-    let mut span = obs::span("netsim.tracking");
-    span.field("trainings", result.trainings as f64);
-    span.field("failovers", result.failovers as f64);
-    span.field("outage_fraction", result.outage_fraction);
-    span.field("mean_gbps", result.mean_gbps);
-    drop(span);
+    if let Some(mut span) = obs::sink_active().then(|| obs::span("netsim.tracking")) {
+        span.field("trainings", result.trainings as f64);
+        span.field("failovers", result.failovers as f64);
+        span.field("outage_fraction", result.outage_fraction);
+        span.field("mean_gbps", result.mean_gbps);
+    }
     result
 }
 

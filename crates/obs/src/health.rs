@@ -1,0 +1,126 @@
+//! Link-health anomaly reporting.
+//!
+//! The CSS pipeline degrades in recognizable ways long before a selection
+//! goes visibly wrong: the firmware clamps/quantizes SNR reports, probe
+//! frames go missing, a reading disagrees with the Eq. 5 model at the
+//! estimated direction, the export ring overflows. [`anomaly`] gives every
+//! layer one cheap call to surface such findings:
+//!
+//! * a `health.<kind>` counter is always bumped (visible in registry
+//!   snapshots and the Prometheus exposition), and
+//! * while a sink records, an `"anomaly"` [`Event`] tagged with the owning
+//!   trace and enclosing span is emitted, so `talon report` can attribute
+//!   the finding to the exact CSS session (and probe batch) that caused it.
+//!
+//! The no-sink cost is one cached counter bump — the event, its fields and
+//! the trace lookup only happen while tracing.
+
+use crate::event::Event;
+use crate::metrics::Counter;
+use crate::{sink, trace};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
+
+/// Per-kind cache of the `health.<kind>` counter handles (kinds are
+/// `&'static str` literals; the lookup allocates only on first use).
+fn health_counter(kind: &'static str) -> Arc<Counter> {
+    static CACHE: OnceLock<Mutex<BTreeMap<&'static str, Arc<Counter>>>> = OnceLock::new();
+    let mut cache = CACHE.get_or_init(|| Mutex::new(BTreeMap::new())).lock();
+    cache
+        .entry(kind)
+        .or_insert_with(|| crate::global().counter(&format!("health.{kind}")))
+        .clone()
+}
+
+/// Reports one link-health anomaly of `kind` (e.g. `"snr_clamped"`,
+/// `"missing_probe"`, `"outlier_residual"`) with numeric context fields.
+///
+/// Always bumps the `health.<kind>` counter; while a sink records, also
+/// emits an `"anomaly"` event at stage `health.<kind>`, tagged with the
+/// current trace and enclosing span.
+pub fn anomaly(kind: &'static str, fields: &[(&str, f64)]) {
+    health_counter(kind).inc();
+    if !sink::sink_active() {
+        return;
+    }
+    let (trace_id, parent_id) = trace::current_ids();
+    let fields: BTreeMap<String, f64> = fields
+        .iter()
+        .map(|&(name, value)| (name.to_string(), value))
+        .collect();
+    sink::emit(&Event::anomaly(
+        crate::now_us(),
+        &format!("health.{kind}"),
+        trace_id,
+        parent_id,
+        fields,
+    ));
+}
+
+/// Stage-name prefix of anomaly events (`health.<kind>`).
+pub const STAGE_PREFIX: &str = "health.";
+
+/// The anomaly kinds emitted across the workspace. Long-running exporters
+/// (e.g. `talon serve`) pre-register these so every link-health series
+/// exists (at zero) before the first anomaly fires.
+pub const KNOWN_KINDS: &[&str] = &[
+    "snr_clamped",
+    "missing_probe",
+    "outlier_residual",
+    "export_gap",
+    "ring_overflow",
+    "link_outage",
+    "airtime_saturated",
+];
+
+/// Ensures a `health.<kind>` counter exists for every known kind.
+pub fn register_known_kinds() {
+    for kind in KNOWN_KINDS {
+        health_counter(kind);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::MemorySink;
+    use crate::span;
+
+    #[test]
+    fn anomaly_bumps_counter_and_tags_the_trace() {
+        let _guard = crate::testing::lock();
+        let mem = Arc::new(MemorySink::new());
+        sink::set_sink(mem.clone());
+        let before = crate::global().snapshot().counter("health.test_kind");
+        let span_ids = {
+            let s = span("health.test.session");
+            anomaly("test_kind", &[("snr_db", -8.0)]);
+            s.ids().expect("recording")
+        };
+        sink::clear_sink();
+        let after = crate::global().snapshot().counter("health.test_kind");
+        assert_eq!(after, before + 1);
+        let events = mem.take();
+        let anom = events
+            .iter()
+            .find(|e| e.kind == "anomaly")
+            .expect("anomaly event emitted");
+        assert_eq!(anom.stage, "health.test_kind");
+        assert_eq!(anom.trace_id, span_ids.trace_id);
+        assert_eq!(anom.parent_id, span_ids.span_id);
+        assert_eq!(anom.field("snr_db"), Some(-8.0));
+    }
+
+    #[test]
+    fn no_sink_means_counter_only() {
+        let _guard = crate::testing::lock();
+        sink::clear_sink();
+        let before = crate::global().snapshot().counter("health.silent_kind");
+        anomaly("silent_kind", &[("x", 1.0)]);
+        assert_eq!(
+            crate::global().snapshot().counter("health.silent_kind"),
+            before + 1
+        );
+    }
+}

@@ -11,6 +11,16 @@
 //! - **Sinks** ([`EventSink`]) — no-op by default, [`MemorySink`] for tests,
 //!   [`JsonlSink`] for `talon --trace <file>` capture; [`jsonl::read_trace`]
 //!   reads the files back for `talon report`.
+//! - **Traces** ([`trace`]) — recording spans carry
+//!   `trace_id`/`span_id`/`parent_id` and form one causal tree per CSS
+//!   session or eval work unit; [`TraceContext`] hands a trace across
+//!   threads, and [`tree`] reconstructs/flattens the trees for
+//!   `talon report --tree/--flame`.
+//! - **Health** ([`health::anomaly`]) — link-health findings (clamped SNR,
+//!   missing probes, outlier residuals) as counters plus trace-tagged
+//!   anomaly events.
+//! - **Export** ([`prometheus`], [`serve::MetricsServer`]) — Prometheus
+//!   text exposition of the registry over a zero-dep TCP endpoint.
 //!
 //! Everything is built on atomics and `parking_lot` locks; there are no
 //! tracing/metrics framework dependencies. The no-sink fast path is one
@@ -21,17 +31,24 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod health;
 pub mod jsonl;
 pub mod metrics;
+pub mod prometheus;
 pub mod registry;
+pub mod serve;
 pub mod sink;
 pub mod span;
+pub mod trace;
+pub mod tree;
 
 pub use event::Event;
 pub use metrics::{Bucket, Counter, Gauge, Histogram, HistogramSnapshot};
 pub use registry::{Registry, Snapshot};
+pub use serve::MetricsServer;
 pub use sink::{clear_sink, set_sink, sink_active, EventSink, JsonlSink, MemorySink, NoopSink};
 pub use span::{span, Span};
+pub use trace::{current_context, current_ids, reserve_trace_ids, with_context, TraceContext};
 
 use std::sync::OnceLock;
 use std::time::Instant;

@@ -201,6 +201,21 @@ impl HistogramSnapshot {
         }
         self.max
     }
+
+    /// Median estimate (see [`HistogramSnapshot::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
 }
 
 #[cfg(test)]
@@ -245,6 +260,9 @@ mod tests {
         h.record(100_000);
         let snap = h.snapshot();
         assert!(snap.quantile(0.5) < 20);
+        assert_eq!(snap.p50(), snap.quantile(0.5));
+        assert!(snap.p95() < 20, "95/100 samples are 10us");
+        assert!(snap.p99() < 20, "99/100 samples are 10us");
         assert!(snap.quantile(0.999) > 50_000);
         assert!((snap.mean() - (99.0 * 10.0 + 100_000.0) / 100.0).abs() < 1e-9);
     }

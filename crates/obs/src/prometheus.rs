@@ -1,0 +1,117 @@
+//! Prometheus text exposition of a registry [`Snapshot`].
+//!
+//! Renders the version-0.0.4 text format any Prometheus-compatible scraper
+//! (or a plain `curl`) can parse. Metric names are prefixed with `talon_`
+//! and sanitized (dots and other non-identifier characters become
+//! underscores): the counter `health.snr_clamped` becomes
+//! `talon_health_snr_clamped_total`.
+//!
+//! Histograms are exposed with cumulative `le` buckets derived from the
+//! power-of-two bucket upper bounds, plus the conventional `_sum` and
+//! `_count` series.
+
+use crate::registry::Snapshot;
+use std::fmt::Write;
+
+/// Maps a registry metric name to a Prometheus series name.
+pub fn series_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 6);
+    out.push_str("talon_");
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphanumeric() || (c == '_') || (c == ':' && i > 0) {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Renders `snapshot` in the Prometheus text exposition format.
+pub fn render(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let series = format!("{}_total", series_name(name));
+        let _ = writeln!(out, "# TYPE {series} counter");
+        let _ = writeln!(out, "{series} {value}");
+    }
+    for (name, value) in &snapshot.gauges {
+        let series = series_name(name);
+        let _ = writeln!(out, "# TYPE {series} gauge");
+        let _ = writeln!(out, "{series} {value}");
+    }
+    for (name, hist) in &snapshot.histograms {
+        let series = series_name(name);
+        let _ = writeln!(out, "# TYPE {series} histogram");
+        let mut cumulative = 0u64;
+        for b in &hist.buckets {
+            cumulative += b.count;
+            // Our buckets are [lo, hi); `le` is inclusive, so the exposed
+            // bound is the largest value the bucket can hold.
+            let le = b.hi.saturating_sub(1).max(b.lo);
+            let _ = writeln!(out, "{series}_bucket{{le=\"{le}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{series}_bucket{{le=\"+Inf\"}} {}", hist.count);
+        let _ = writeln!(out, "{series}_sum {}", hist.sum);
+        let _ = writeln!(out, "{series}_count {}", hist.count);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn names_are_sanitized_and_prefixed() {
+        assert_eq!(series_name("css.selections"), "talon_css_selections");
+        assert_eq!(
+            series_name("health.snr_clamped"),
+            "talon_health_snr_clamped"
+        );
+        assert_eq!(
+            series_name("wil.ring-occupancy"),
+            "talon_wil_ring_occupancy"
+        );
+    }
+
+    #[test]
+    fn exposition_has_types_values_and_cumulative_buckets() {
+        let reg = Registry::new();
+        reg.counter("health.snr_clamped").add(3);
+        reg.gauge("wil.ring.occupancy").set(-2);
+        let h = reg.histogram("sls.run.dur_us");
+        h.record(1); // bucket [1, 2)
+        h.record(5); // bucket [4, 8)
+        h.record(5);
+        let text = render(&reg.snapshot());
+
+        assert!(text.contains("# TYPE talon_health_snr_clamped_total counter"));
+        assert!(text.contains("talon_health_snr_clamped_total 3"));
+        assert!(text.contains("# TYPE talon_wil_ring_occupancy gauge"));
+        assert!(text.contains("talon_wil_ring_occupancy -2"));
+        assert!(text.contains("# TYPE talon_sls_run_dur_us histogram"));
+        assert!(text.contains("talon_sls_run_dur_us_bucket{le=\"1\"} 1"));
+        assert!(text.contains("talon_sls_run_dur_us_bucket{le=\"7\"} 3"));
+        assert!(text.contains("talon_sls_run_dur_us_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("talon_sls_run_dur_us_sum 11"));
+        assert!(text.contains("talon_sls_run_dur_us_count 3"));
+    }
+
+    #[test]
+    fn every_line_is_comment_or_sample() {
+        let reg = Registry::new();
+        reg.counter("a.b").inc();
+        reg.histogram("c.d").record(9);
+        for line in render(&reg.snapshot()).lines() {
+            assert!(
+                line.starts_with("# TYPE ")
+                    || line.split_once(' ').is_some_and(|(name, value)| {
+                        name.starts_with("talon_") && value.parse::<f64>().is_ok()
+                    }),
+                "unparseable line: {line}"
+            );
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! A zero-dependency metrics endpoint on `std::net::TcpListener`.
+//!
+//! [`MetricsServer::start`] binds an address (use port 0 for an ephemeral
+//! port), spawns one background thread, and answers `GET /metrics` with the
+//! Prometheus text exposition of the global registry. The accept loop is
+//! non-blocking and polls a shutdown flag, so dropping the server stops the
+//! thread promptly without needing a self-connect trick.
+//!
+//! This is a diagnostics endpoint, not a web server: one connection is
+//! served at a time, requests are read with a short timeout, and anything
+//! that is not `GET /metrics` (or `GET /`) gets a 404.
+
+use crate::prometheus;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running metrics endpoint; stops when dropped.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts serving.
+    pub fn start(addr: &str) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("talon-metrics".into())
+            .spawn(move || accept_loop(listener, &stop_flag))?;
+        Ok(MetricsServer {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, stop: &AtomicBool) {
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Serve inline: metrics scrapes are small and rare, so a
+                // per-connection thread would be pure overhead.
+                let _ = serve_connection(stream);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn serve_connection(mut stream: TcpStream) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    let request_line = read_request_line(&mut stream)?;
+    let path = request_line.split_whitespace().nth(1).unwrap_or("/");
+    let (status, body) = if path == "/metrics" || path == "/" {
+        ("200 OK", prometheus::render(&crate::global().snapshot()))
+    } else {
+        ("404 Not Found", String::from("not found\n"))
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// Reads the request head (through the blank line ending the headers) and
+/// returns the first line. Draining the whole head matters: closing the
+/// socket with unread bytes pending makes the kernel send RST instead of
+/// FIN, which resets the client before it reads the response.
+fn read_request_line(stream: &mut TcpStream) -> std::io::Result<String> {
+    let mut head = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    while head.len() < 8192 && !head.ends_with(b"\r\n\r\n") && !head.ends_with(b"\n\n") {
+        match stream.read(&mut byte) {
+            Ok(0) => break,
+            Ok(_) => head.push(byte[0]),
+            Err(e) => return Err(e),
+        }
+    }
+    let first = head.split(|&b| b == b'\n').next().unwrap_or(&[]);
+    Ok(String::from_utf8_lossy(first)
+        .trim_end_matches('\r')
+        .to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    #[test]
+    fn serves_prometheus_text_on_metrics_path() {
+        crate::counter("serve.test.requests").add(7);
+        let server = MetricsServer::start("127.0.0.1:0").expect("bind");
+        let response = get(server.local_addr(), "/metrics");
+        assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "{response}");
+        assert!(response.contains("text/plain"), "{response}");
+        assert!(
+            response.contains("talon_serve_test_requests_total 7"),
+            "{response}"
+        );
+    }
+
+    #[test]
+    fn unknown_paths_get_404_and_server_stops_on_drop() {
+        let server = MetricsServer::start("127.0.0.1:0").expect("bind");
+        let addr = server.local_addr();
+        let response = get(addr, "/nope");
+        assert!(response.starts_with("HTTP/1.1 404"), "{response}");
+        drop(server);
+        // The port may linger in TIME_WAIT; what matters is the accept
+        // thread exited, which Drop joins on — reaching here is the test.
+    }
+}

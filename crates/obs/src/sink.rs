@@ -130,9 +130,15 @@ pub fn sink_active() -> bool {
     SINK_ACTIVE.load(Ordering::Relaxed)
 }
 
-/// Sends `event` to the installed sink, if any.
+/// Sends `event` to the installed sink, if any. When a thread-local
+/// capture scope is active (see [`crate::trace::with_context`]), the event
+/// goes to that scope's buffer instead, avoiding sink contention from
+/// worker threads.
 pub fn emit(event: &Event) {
     if !sink_active() {
+        return;
+    }
+    if crate::trace::capture_push(event) {
         return;
     }
     if let Some(sink) = sink_slot().read().as_ref() {

@@ -1,0 +1,306 @@
+//! Reconstructing causal span trees from trace events.
+//!
+//! Span events carry `trace_id`/`span_id`/`parent_id` (see
+//! [`crate::event::Event`]); this module links them back into per-trace
+//! trees for `talon report --tree`, flattens them to folded-stack lines for
+//! `talon report --flame` (the format `inferno` / `flamegraph.pl` consume),
+//! and aggregates anomaly events into per-trace health summaries.
+//!
+//! Spans are emitted on drop, so a file lists children *before* their
+//! parents; reconstruction is therefore a full two-pass link, not a stream.
+
+use crate::event::Event;
+use std::collections::BTreeMap;
+
+/// One span in a reconstructed trace tree.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Stage name of the span.
+    pub stage: String,
+    /// The span's id within its trace.
+    pub span_id: u64,
+    /// Span start, microseconds on the trace clock.
+    pub ts_us: u64,
+    /// Total (inclusive) duration.
+    pub dur_us: u64,
+    /// Self time: `dur_us` minus the summed durations of direct children,
+    /// clamped at zero (children can overshoot by clock granularity).
+    pub self_us: u64,
+    /// Indices of direct children in [`TraceTree::nodes`], in start order.
+    pub children: Vec<usize>,
+}
+
+/// All spans of one trace, linked into a forest (one root per top-level
+/// span; a well-formed CSS session has exactly one).
+#[derive(Debug, Clone)]
+pub struct TraceTree {
+    /// The trace these spans belong to.
+    pub trace_id: u64,
+    /// Every span of the trace.
+    pub nodes: Vec<Node>,
+    /// Indices of root spans (parent 0 or missing), in start order.
+    pub roots: Vec<usize>,
+}
+
+impl TraceTree {
+    fn sort_key(&self, i: usize) -> (u64, u64) {
+        (self.nodes[i].ts_us, self.nodes[i].span_id)
+    }
+}
+
+/// Links span events into per-trace trees. Traces appear in order of their
+/// first event; marks, anomalies, and untraced spans (`trace_id` 0) are
+/// ignored here.
+pub fn build_trees(events: &[Event]) -> Vec<TraceTree> {
+    let mut order: Vec<u64> = Vec::new();
+    let mut by_trace: BTreeMap<u64, Vec<&Event>> = BTreeMap::new();
+    for e in events {
+        if e.kind != "span" || e.trace_id == 0 {
+            continue;
+        }
+        by_trace.entry(e.trace_id).or_insert_with(|| {
+            order.push(e.trace_id);
+            Vec::new()
+        });
+        by_trace
+            .get_mut(&e.trace_id)
+            .expect("just inserted")
+            .push(e);
+    }
+    order
+        .into_iter()
+        .map(|trace_id| {
+            let spans = &by_trace[&trace_id];
+            let mut tree = TraceTree {
+                trace_id,
+                nodes: spans
+                    .iter()
+                    .map(|e| Node {
+                        stage: e.stage.clone(),
+                        span_id: e.span_id,
+                        ts_us: e.ts_us,
+                        dur_us: e.dur_us,
+                        self_us: e.dur_us,
+                        children: Vec::new(),
+                    })
+                    .collect(),
+                roots: Vec::new(),
+            };
+            let index: BTreeMap<u64, usize> = tree
+                .nodes
+                .iter()
+                .enumerate()
+                .map(|(i, n)| (n.span_id, i))
+                .collect();
+            for (i, span) in spans.iter().enumerate() {
+                let parent = span.parent_id;
+                match index.get(&parent) {
+                    Some(&p) if parent != 0 => tree.nodes[p].children.push(i),
+                    // Parent 0 is the trace root; a missing parent id means
+                    // the parent span never closed (crash) — promote to root
+                    // rather than dropping the subtree.
+                    _ => tree.roots.push(i),
+                }
+            }
+            for i in 0..tree.nodes.len() {
+                let child_total: u64 = tree.nodes[i]
+                    .children
+                    .iter()
+                    .map(|&c| tree.nodes[c].dur_us)
+                    .sum();
+                tree.nodes[i].self_us = tree.nodes[i].dur_us.saturating_sub(child_total);
+                let mut children = std::mem::take(&mut tree.nodes[i].children);
+                children.sort_by_key(|&c| tree.sort_key(c));
+                tree.nodes[i].children = children;
+            }
+            let mut roots = std::mem::take(&mut tree.roots);
+            roots.sort_by_key(|&r| tree.sort_key(r));
+            tree.roots = roots;
+            tree
+        })
+        .collect()
+}
+
+/// Flattens span trees to folded-stack lines (`path;to;span self_us`),
+/// aggregated over every trace in `events` — the input format of
+/// `inferno-flamegraph` / `flamegraph.pl`. Lines are sorted by path and
+/// zero-self-time frames with no samples are kept only if aggregated
+/// self time is non-zero somewhere.
+pub fn folded_stacks(events: &[Event]) -> Vec<(String, u64)> {
+    let mut agg: BTreeMap<String, u64> = BTreeMap::new();
+    for tree in build_trees(events) {
+        let mut stack: Vec<(usize, String)> = tree
+            .roots
+            .iter()
+            .map(|&r| (r, tree.nodes[r].stage.clone()))
+            .collect();
+        stack.reverse();
+        while let Some((i, path)) = stack.pop() {
+            *agg.entry(path.clone()).or_insert(0) += tree.nodes[i].self_us;
+            for &c in tree.nodes[i].children.iter().rev() {
+                stack.push((c, format!("{path};{}", tree.nodes[c].stage)));
+            }
+        }
+    }
+    agg.into_iter().collect()
+}
+
+/// Renders the trees as an indented text outline for `talon report --tree`.
+pub fn render_trees(trees: &[TraceTree]) -> String {
+    let mut out = String::new();
+    for tree in trees {
+        out.push_str(&format!("trace {}\n", tree.trace_id));
+        let mut stack: Vec<(usize, usize)> = tree.roots.iter().rev().map(|&r| (r, 1)).collect();
+        while let Some((i, depth)) = stack.pop() {
+            let n = &tree.nodes[i];
+            out.push_str(&format!(
+                "{:indent$}{} {} us (self {} us)\n",
+                "",
+                n.stage,
+                n.dur_us,
+                n.self_us,
+                indent = depth * 2
+            ));
+            for &c in n.children.iter().rev() {
+                stack.push((c, depth + 1));
+            }
+        }
+    }
+    out
+}
+
+/// Anomaly counts per trace, keyed `trace_id -> kind-stage -> count`
+/// (untraced anomalies land under trace 0).
+pub fn health_by_trace(events: &[Event]) -> BTreeMap<u64, BTreeMap<String, u64>> {
+    let mut out: BTreeMap<u64, BTreeMap<String, u64>> = BTreeMap::new();
+    for e in events {
+        if e.kind != "anomaly" {
+            continue;
+        }
+        *out.entry(e.trace_id)
+            .or_default()
+            .entry(e.stage.clone())
+            .or_insert(0) += 1;
+    }
+    out
+}
+
+/// Structurally normalizes events for cross-run comparison: wall-clock
+/// fields (`ts_us`, `dur_us`) are zeroed and trace ids are remapped to
+/// 1, 2, ... in order of first appearance, so two runs of the same
+/// workload compare equal regardless of timing or how many trace ids other
+/// code allocated earlier in the process. Span ids are left untouched —
+/// they are already deterministic within a trace.
+pub fn normalize_structural(events: &[Event]) -> Vec<Event> {
+    let mut remap: BTreeMap<u64, u64> = BTreeMap::new();
+    events
+        .iter()
+        .map(|e| {
+            let mut e = e.clone();
+            e.ts_us = 0;
+            e.dur_us = 0;
+            if e.trace_id != 0 {
+                let next = remap.len() as u64 + 1;
+                e.trace_id = *remap.entry(e.trace_id).or_insert(next);
+            }
+            e
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap as Map;
+
+    fn span(ts: u64, stage: &str, dur: u64, ids: (u64, u64, u64)) -> Event {
+        Event::span(ts, stage, dur, Map::new()).with_ids(ids.0, ids.1, ids.2)
+    }
+
+    /// A session trace as it appears on disk: children emitted (dropped)
+    /// before their parents.
+    fn session(trace: u64) -> Vec<Event> {
+        vec![
+            span(10, "css.estimate", 40, (trace, 3, 2)),
+            span(5, "sls.run", 70, (trace, 2, 1)),
+            span(0, "css.session", 100, (trace, 1, 0)),
+        ]
+    }
+
+    #[test]
+    fn children_link_under_parents_with_self_time() {
+        let trees = build_trees(&session(9));
+        assert_eq!(trees.len(), 1);
+        let t = &trees[0];
+        assert_eq!(t.roots.len(), 1, "one rooted tree per session");
+        let root = &t.nodes[t.roots[0]];
+        assert_eq!(root.stage, "css.session");
+        assert_eq!(root.self_us, 30); // 100 - 70
+        let run = &t.nodes[root.children[0]];
+        assert_eq!(run.stage, "sls.run");
+        assert_eq!(run.self_us, 30); // 70 - 40
+        let est = &t.nodes[run.children[0]];
+        assert_eq!(est.stage, "css.estimate");
+        assert_eq!(est.self_us, 40);
+    }
+
+    #[test]
+    fn folded_stacks_emit_full_paths() {
+        let folded = folded_stacks(&session(3));
+        let get = |p: &str| folded.iter().find(|(path, _)| path == p).map(|&(_, v)| v);
+        assert_eq!(get("css.session"), Some(30));
+        assert_eq!(get("css.session;sls.run"), Some(30));
+        assert_eq!(get("css.session;sls.run;css.estimate"), Some(40));
+    }
+
+    #[test]
+    fn folded_stacks_aggregate_across_traces() {
+        let mut events = session(1);
+        events.extend(session(2));
+        let folded = folded_stacks(&events);
+        let leaf = folded
+            .iter()
+            .find(|(p, _)| p == "css.session;sls.run;css.estimate")
+            .unwrap();
+        assert_eq!(leaf.1, 80);
+    }
+
+    #[test]
+    fn orphaned_spans_are_promoted_to_roots() {
+        // Parent span 7 never closed (crash): child must still appear.
+        let events = vec![span(4, "css.estimate", 10, (5, 8, 7))];
+        let trees = build_trees(&events);
+        assert_eq!(trees[0].roots.len(), 1);
+        assert_eq!(trees[0].nodes[trees[0].roots[0]].stage, "css.estimate");
+    }
+
+    #[test]
+    fn health_groups_anomalies_by_trace() {
+        let events = vec![
+            Event::anomaly(1, "health.snr_clamped", 4, 2, Map::new()),
+            Event::anomaly(2, "health.snr_clamped", 4, 2, Map::new()),
+            Event::anomaly(3, "health.missing_probe", 6, 1, Map::new()),
+        ];
+        let health = health_by_trace(&events);
+        assert_eq!(health[&4]["health.snr_clamped"], 2);
+        assert_eq!(health[&6]["health.missing_probe"], 1);
+    }
+
+    #[test]
+    fn normalize_remaps_trace_ids_by_first_appearance() {
+        let mut a = session(71);
+        a.extend(session(90));
+        let mut b = session(400);
+        b.extend(session(512));
+        assert_eq!(normalize_structural(&a), normalize_structural(&b));
+    }
+
+    #[test]
+    fn render_is_indented_by_depth() {
+        let text = render_trees(&build_trees(&session(2)));
+        assert!(text.contains("trace 2\n"), "{text}");
+        assert!(text.contains("\n  css.session"), "{text}");
+        assert!(text.contains("\n    sls.run"), "{text}");
+        assert!(text.contains("\n      css.estimate"), "{text}");
+    }
+}

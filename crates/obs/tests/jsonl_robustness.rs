@@ -1,0 +1,177 @@
+//! Trace files meet the real world: killed writers truncate the last line,
+//! unsynchronized processes interleave half-lines, disks corrupt bytes.
+//! `talon report` must still read everything salvageable — skip-and-count,
+//! never panic, never fail the whole file. These tests drive
+//! `obs::jsonl::read_trace` over adversarial files and prove the
+//! process-wide `JsonlSink` keeps lines whole under concurrent writers.
+
+use std::sync::Arc;
+
+/// A scratch file path unique to this test binary and name.
+fn scratch(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "obs-jsonl-robustness-{}-{name}.jsonl",
+        std::process::id()
+    ));
+    p
+}
+
+/// Writes a well-formed trace via the real sink machinery and returns its
+/// text (two sessions of nested spans plus an anomaly and a snapshot).
+fn well_formed_trace_text(path: &std::path::Path) -> String {
+    let _guard = obs::testing::lock();
+    let sink = Arc::new(obs::JsonlSink::create(path).expect("create trace"));
+    obs::set_sink(sink.clone());
+    for _ in 0..2 {
+        let _session = obs::span("robust.session");
+        {
+            let mut inner = obs::span("robust.stage");
+            inner.field("x", 1.5);
+        }
+        obs::health::anomaly("robust_kind", &[("y", 2.0)]);
+    }
+    sink.write_snapshot(&obs::global().snapshot());
+    obs::clear_sink();
+    std::fs::read_to_string(path).expect("read back")
+}
+
+#[test]
+fn truncated_tail_loses_only_the_last_line() {
+    let path = scratch("truncated");
+    let text = well_formed_trace_text(&path);
+    let full = obs::jsonl::read_trace(&path).expect("readable");
+    assert!(full.events.len() >= 6, "events {}", full.events.len());
+    assert_eq!(full.skipped, 0);
+
+    // Chop the file mid-way through its final line, as a SIGKILLed writer
+    // would: every complete line still parses, exactly one is skipped.
+    let cut = text.len() - 7;
+    std::fs::write(&path, &text[..cut]).unwrap();
+    let trace = obs::jsonl::read_trace(&path).expect("still readable");
+    assert_eq!(trace.skipped, 1);
+    assert_eq!(trace.events.len(), full.events.len());
+    // The snapshot line was the one truncated.
+    assert!(trace.snapshot.is_none());
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn corrupt_lines_are_skipped_not_fatal() {
+    let path = scratch("corrupt");
+    let text = well_formed_trace_text(&path);
+    let n_good = obs::jsonl::read_trace(&path)
+        .expect("readable")
+        .events
+        .len();
+
+    // Sprinkle garbage between the good lines: binary noise, half objects,
+    // valid JSON of the wrong shape, an event with a non-numeric ts.
+    let mut corrupted = String::new();
+    for (i, line) in text.lines().enumerate() {
+        corrupted.push_str(line);
+        corrupted.push('\n');
+        match i % 4 {
+            0 => corrupted.push_str("\u{0}\u{1}garbage\u{2}\n"),
+            1 => corrupted.push_str("{\"ts_us\":3,\"kind\":\"span\",\"stage\n"),
+            2 => corrupted.push_str("[1,2,3]\n"),
+            _ => corrupted.push_str(
+                "{\"ts_us\":\"soon\",\"kind\":\"mark\",\"stage\":\"bad\",\"dur_us\":0,\"fields\":{}}\n",
+            ),
+        }
+    }
+    std::fs::write(&path, &corrupted).unwrap();
+    let trace = obs::jsonl::read_trace(&path).expect("still readable");
+    assert_eq!(trace.events.len(), n_good, "every good line survives");
+    assert!(trace.snapshot.is_some(), "good snapshot line survives");
+    assert_eq!(
+        trace.skipped,
+        text.lines().count(),
+        "one skip per injected line"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn interleaved_half_lines_from_two_writers() {
+    let path = scratch("interleaved");
+    let text = well_formed_trace_text(&path);
+    let lines: Vec<&str> = text.lines().collect();
+
+    // Model two unsynchronized processes appending to the same file with
+    // small unbuffered writes: one of writer B's lines lands inside one of
+    // writer A's, splitting it. Both halves of the split line are lost,
+    // everything else survives.
+    let (victim, rest) = lines.split_first().expect("non-empty trace");
+    let mid = victim.len() / 2;
+    let mut mangled = String::new();
+    mangled.push_str(&victim[..mid]);
+    mangled.push('\n');
+    mangled.push_str(
+        "{\"ts_us\":9,\"kind\":\"mark\",\"stage\":\"writer.b\",\"dur_us\":0,\"fields\":{}}\n",
+    );
+    mangled.push_str(&victim[mid..]);
+    mangled.push('\n');
+    for line in rest {
+        mangled.push_str(line);
+        mangled.push('\n');
+    }
+    std::fs::write(&path, &mangled).unwrap();
+    let trace = obs::jsonl::read_trace(&path).expect("still readable");
+    assert_eq!(trace.skipped, 2, "both halves of the split line");
+    assert_eq!(trace.events.len(), lines.len() - 1 - 1 + 1); // -snapshot -victim +writer.b
+    assert_eq!(trace.stage("writer.b").len(), 1);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn missing_file_is_an_error_not_a_panic() {
+    let err = obs::jsonl::read_trace("/nonexistent/talon-trace.jsonl").unwrap_err();
+    assert!(err.contains("cannot read"), "{err}");
+}
+
+#[test]
+fn concurrent_writers_through_the_sink_keep_lines_whole() {
+    let path = scratch("concurrent");
+    {
+        let _guard = obs::testing::lock();
+        let sink = Arc::new(obs::JsonlSink::create(&path).expect("create trace"));
+        obs::set_sink(sink);
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        let mut s = obs::span("concurrent.unit");
+                        s.field("thread", t as f64);
+                        s.field("i", i as f64);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("writer thread");
+        }
+        obs::clear_sink();
+    }
+    let trace = obs::jsonl::read_trace(&path).expect("readable");
+    assert_eq!(
+        trace.skipped, 0,
+        "sink serialization keeps every line whole"
+    );
+    let spans = trace.stage("concurrent.unit");
+    assert_eq!(spans.len(), 8 * 50);
+    // Each writer thread's spans auto-root their own traces; ids never mix
+    // a thread's events into another's trace.
+    for e in &spans {
+        assert_ne!(e.trace_id, 0);
+        assert_ne!(e.span_id, 0);
+    }
+    for t in 0..8 {
+        let per_thread: Vec<_> = spans
+            .iter()
+            .filter(|e| e.field("thread") == Some(t as f64))
+            .collect();
+        assert_eq!(per_thread.len(), 50, "thread {t}");
+    }
+    let _ = std::fs::remove_file(&path);
+}

@@ -169,7 +169,7 @@ impl FeedbackPolicy for &Qca9500Firmware {
     }
 
     fn select(&mut self, readings: &[SweepReading]) -> Option<SectorId> {
-        let mut span = obs::span("wil.sweep");
+        let mut span = obs::sink_active().then(|| obs::span("wil.sweep"));
         obs::counter("wil.sweeps").inc();
         let sweep_id = self.sweep_counter.fetch_add(1, Ordering::SeqCst) + 1;
         // Export hook (white box "Access Sector Information" of Fig. 2).
@@ -186,9 +186,24 @@ impl FeedbackPolicy for &Qca9500Firmware {
                     exported += 1;
                 }
             }
+            // A gap between what was swept and what reached user space
+            // means the compressive estimator will see fewer probes than
+            // the schedule paid airtime for.
+            if (exported as usize) < readings.len() {
+                obs::health::anomaly(
+                    "export_gap",
+                    &[
+                        ("swept", readings.len() as f64),
+                        ("exported", exported as f64),
+                        ("sweep_id", sweep_id as f64),
+                    ],
+                );
+            }
         }
-        span.field("sweep_id", sweep_id as f64);
-        span.field("exported", exported as f64);
+        if let Some(span) = &mut span {
+            span.field("sweep_id", sweep_id as f64);
+            span.field("exported", exported as f64);
+        }
         // Raise the sweep-complete interrupt and refresh the counters the
         // host polls.
         let high_water = self.ring.len() * 4 >= RingBuffer::FIRMWARE_CAPACITY * 3;

@@ -69,6 +69,14 @@ impl RingBuffer {
             g.entries.pop_front();
             g.overwritten += 1;
             obs::counter("wil.ring.dropped").inc();
+            obs::health::anomaly(
+                "ring_overflow",
+                &[
+                    ("capacity", g.capacity as f64),
+                    ("overwritten", g.overwritten as f64),
+                    ("sweep_id", entry.sweep_id as f64),
+                ],
+            );
         }
         g.entries.push_back(entry);
         obs::gauge("wil.ring.occupancy").set(g.entries.len() as i64);

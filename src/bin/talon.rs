@@ -10,12 +10,15 @@
 //! talon analyze   --dataset dataset.txt --patterns patterns.txt [--probes 14,20]
 //! talon sls       --scenario lab|conference --policy ssw|css [--probes 14] [--yaw DEG]
 //! talon brd       --out codebook.brd [--seed N] | --check codebook.brd
-//! talon report    trace.jsonl
+//! talon report    trace.jsonl [--tree | --flame]
+//! talon serve     [--metrics-addr HOST:PORT] [--sessions N] [--hold-ms MS]
 //! ```
 //!
-//! `record`, `analyze` and `sls` accept `--trace <file>` to stream obs
-//! span events as JSON Lines and append a final registry snapshot;
-//! `report` renders such a trace as per-stage summary tables.
+//! `record`, `analyze`, `sls` and `serve` accept `--trace <file>` to stream
+//! obs events as JSON Lines and append a final registry snapshot. `report`
+//! renders such a trace as summary tables, a causal span tree (`--tree`),
+//! or folded flamegraph stacks (`--flame`); `serve` exposes the registry as
+//! Prometheus text on a TCP endpoint while running training sessions.
 
 use chamber::{Campaign, CampaignConfig, SectorPatterns};
 use css::selection::{CompressiveSelection, CssConfig};
@@ -66,6 +69,7 @@ fn main() -> ExitCode {
         "sls" => cmd_sls(&opts),
         "brd" => cmd_brd(&opts),
         "report" => cmd_report(&args[1..], &opts),
+        "serve" => cmd_serve(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -93,7 +97,8 @@ commands:
   analyze   --dataset <file> --patterns <file> [--probes 14,20] [--seed N] [--trace <file>]
   sls       --scenario lab|conference --policy ssw|css [--probes 14] [--yaw DEG] [--seed N] [--trace <file>]
   brd       --out <file> [--seed N]  |  --check <file>
-  report    <trace.jsonl>";
+  report    <trace.jsonl> [--tree | --flame]
+  serve     [--metrics-addr HOST:PORT] [--sessions N] [--hold-ms MS] [--seed N]";
 
 /// Parses `--key value` and bare `--flag` options; non-option arguments
 /// are skipped (commands read them positionally). A `--flag` followed by
@@ -251,7 +256,18 @@ fn cmd_analyze(opts: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn cmd_sls(opts: &HashMap<String, String>) -> Result<(), String> {
-    let seed = seed_of(opts);
+    let summary = run_sls_session(opts, seed_of(opts))?;
+    println!("{summary}");
+    Ok(())
+}
+
+/// Runs one full training session (the trace root `css.session`: probe
+/// sweep → estimate → sector select → override sweep) and returns the
+/// one-line result summary.
+fn run_sls_session(opts: &HashMap<String, String>, seed: u64) -> Result<String, String> {
+    // While tracing, the whole session forms one rooted span tree: every
+    // sls.run / wil.sweep / css.estimate below nests under this span.
+    let mut session = obs::sink_active().then(|| obs::span("css.session"));
     let yaw: f64 = opts
         .get("yaw")
         .map(|s| s.parse().map_err(|_| "bad --yaw"))
@@ -373,14 +389,26 @@ fn cmd_sls(opts: &HashMap<String, String>) -> Result<(), String> {
     let snr = outcome
         .initiator_tx_sector
         .map(|s| scenario.link.true_snr_db(&dut, s, &scenario.fixed, &rxw));
-    println!(
+    if let Some(session) = &mut session {
+        session.field("seed", seed as f64);
+        session.field(
+            "selected_sector",
+            outcome
+                .initiator_tx_sector
+                .map_or(-1.0, |s| f64::from(s.raw())),
+        );
+        session.field("probes", outcome.iss_readings.len() as f64);
+        if let Some(snr) = snr {
+            session.field("true_snr_db", snr);
+        }
+    }
+    Ok(format!(
         "selected sector {:?} in {:.3} ms ({} probes); true SNR {:.1} dB",
         outcome.initiator_tx_sector.map(|s| s.raw()),
         outcome.duration.as_ms(),
         outcome.iss_readings.len(),
         snr.unwrap_or(f64::NAN),
-    );
-    Ok(())
+    ))
 }
 
 fn cmd_report(args: &[String], opts: &HashMap<String, String>) -> Result<(), String> {
@@ -391,13 +419,45 @@ fn cmd_report(args: &[String], opts: &HashMap<String, String>) -> Result<(), Str
         .ok_or("report needs a trace file: talon report <trace.jsonl>")?;
     let trace =
         obs::jsonl::read_trace(Path::new(path)).map_err(|e| format!("reading {path}: {e}"))?;
+    if trace.skipped > 0 {
+        eprintln!(
+            "warning: skipped {} malformed line(s) in {path}",
+            trace.skipped
+        );
+    }
+
+    // `--flame`: folded-stack lines only (pipe into inferno-flamegraph /
+    // flamegraph.pl), nothing else on stdout.
+    if opts.contains_key("flame") {
+        for (stack, self_us) in obs::tree::folded_stacks(&trace.events) {
+            println!("{stack} {self_us}");
+        }
+        return Ok(());
+    }
+
+    // `--tree`: the causal span trees plus the per-session health summary.
+    if opts.contains_key("tree") {
+        let trees = obs::tree::build_trees(&trace.events);
+        if trees.is_empty() {
+            println!("no traced spans in {path}");
+        } else {
+            print!("{}", obs::tree::render_trees(&trees));
+        }
+        print_health_summary(&trace);
+        return Ok(());
+    }
 
     // Per-stage span statistics from the event stream.
     let mut stages: Vec<String> = trace.stages();
     stages.sort();
     let mut rows = Vec::new();
     for stage in &stages {
-        let mut durs: Vec<u64> = trace.stage(stage).iter().map(|e| e.dur_us).collect();
+        let mut durs: Vec<u64> = trace
+            .stage(stage)
+            .iter()
+            .filter(|e| e.kind == "span")
+            .map(|e| e.dur_us)
+            .collect();
         if durs.is_empty() {
             continue;
         }
@@ -423,8 +483,33 @@ fn cmd_report(args: &[String], opts: &HashMap<String, String>) -> Result<(), Str
         );
     }
 
-    // Counters from the final registry snapshot, when present.
+    // Duration quantiles and counters from the final registry snapshot.
     if let Some(snapshot) = &trace.snapshot {
+        let rows: Vec<Vec<String>> = snapshot
+            .histograms
+            .iter()
+            .filter(|(name, h)| name.ends_with(".dur_us") && h.count > 0)
+            .map(|(name, h)| {
+                vec![
+                    name.trim_end_matches(".dur_us").to_string(),
+                    h.count.to_string(),
+                    format!("{:.1}", h.mean()),
+                    h.p50().to_string(),
+                    h.p95().to_string(),
+                    h.p99().to_string(),
+                    h.max.to_string(),
+                ]
+            })
+            .collect();
+        if !rows.is_empty() {
+            println!(
+                "{}",
+                eval::ascii::table(
+                    &["histogram", "count", "mean µs", "p50", "p95", "p99", "max"],
+                    &rows
+                )
+            );
+        }
         if !snapshot.counters.is_empty() {
             let rows: Vec<Vec<String>> = snapshot
                 .counters
@@ -436,7 +521,75 @@ fn cmd_report(args: &[String], opts: &HashMap<String, String>) -> Result<(), Str
     } else {
         println!("(no registry snapshot line in trace)");
     }
+    print_health_summary(&trace);
     Ok(())
+}
+
+/// Prints per-session (per-trace) link-health anomaly counts, when any
+/// anomaly events are in the trace.
+fn print_health_summary(trace: &obs::jsonl::Trace) {
+    let health = obs::tree::health_by_trace(&trace.events);
+    if health.is_empty() {
+        return;
+    }
+    let rows: Vec<Vec<String>> = health
+        .iter()
+        .flat_map(|(trace_id, kinds)| {
+            kinds.iter().map(move |(kind, count)| {
+                vec![
+                    if *trace_id == 0 {
+                        "(untraced)".to_string()
+                    } else {
+                        trace_id.to_string()
+                    },
+                    kind.clone(),
+                    count.to_string(),
+                ]
+            })
+        })
+        .collect();
+    println!(
+        "{}",
+        eval::ascii::table(&["session", "anomaly", "count"], &rows)
+    );
+}
+
+fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
+    let addr = opts
+        .get("metrics-addr")
+        .map(String::as_str)
+        .unwrap_or("127.0.0.1:0");
+    let sessions: usize = opts
+        .get("sessions")
+        .map(|s| s.parse().map_err(|_| "bad --sessions"))
+        .transpose()?
+        .unwrap_or(4);
+    let hold_ms: Option<u64> = opts
+        .get("hold-ms")
+        .map(|s| s.parse().map_err(|_| "bad --hold-ms"))
+        .transpose()?;
+    // Pre-register the health counters so the exposition carries the
+    // link-health series (at zero) even before the first anomaly.
+    obs::health::register_known_kinds();
+    let server = obs::MetricsServer::start(addr).map_err(|e| format!("binding {addr}: {e}"))?;
+    println!("serving metrics on http://{}/metrics", server.local_addr());
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    let seed = seed_of(opts);
+    for i in 0..sessions {
+        let summary = run_sls_session(opts, seed + i as u64)?;
+        eprintln!("session {i}: {summary}");
+    }
+    // Keep serving: for `--hold-ms` milliseconds, or until killed.
+    let start = std::time::Instant::now();
+    loop {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        if let Some(ms) = hold_ms {
+            if start.elapsed() >= std::time::Duration::from_millis(ms) {
+                return Ok(());
+            }
+        }
+    }
 }
 
 fn cmd_brd(opts: &HashMap<String, String>) -> Result<(), String> {

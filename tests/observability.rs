@@ -1,0 +1,195 @@
+//! End-to-end observability: a traced CSS session through the real `talon`
+//! binary must come back as one rooted causal tree, render as valid
+//! folded-stack flamegraph lines, and be scrapeable over plain TCP from
+//! `talon serve`'s Prometheus endpoint.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+
+fn talon() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_talon"))
+}
+
+fn workdir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("talon-obs-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn traced_session_builds_one_tree_and_valid_folded_stacks() {
+    let dir = workdir();
+    let trace = dir.join("session.jsonl");
+
+    // One compressive training with tracing on.
+    let out = talon()
+        .args([
+            "sls",
+            "--scenario",
+            "lab",
+            "--policy",
+            "css",
+            "--trace",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run sls --trace");
+    assert!(
+        out.status.success(),
+        "sls: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(trace.exists());
+
+    // The trace parses cleanly and holds exactly one CSS session: a single
+    // rooted tree whose root is the `css.session` span.
+    let parsed = obs::jsonl::read_trace(&trace).expect("readable trace");
+    assert_eq!(parsed.skipped, 0, "clean file");
+    let trees = obs::tree::build_trees(&parsed.events);
+    assert_eq!(trees.len(), 1, "one CSS session = one trace");
+    let tree = &trees[0];
+    assert_eq!(tree.roots.len(), 1, "single root");
+    assert_eq!(tree.nodes[tree.roots[0]].stage, "css.session");
+    // The firmware sweep spans nest under the session, not beside it.
+    assert!(
+        tree.nodes.iter().any(|n| n.stage == "wil.sweep"),
+        "sweep span present in the session tree"
+    );
+
+    // `report --tree` renders the same structure.
+    let out = talon()
+        .args(["report", trace.to_str().unwrap(), "--tree"])
+        .output()
+        .expect("run report --tree");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("css.session"), "{stdout}");
+
+    // `report --flame` emits only folded-stack lines: `a;b;c <self_us>`,
+    // rooted at css.session, directly consumable by flamegraph tooling.
+    let out = talon()
+        .args(["report", trace.to_str().unwrap(), "--flame"])
+        .output()
+        .expect("run report --flame");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert!(!lines.is_empty(), "flame output non-empty");
+    for line in &lines {
+        let (stack, value) = line.rsplit_once(' ').expect("`stack value` shape");
+        assert!(!stack.is_empty());
+        assert!(
+            stack.split(';').all(|frame| !frame.is_empty()),
+            "no empty frames: {line}"
+        );
+        value.parse::<u64>().expect("self-time is an integer");
+    }
+    assert!(
+        lines.iter().all(|l| l.starts_with("css.session")),
+        "all stacks root at the session: {stdout}"
+    );
+    assert!(
+        lines.iter().any(|l| l.starts_with("css.session;")),
+        "nested frames present: {stdout}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_exposes_scrapeable_prometheus_text() {
+    let mut child = talon()
+        .args([
+            "serve",
+            "--metrics-addr",
+            "127.0.0.1:0",
+            "--sessions",
+            "1",
+            "--scenario",
+            "lab",
+            "--policy",
+            "css",
+            "--hold-ms",
+            "30000",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn talon serve");
+
+    // The bound address is announced on the first stdout line.
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let announce = lines
+        .next()
+        .expect("announce line")
+        .expect("readable stdout");
+    let addr = announce
+        .strip_prefix("serving metrics on http://")
+        .and_then(|rest| rest.strip_suffix("/metrics"))
+        .unwrap_or_else(|| panic!("unexpected announce line: {announce}"))
+        .to_string();
+
+    // Session summaries go to stderr; wait for the first one so the scrape
+    // observes a fully-run CSS session, not just the freshly-bound server.
+    let stderr = child.stderr.take().expect("piped stderr");
+    let session_line = BufReader::new(stderr)
+        .lines()
+        .next()
+        .expect("session line")
+        .expect("readable stderr");
+    assert!(session_line.starts_with("session 0:"), "{session_line}");
+
+    // Scrape with a raw TCP socket — no HTTP client in the workspace, and
+    // none needed: one request line, headers, body.
+    let body = (|| -> std::io::Result<String> {
+        let mut stream = TcpStream::connect(&addr)?;
+        write!(stream, "GET /metrics HTTP/1.1\r\nHost: {addr}\r\n\r\n")?;
+        let mut response = String::new();
+        stream.read_to_string(&mut response)?;
+        assert!(
+            response.starts_with("HTTP/1.1 200 OK\r\n"),
+            "status: {}",
+            response.lines().next().unwrap_or("")
+        );
+        assert!(
+            response.contains("Content-Type: text/plain; version=0.0.4"),
+            "exposition content type"
+        );
+        let (_, body) = response
+            .split_once("\r\n\r\n")
+            .expect("header/body separator");
+        Ok(body.to_string())
+    })()
+    .expect("scrape");
+    child.kill().ok();
+    child.wait().ok();
+
+    // Every line is valid exposition text: a comment or `name value`.
+    assert!(!body.is_empty());
+    for line in body.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').expect("`series value` shape");
+        assert!(series.starts_with("talon_"), "namespaced: {line}");
+        value
+            .parse::<f64>()
+            .unwrap_or_else(|_| panic!("numeric value: {line}"));
+    }
+    // Link-health counters are present (pre-registered, so even
+    // never-fired kinds expose a zero-valued series).
+    for kind in ["snr_clamped", "missing_probe", "outlier_residual"] {
+        assert!(
+            body.contains(&format!("talon_health_{kind}_total")),
+            "health series {kind} present"
+        );
+    }
+    // The session that ran before the scrape left real counters behind.
+    assert!(
+        body.contains("talon_css_estimates_total"),
+        "pipeline counters present:\n{body}"
+    );
+}
