@@ -526,6 +526,81 @@ impl CompressiveEstimator {
     }
 }
 
+/// The Eq. 2–5 intermediates of one kernel execution, captured for
+/// decision provenance (`obs::decision`): the normalized probe vectors the
+/// kernel actually correlated, the top-k cells of the final map, and the
+/// energy normalizer of the prior.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelClosure {
+    /// Report-scale SNR probe vector (usable probes, kernel row order).
+    pub p_snr: Vec<f64>,
+    /// Shifted RSSI probe vector (usable probes, kernel row order).
+    pub p_rssi: Vec<f64>,
+    /// Grid indices of the top-k final-map cells, best first (ties break
+    /// to the lower index, so the order is deterministic).
+    pub top_cells: Vec<u64>,
+    /// Final map weight (post prior and smoothing) of each top cell.
+    pub top_weights: Vec<f64>,
+    /// The `max_g ‖x(g)‖` energy normalizer of the prior.
+    pub energy_max: f64,
+}
+
+impl CompressiveEstimator {
+    /// Re-runs the fused kernel on a fresh scratch and captures its
+    /// Eq. 2–5 intermediates for a decision record. Allocates freely —
+    /// intended for the sink-gated provenance path, not the hot loop.
+    pub fn kernel_closure(&self, readings: &[SweepReading], k: usize) -> KernelClosure {
+        let mut s = EstimatorScratch::new();
+        self.correlation_into(&mut s, readings);
+        let energy_max = s.energy.iter().copied().fold(0.0, f64::max);
+        let mut order: Vec<usize> = (0..s.map.len()).collect();
+        order.sort_by(|&a, &b| {
+            s.map[b]
+                .partial_cmp(&s.map[a])
+                .expect("correlation is finite")
+                .then(a.cmp(&b))
+        });
+        order.truncate(k);
+        KernelClosure {
+            top_cells: order.iter().map(|&i| i as u64).collect(),
+            top_weights: order.iter().map(|&i| s.map[i]).collect(),
+            p_snr: s.p_snr,
+            p_rssi: s.p_rssi,
+            energy_max,
+        }
+    }
+}
+
+/// Mixes `bytes` into an FNV-1a accumulator.
+fn fnv1a(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= u64::from(b);
+        *h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+}
+
+/// FNV-1a digest of a pattern database: the grid's directions plus every
+/// sector's gain table, over exact f64 bits. Stamped on decision records
+/// so `talon replay` can detect that its reconstructed patterns differ
+/// from the recorded run's before comparing kernel outputs.
+pub fn patterns_digest(patterns: &SectorPatterns) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325_u64;
+    let grid = patterns.grid();
+    fnv1a(&mut h, &(grid.az.len() as u64).to_le_bytes());
+    fnv1a(&mut h, &(grid.el.len() as u64).to_le_bytes());
+    for (_, d) in grid.iter() {
+        fnv1a(&mut h, &d.az_deg.to_bits().to_le_bytes());
+        fnv1a(&mut h, &d.el_deg.to_bits().to_le_bytes());
+    }
+    for id in patterns.sector_ids() {
+        fnv1a(&mut h, &[id.raw()]);
+        for &db in &patterns.get(id).expect("id comes from the store").gain_db {
+            fnv1a(&mut h, &db.to_bits().to_le_bytes());
+        }
+    }
+    h
+}
+
 /// How far the winning correlation peak stands above the best cell outside
 /// its own 3×3 neighbourhood (trace diagnostics: a small margin means the
 /// argmax nearly tipped to a different lobe). Only computed while a trace
@@ -1005,6 +1080,52 @@ mod tests {
                 "steady-state estimate allocates nothing"
             );
         }
+    }
+
+    #[test]
+    fn kernel_closure_matches_the_map_argmax() {
+        let store = synthetic_store();
+        let est = CompressiveEstimator::new(&store, CorrelationMode::JointSnrRssi);
+        let readings = vec![reading(1, 3.0), reading(2, 6.0), reading(3, 1.0)];
+        let closure = est.kernel_closure(&readings, 5);
+        let map = est.correlation_map(&readings);
+        let (best_i, best_w) = map
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        assert_eq!(closure.top_cells.len(), 5);
+        assert_eq!(closure.top_cells[0], best_i as u64);
+        assert_eq!(closure.top_weights[0], best_w);
+        // Weights are sorted descending and come straight from the map.
+        for pair in closure.top_weights.windows(2) {
+            assert!(pair[0] >= pair[1]);
+        }
+        for (&c, &w) in closure.top_cells.iter().zip(&closure.top_weights) {
+            assert_eq!(map[c as usize], w);
+        }
+        assert_eq!(closure.p_snr.len(), 3);
+        assert_eq!(closure.p_rssi.len(), 3);
+        assert!(closure.energy_max > 0.0);
+    }
+
+    #[test]
+    fn patterns_digest_is_stable_and_sensitive() {
+        let store = synthetic_store();
+        let a = patterns_digest(&store);
+        let b = patterns_digest(&store);
+        assert_eq!(a, b, "digest is deterministic");
+        let mut perturbed = synthetic_store();
+        let grid = perturbed.grid().clone();
+        let mut gains = perturbed.get(SectorId(1)).unwrap().gain_db.clone();
+        gains[0] += 1e-9;
+        perturbed.insert(SectorId(1), GainPattern::from_table(grid, gains));
+        assert_ne!(
+            a,
+            patterns_digest(&perturbed),
+            "a 1e-9 gain change flips the digest"
+        );
     }
 
     #[test]

@@ -34,6 +34,6 @@ pub mod multipath;
 pub mod selection;
 pub mod strategy;
 
-pub use estimator::{CompressiveEstimator, CorrelationMode};
-pub use selection::{CompressiveSelection, CssConfig};
+pub use estimator::{patterns_digest, CompressiveEstimator, CorrelationMode, KernelClosure};
+pub use selection::{CompressiveSelection, CssConfig, DecisionOracle};
 pub use strategy::ProbeStrategy;

@@ -20,7 +20,7 @@
 //! that different devices exhibit similar patterns with slight variations"
 //! (§4.5) — so one measured database serves a deployment.
 
-use crate::estimator::{CompressiveEstimator, CorrelationMode};
+use crate::estimator::{patterns_digest, CompressiveEstimator, CorrelationMode};
 use crate::strategy::ProbeStrategy;
 use chamber::SectorPatterns;
 use geom::sphere::Direction;
@@ -53,6 +53,19 @@ impl CssConfig {
     }
 }
 
+/// Ground truth for one upcoming selection, supplied by a simulation
+/// harness that can afford an exhaustive sweep: the true SNR every sector
+/// would have achieved. Lets the decision record carry the Eq. 1 vs Eq. 4
+/// gap (true-best sector and SNR loss) alongside what CSS actually chose.
+#[derive(Debug, Clone, Default)]
+pub struct DecisionOracle {
+    /// `(sector, true SNR dB)` for every selectable sector.
+    pub snr_by_sector: Vec<(SectorId, f64)>,
+}
+
+/// How many top correlation cells a decision record keeps.
+const DECISION_TOP_K: usize = 8;
+
 /// The compressive sector selection policy.
 pub struct CompressiveSelection {
     estimator: CompressiveEstimator,
@@ -61,6 +74,11 @@ pub struct CompressiveSelection {
     patterns: SectorPatterns,
     config: CssConfig,
     rng: StdRng,
+    /// FNV-1a digest of `patterns`, stamped on decision records.
+    digest: u64,
+    /// Oracle for the *next* selection, taken (and cleared) by
+    /// [`Self::select_from_readings`] whether or not a sink records.
+    pending_oracle: Option<DecisionOracle>,
     /// The direction estimated in the most recent selection (for
     /// diagnostics and the evaluation harness).
     pub last_estimate: Option<(Direction, f64)>,
@@ -73,14 +91,30 @@ impl CompressiveSelection {
     pub fn new(patterns: SectorPatterns, config: CssConfig, seed: u64) -> Self {
         let estimator = CompressiveEstimator::new(&patterns, config.mode);
         let available = patterns.sector_ids();
+        let digest = patterns_digest(&patterns);
         CompressiveSelection {
             estimator,
             available,
             patterns,
             config,
             rng: StdRng::seed_from_u64(seed),
+            digest,
+            pending_oracle: None,
             last_estimate: None,
         }
+    }
+
+    /// The FNV-1a digest of the pattern database backing this policy (the
+    /// value stamped on decision records).
+    pub fn patterns_digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// Supplies ground truth for the *next* selection. The oracle is
+    /// consumed (and cleared) by the next [`Self::select_from_readings`],
+    /// so a stale oracle can never be attributed to a later sweep.
+    pub fn provide_oracle(&mut self, oracle: DecisionOracle) {
+        self.pending_oracle = Some(oracle);
     }
 
     /// The configured probe count.
@@ -104,20 +138,78 @@ impl CompressiveSelection {
     /// point used by the evaluation, which replays recorded sweeps).
     pub fn select_from_readings(&mut self, readings: &[SweepReading]) -> Option<SectorId> {
         obs::counter("css.selections").inc();
-        match self.estimator.estimate(readings) {
-            Some((dir, score)) => {
-                self.last_estimate = Some((dir, score));
-                self.patterns.best_sector_at(&dir)
-            }
+        // Taken unconditionally: an oracle provided for this sweep must
+        // never survive to describe a later one.
+        let oracle = self.pending_oracle.take();
+        let estimate = self.estimator.estimate(readings);
+        self.last_estimate = estimate;
+        let (chosen, fallback) = match estimate {
+            Some((dir, _)) => (self.patterns.best_sector_at(&dir), false),
             None => {
-                self.last_estimate = None;
                 // Degenerate sweep (fewer than two usable probes): fall
                 // back to whatever argmax can salvage, like the firmware
                 // would.
                 obs::counter("css.fallbacks").inc();
-                MaxSnrPolicy.select(readings)
+                (MaxSnrPolicy.select(readings), true)
             }
+        };
+        if obs::sink_active() {
+            self.emit_decision(readings, estimate, chosen, fallback, oracle.as_ref());
         }
+        chosen
+    }
+
+    /// Builds and emits the provenance record of one selection. Only
+    /// called while a sink records (the no-sink path never allocates).
+    fn emit_decision(
+        &self,
+        readings: &[SweepReading],
+        estimate: Option<(Direction, f64)>,
+        chosen: Option<SectorId>,
+        fallback: bool,
+        oracle: Option<&DecisionOracle>,
+    ) {
+        let mut rec = obs::DecisionRecord::new("css.select");
+        rec.mode = match self.config.mode {
+            CorrelationMode::SnrOnly => "snr",
+            CorrelationMode::JointSnrRssi => "joint",
+        }
+        .to_string();
+        let opts = self.estimator.options;
+        rec.energy_prior = opts.energy_prior;
+        rec.smoothing = opts.smoothing;
+        rec.subcell_refinement = opts.subcell_refinement;
+        rec.patterns_digest = self.digest;
+        rec.replayable = true;
+        for r in readings {
+            rec.push_probe(
+                u64::from(r.sector.raw()),
+                r.measurement.map(|m| (m.snr_db, m.rssi_dbm)),
+            );
+        }
+        let closure = self.estimator.kernel_closure(readings, DECISION_TOP_K);
+        rec.p_snr = closure.p_snr;
+        rec.p_rssi = closure.p_rssi;
+        rec.top_cells = closure.top_cells;
+        rec.top_weights = closure.top_weights;
+        rec.energy_max = closure.energy_max;
+        if let Some((dir, score)) = estimate {
+            rec.has_estimate = true;
+            rec.est_az_deg = dir.az_deg;
+            rec.est_el_deg = dir.el_deg;
+            rec.score = score;
+        }
+        rec.chosen_sector = chosen.map_or(obs::decision::NO_SECTOR, |s| i64::from(s.raw()));
+        rec.fallback = fallback;
+        if let Some(o) = oracle {
+            let table: Vec<(u64, f64)> = o
+                .snr_by_sector
+                .iter()
+                .map(|&(s, snr)| (u64::from(s.raw()), snr))
+                .collect();
+            rec.set_oracle(&table, rec.chosen_sector);
+        }
+        obs::decision::emit(rec);
     }
 
     /// Estimates the direction only (used by Fig. 7's error analysis).
@@ -257,6 +349,52 @@ mod tests {
         // Single usable probe: no estimate, but argmax still answers.
         assert_eq!(css.select_from_readings(&readings), Some(SectorId(9)));
         assert!(css.last_estimate.is_none());
+    }
+
+    #[test]
+    fn selection_emits_a_replayable_decision_record() {
+        let _guard = obs::testing::lock();
+        let (store, dut) = measured_patterns(21);
+        let digest = crate::estimator::patterns_digest(&store);
+        let mut css = CompressiveSelection::new(store, CssConfig::paper_default(), 11);
+        let link = Link::new(Environment::anechoic(3.0));
+        let observer = Device::talon(22);
+        let probes = css.draw_probes();
+        let mut rng = sub_rng(12, "decision-record");
+        let readings = link.sweep(&mut rng, &dut, &probes, &observer);
+        // Oracle: the true SNR of every probed sector.
+        let rxw = observer.codebook.rx_sector().weights.clone();
+        let oracle = DecisionOracle {
+            snr_by_sector: probes
+                .iter()
+                .map(|&s| (s, link.true_snr_db(&dut, s, &observer, &rxw)))
+                .collect(),
+        };
+
+        let mem = std::sync::Arc::new(obs::MemorySink::new());
+        obs::set_sink(mem.clone());
+        css.provide_oracle(oracle);
+        let chosen = css.select_from_readings(&readings);
+        obs::clear_sink();
+
+        let decisions = mem.take_decisions();
+        assert_eq!(decisions.len(), 1);
+        let d = &decisions[0];
+        assert_eq!(d.source, "css.select");
+        assert_eq!(d.mode, "joint");
+        assert!(d.replayable);
+        assert_eq!(d.patterns_digest, digest);
+        assert_eq!(d.probed.len(), readings.len());
+        assert!(d.has_estimate);
+        assert_eq!(d.chosen_sector, chosen.map_or(-1, |s| i64::from(s.raw())));
+        assert!(d.has_oracle);
+        assert!(d.snr_loss_db >= 0.0, "oracle best at least the choice");
+        assert!(!d.top_cells.is_empty());
+        // The oracle is consumed: a second selection has none.
+        obs::set_sink(mem.clone());
+        let _ = css.select_from_readings(&readings);
+        obs::clear_sink();
+        assert!(!mem.take_decisions()[0].has_oracle);
     }
 
     #[test]

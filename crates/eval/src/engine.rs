@@ -76,12 +76,12 @@ where
     // in unit-index order below, which makes the trace stream — not just
     // the results — identical at any thread count.
     let trace_base = recording.then(|| obs::reserve_trace_ids(n_units.max(1) as u64));
-    let run_unit = |w: &mut W, i: usize, events: &mut Vec<obs::Event>| -> T {
+    let run_unit = |w: &mut W, i: usize, captured: &mut Vec<obs::Captured>| -> T {
         match trace_base {
             Some(base) => {
                 let ctx = obs::TraceContext::for_trace_id(base + i as u64);
-                let (out, mut unit_events) = obs::with_context(&ctx, || f(w, i));
-                events.append(&mut unit_events);
+                let (out, mut unit_captured) = obs::with_context(&ctx, || f(w, i));
+                captured.append(&mut unit_captured);
                 out
             }
             None => f(w, i),
@@ -89,17 +89,18 @@ where
     };
     if threads == 1 {
         let mut w = make_worker();
-        let mut events = Vec::new();
+        let mut captured = Vec::new();
         let out = (0..n_units)
-            .map(|i| run_unit(&mut w, i, &mut events))
+            .map(|i| run_unit(&mut w, i, &mut captured))
             .collect();
-        for event in &events {
-            obs::sink::emit(event);
+        for item in &captured {
+            item.forward_to_sink();
         }
         return out;
     }
-    // One finished chunk: (first unit index, results, captured trace events).
-    type Chunk<T> = (usize, Vec<T>, Vec<obs::Event>);
+    // One finished chunk: (first unit index, results, captured trace
+    // records — span events and decision records, interleaved in order).
+    type Chunk<T> = (usize, Vec<T>, Vec<obs::Captured>);
     let chunk = (n_units / (threads * CHUNKS_PER_THREAD)).max(1);
     let cursor = AtomicUsize::new(0);
     let parts: Mutex<Vec<Chunk<T>>> = Mutex::new(Vec::new());
@@ -113,14 +114,14 @@ where
                         break;
                     }
                     let end = (start + chunk).min(n_units);
-                    let mut events = Vec::new();
+                    let mut captured = Vec::new();
                     let out: Vec<T> = (start..end)
-                        .map(|i| run_unit(&mut w, i, &mut events))
+                        .map(|i| run_unit(&mut w, i, &mut captured))
                         .collect();
                     parts
                         .lock()
                         .expect("no poisoned workers")
-                        .push((start, out, events));
+                        .push((start, out, captured));
                 }
             });
         }
@@ -129,12 +130,12 @@ where
     let mut parts = parts.into_inner().expect("workers done");
     parts.sort_unstable_by_key(|&(start, ..)| start);
     let mut merged = Vec::with_capacity(n_units);
-    for (_, mut part, events) in parts {
+    for (_, mut part, captured) in parts {
         merged.append(&mut part);
         // Units within a chunk ran sequentially, and chunks are sorted by
         // start, so this replays the capture in global unit order.
-        for event in &events {
-            obs::sink::emit(event);
+        for item in &captured {
+            item.forward_to_sink();
         }
     }
     debug_assert_eq!(merged.len(), n_units);

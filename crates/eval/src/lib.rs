@@ -35,10 +35,12 @@ pub mod estimation;
 pub mod extensions;
 pub mod overhead;
 pub mod patterns;
+pub mod replay;
 pub mod scenario;
 pub mod snr_loss;
 pub mod stability;
 pub mod table1;
 pub mod throughput;
 
+pub use replay::{replay_trace, Divergence, ReplayConfig, ReplayReport};
 pub use scenario::{EvalScenario, Fidelity, RecordedDataset, RecordedPosition};

@@ -177,6 +177,7 @@ impl<'a> SlsRunner<'a> {
         // The responder picks the initiator's sector ("Select Best Sector"
         // box of Fig. 2 — or our patched override).
         let initiator_tx_sector = responder_policy.select(&iss_readings);
+        emit_sweep_decision("sls.iss", &iss_readings, initiator_tx_sector);
         let fb_to_initiator = feedback_field(initiator_tx_sector, &iss_readings);
 
         // --- Responder Sector Sweep (RSS) --------------------------------
@@ -211,6 +212,7 @@ impl<'a> SlsRunner<'a> {
         // the responder acknowledges. We account for both plus the sweep
         // initialization with the measured 49.1 µs overhead (§4.1).
         let responder_tx_sector = initiator_policy.select(&rss_readings);
+        emit_sweep_decision("sls.rss", &rss_readings, responder_tx_sector);
         let fb_to_responder = feedback_field(responder_tx_sector, &rss_readings);
         frames.push((
             now,
@@ -249,6 +251,27 @@ impl<'a> SlsRunner<'a> {
             duration: now.since(SimTime::ZERO),
         }
     }
+}
+
+/// Emits the provenance record of one sweep-level selection: which sectors
+/// were probed, what they measured, and what the policy fed back. These
+/// records are pure provenance (`replayable = false`) — the kernel
+/// intermediates belong to the CSS policy's own `css.select` record, which
+/// follows under the same trace when the policy is compressive. Sink-gated:
+/// without a sink, this is one atomic load.
+fn emit_sweep_decision(source: &str, readings: &[SweepReading], chosen: Option<SectorId>) {
+    if !obs::sink_active() {
+        return;
+    }
+    let mut rec = obs::DecisionRecord::new(source);
+    for r in readings {
+        rec.push_probe(
+            u64::from(r.sector.raw()),
+            r.measurement.map(|m| (m.snr_db, m.rssi_dbm)),
+        );
+    }
+    rec.chosen_sector = chosen.map_or(obs::decision::NO_SECTOR, |s| i64::from(s.raw()));
+    obs::decision::emit(rec);
 }
 
 /// Flags probes that went on the air but produced no measurement (below
@@ -443,6 +466,34 @@ mod tests {
         assert_eq!(
             obs::global().snapshot().counter("health.snr_clamped"),
             before
+        );
+    }
+
+    #[test]
+    fn sls_run_emits_iss_and_rss_sweep_decisions() {
+        let _guard = obs::testing::lock();
+        let (link, ini, res) = setup();
+        let runner = SlsRunner::new(&link, &ini, &res);
+        let mut rng = sub_rng(7, "sls-decisions");
+        let mem = std::sync::Arc::new(obs::MemorySink::new());
+        obs::set_sink(mem.clone());
+        let out = runner.run(&mut rng, &mut MaxSnrPolicy, &mut MaxSnrPolicy);
+        obs::clear_sink();
+        let decisions = mem.take_decisions();
+        assert_eq!(decisions.len(), 2);
+        let iss = &decisions[0];
+        assert_eq!(iss.source, "sls.iss");
+        assert!(!iss.replayable, "sweep records are pure provenance");
+        assert_eq!(iss.probed.len(), out.iss_readings.len());
+        assert_eq!(
+            iss.chosen_sector,
+            out.initiator_tx_sector.map_or(-1, |s| i64::from(s.raw()))
+        );
+        let rss = &decisions[1];
+        assert_eq!(rss.source, "sls.rss");
+        assert_eq!(
+            rss.chosen_sector,
+            out.responder_tx_sector.map_or(-1, |s| i64::from(s.raw()))
         );
     }
 

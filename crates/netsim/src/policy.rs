@@ -8,7 +8,7 @@
 use chamber::SectorPatterns;
 use css::estimator::CorrelationMode;
 use css::multipath::MultipathEstimator;
-use css::selection::{CompressiveSelection, CssConfig};
+use css::selection::{CompressiveSelection, CssConfig, DecisionOracle};
 use mac80211ad::sls::{FeedbackPolicy, MaxSnrPolicy};
 use mac80211ad::timing::{mutual_training_time, SimDuration};
 use rand::Rng;
@@ -122,6 +122,27 @@ impl TrainingPolicy {
             TrainingPolicy::CssBackup(b) => b.selection.probe_sectors(&full),
         };
         let readings: Vec<SweepReading> = link.sweep(rng, tx, &probes, rx);
+        // While a trace records, hand the CSS policy an exhaustive-sweep
+        // oracle so its decision record carries the true-best sector and
+        // SNR loss. The oracle sweep is noise-free simulator ground truth
+        // (`true_snr_db`), so it perturbs nothing.
+        if obs::sink_active() {
+            let selection = match self {
+                TrainingPolicy::Css(c) => Some(&mut **c),
+                TrainingPolicy::CssBackup(b) => Some(&mut b.selection),
+                TrainingPolicy::Ssw => None,
+            };
+            if let Some(selection) = selection {
+                let rxw = &rx.codebook.rx_sector().weights;
+                let snr_by_sector = tx
+                    .codebook
+                    .sweep_order()
+                    .into_iter()
+                    .map(|s| (s, link.true_snr_db(tx, s, rx, rxw)))
+                    .collect();
+                selection.provide_oracle(DecisionOracle { snr_by_sector });
+            }
+        }
         match self {
             TrainingPolicy::Ssw => MaxSnrPolicy.select(&readings),
             TrainingPolicy::Css(c) => c.select_from_readings(&readings),

@@ -40,15 +40,28 @@ fn health_counter(kind: &'static str) -> Arc<Counter> {
 /// emits an `"anomaly"` event at stage `health.<kind>`, tagged with the
 /// current trace and enclosing span.
 pub fn anomaly(kind: &'static str, fields: &[(&str, f64)]) {
-    health_counter(kind).inc();
+    anomaly_n(kind, 1, fields);
+}
+
+/// Like [`anomaly`], but accounts for `n` occurrences at once (e.g. the
+/// malformed-line tally from one trace file). Bumps the counter by `n` and
+/// emits a single event carrying `count` alongside `fields`.
+pub fn anomaly_n(kind: &'static str, n: u64, fields: &[(&str, f64)]) {
+    if n == 0 {
+        return;
+    }
+    health_counter(kind).add(n);
     if !sink::sink_active() {
         return;
     }
     let (trace_id, parent_id) = trace::current_ids();
-    let fields: BTreeMap<String, f64> = fields
+    let mut fields: BTreeMap<String, f64> = fields
         .iter()
         .map(|&(name, value)| (name.to_string(), value))
         .collect();
+    if n > 1 {
+        fields.insert("count".to_string(), n as f64);
+    }
     sink::emit(&Event::anomaly(
         crate::now_us(),
         &format!("health.{kind}"),
@@ -72,6 +85,9 @@ pub const KNOWN_KINDS: &[&str] = &[
     "ring_overflow",
     "link_outage",
     "airtime_saturated",
+    "trace_corrupt",
+    "link_drift",
+    "misselection",
 ];
 
 /// Ensures a `health.<kind>` counter exists for every known kind.

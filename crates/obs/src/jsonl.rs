@@ -1,11 +1,15 @@
-//! Reading JSONL trace files back (the `talon report` side).
+//! Reading JSONL trace files back (the `talon report` / `talon replay` side).
 //!
 //! Trace files come from crashed runs, concurrent writers, and partially
-//! copied captures, so the parser is deliberately forgiving: malformed
-//! lines are skipped and counted rather than failing the whole file (a
-//! truncated final line from a killed process would otherwise make the
-//! entire trace unreadable).
+//! copied captures, so the parser is deliberately forgiving about *damage*:
+//! malformed lines are skipped and counted rather than failing the whole
+//! file (a truncated final line from a killed process would otherwise make
+//! the entire trace unreadable). It is deliberately strict about *versions*:
+//! a line stamped with a `schema_version` newer than this build knows is a
+//! hard error, because silently misparsing a future schema is worse than
+//! refusing it.
 
+use crate::decision::{DecisionRecord, SCHEMA_VERSION};
 use crate::event::Event;
 use crate::registry::Snapshot;
 use serde::{Deserialize, Value};
@@ -16,6 +20,8 @@ use std::path::Path;
 pub struct Trace {
     /// Span, mark, and anomaly events, in file order.
     pub events: Vec<Event>,
+    /// Decision-provenance records, in file order.
+    pub decisions: Vec<DecisionRecord>,
     /// The final registry snapshot, when the trace was closed cleanly.
     pub snapshot: Option<Snapshot>,
     /// Lines that could not be parsed and were skipped.
@@ -41,20 +47,30 @@ impl Trace {
 }
 
 /// Parses a JSONL trace file. Blank lines are ignored; malformed lines are
-/// skipped and counted in [`Trace::skipped`]. Only failing to read the file
-/// itself is an error.
+/// skipped and counted in [`Trace::skipped`], and each skip bumps the
+/// `health.trace_corrupt` counter. Failing to read the file, or finding a
+/// line written under a newer schema than this build understands, is an
+/// error.
 pub fn read_trace(path: impl AsRef<Path>) -> Result<Trace, String> {
     let path = path.as_ref();
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-    Ok(parse_trace(&text))
+    let trace = parse_trace(&text)?;
+    if trace.skipped > 0 {
+        crate::health::anomaly_n("trace_corrupt", trace.skipped as u64, &[]);
+    }
+    Ok(trace)
 }
 
 /// Parses trace text (one JSON object per line), skipping and counting
 /// anything malformed: invalid JSON, non-object lines, missing or bad
 /// fields, truncated tails from killed writers, interleaved half-lines
 /// from unsynchronized concurrent writers.
-pub fn parse_trace(text: &str) -> Trace {
+///
+/// Returns an error — rather than skipping — when a line declares a
+/// `schema_version` greater than [`SCHEMA_VERSION`]: the file was written
+/// by a newer build and this reader would misinterpret it.
+pub fn parse_trace(text: &str) -> Result<Trace, String> {
     let mut trace = Trace::default();
     for line in text.lines() {
         let line = line.trim();
@@ -65,10 +81,22 @@ pub fn parse_trace(text: &str) -> Trace {
             trace.skipped += 1;
             continue;
         };
+        if let Some(version) = value.get("schema_version").and_then(Value::as_u64) {
+            if version > SCHEMA_VERSION {
+                return Err(format!(
+                    "trace schema_version {version} is newer than supported \
+                     version {SCHEMA_VERSION}; upgrade talon to read this trace"
+                ));
+            }
+        }
         match value.get("kind").and_then(Value::as_str) {
             Some("snapshot") => match value.get("snapshot").map(Snapshot::deserialize) {
                 Some(Ok(snap)) => trace.snapshot = Some(snap),
                 _ => trace.skipped += 1,
+            },
+            Some("decision") => match DecisionRecord::deserialize(&value) {
+                Ok(record) => trace.decisions.push(record),
+                Err(_) => trace.skipped += 1,
             },
             Some(_) => match Event::deserialize(&value) {
                 Ok(event) => trace.events.push(event),
@@ -77,7 +105,7 @@ pub fn parse_trace(text: &str) -> Trace {
             None => trace.skipped += 1,
         }
     }
-    trace
+    Ok(trace)
 }
 
 #[cfg(test)]
@@ -92,7 +120,7 @@ mod tests {
             "{\"ts_us\":5,\"kind\":\"mark\",\"stage\":\"wil.overflow\",\"dur_us\":0,\"fields\":{}}\n",
             "{\"kind\":\"snapshot\",\"ts_us\":9,\"snapshot\":{\"counters\":{\"css.estimates\":1},\"gauges\":{},\"histograms\":{}}}\n",
         );
-        let trace = parse_trace(text);
+        let trace = parse_trace(text).unwrap();
         assert_eq!(trace.skipped, 0);
         assert_eq!(trace.events.len(), 2);
         assert_eq!(trace.stages(), vec!["css.estimate", "wil.overflow"]);
@@ -108,9 +136,60 @@ mod tests {
             "{\"ts_us\":1,\"kind\":\"mark\",\"stage\":\"ok\",\"dur_us\":0,\"fields\":{}}\n",
             "{\"ts_us\":2,\"kind\":\"spa", // truncated tail (killed writer)
         );
-        let trace = parse_trace(text);
+        let trace = parse_trace(text).unwrap();
         assert_eq!(trace.events.len(), 1);
         assert_eq!(trace.events[0].stage, "ok");
         assert_eq!(trace.skipped, 3);
+    }
+
+    #[test]
+    fn current_schema_versions_are_accepted() {
+        let text = format!(
+            "{{\"schema_version\":{SCHEMA_VERSION},\"ts_us\":1,\"kind\":\"mark\",\
+             \"stage\":\"ok\",\"dur_us\":0,\"fields\":{{}}}}\n"
+        );
+        let trace = parse_trace(&text).unwrap();
+        assert_eq!(trace.events.len(), 1);
+        assert_eq!(trace.skipped, 0);
+    }
+
+    #[test]
+    fn newer_schema_version_is_rejected_with_a_clear_error() {
+        let newer = SCHEMA_VERSION + 1;
+        let text = format!(
+            "{{\"schema_version\":{newer},\"ts_us\":1,\"kind\":\"mark\",\
+             \"stage\":\"ok\",\"dur_us\":0,\"fields\":{{}}}}\n"
+        );
+        let err = parse_trace(&text).unwrap_err();
+        assert!(err.contains(&format!("schema_version {newer}")), "{err}");
+        assert!(err.contains("newer than supported"), "{err}");
+    }
+
+    #[test]
+    fn decision_lines_parse_into_decisions() {
+        let record = DecisionRecord::new("css.select");
+        let text = format!("{}\n", record.to_line().to_json());
+        let trace = parse_trace(&text).unwrap();
+        assert_eq!(trace.skipped, 0);
+        assert!(trace.events.is_empty());
+        assert_eq!(trace.decisions.len(), 1);
+        assert_eq!(trace.decisions[0], record);
+    }
+
+    #[test]
+    fn read_trace_counts_corrupt_lines_in_health() {
+        let _guard = crate::testing::lock();
+        let dir = std::env::temp_dir().join("obs-jsonl-corrupt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("trace-{}.jsonl", std::process::id()));
+        std::fs::write(&path, "not json\n{\"broken\":1}\n").unwrap();
+        let before = crate::global().snapshot().counter("health.trace_corrupt");
+        let trace = read_trace(&path).unwrap();
+        assert_eq!(trace.skipped, 2);
+        assert_eq!(
+            crate::global().snapshot().counter("health.trace_corrupt"),
+            before + 2
+        );
+        std::fs::remove_file(&path).ok();
     }
 }

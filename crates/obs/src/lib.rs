@@ -30,10 +30,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod decision;
 pub mod event;
 pub mod health;
 pub mod jsonl;
 pub mod metrics;
+pub mod monitor;
 pub mod prometheus;
 pub mod registry;
 pub mod serve;
@@ -42,13 +44,17 @@ pub mod span;
 pub mod trace;
 pub mod tree;
 
+pub use decision::DecisionRecord;
 pub use event::Event;
 pub use metrics::{Bucket, Counter, Gauge, Histogram, HistogramSnapshot};
+pub use monitor::{DriftConfig, DriftDetector, QualityMonitor, QualitySummary};
 pub use registry::{Registry, Snapshot};
 pub use serve::MetricsServer;
 pub use sink::{clear_sink, set_sink, sink_active, EventSink, JsonlSink, MemorySink, NoopSink};
 pub use span::{span, Span};
-pub use trace::{current_context, current_ids, reserve_trace_ids, with_context, TraceContext};
+pub use trace::{
+    current_context, current_ids, reserve_trace_ids, with_context, Captured, TraceContext,
+};
 
 use std::sync::OnceLock;
 use std::time::Instant;

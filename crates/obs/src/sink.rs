@@ -4,10 +4,11 @@
 //! atomic load, so instrumentation costs almost nothing until a sink is
 //! installed (`--trace` in the CLI, or a [`MemorySink`] in tests).
 
+use crate::decision::{DecisionRecord, SCHEMA_VERSION};
 use crate::event::Event;
 use crate::registry::Snapshot;
 use parking_lot::{Mutex, RwLock};
-use serde::Serialize;
+use serde::{Serialize, Value};
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::Path;
@@ -18,6 +19,10 @@ use std::sync::{Arc, OnceLock};
 pub trait EventSink: Send + Sync {
     /// Handles one event.
     fn emit(&self, event: &Event);
+
+    /// Handles one decision-provenance record (dropped by default, so
+    /// event-only sinks need no changes).
+    fn emit_decision(&self, _record: &DecisionRecord) {}
 
     /// Flushes buffered output (no-op by default).
     fn flush(&self) {}
@@ -35,6 +40,7 @@ impl EventSink for NoopSink {
 #[derive(Debug, Default)]
 pub struct MemorySink {
     events: Mutex<Vec<Event>>,
+    decisions: Mutex<Vec<DecisionRecord>>,
 }
 
 impl MemorySink {
@@ -43,9 +49,14 @@ impl MemorySink {
         MemorySink::default()
     }
 
-    /// Removes and returns everything captured so far.
+    /// Removes and returns every event captured so far.
     pub fn take(&self) -> Vec<Event> {
         std::mem::take(&mut self.events.lock())
+    }
+
+    /// Removes and returns every decision record captured so far.
+    pub fn take_decisions(&self) -> Vec<DecisionRecord> {
+        std::mem::take(&mut self.decisions.lock())
     }
 
     /// Number of buffered events.
@@ -62,6 +73,10 @@ impl MemorySink {
 impl EventSink for MemorySink {
     fn emit(&self, event: &Event) {
         self.events.lock().push(event.clone());
+    }
+
+    fn emit_decision(&self, record: &DecisionRecord) {
+        self.decisions.lock().push(record.clone());
     }
 }
 
@@ -80,11 +95,12 @@ impl JsonlSink {
     }
 
     /// Appends a final registry-snapshot line:
-    /// `{"kind":"snapshot","ts_us":...,"snapshot":{...}}`.
+    /// `{"schema_version":2,"kind":"snapshot","ts_us":...,"snapshot":{...}}`.
     pub fn write_snapshot(&self, snapshot: &Snapshot) {
-        let line = serde::Value::Map(vec![
-            ("kind".into(), serde::Value::Str("snapshot".into())),
-            ("ts_us".into(), serde::Value::U64(crate::now_us())),
+        let line = Value::Map(vec![
+            ("schema_version".into(), Value::U64(SCHEMA_VERSION)),
+            ("kind".into(), Value::Str("snapshot".into())),
+            ("ts_us".into(), Value::U64(crate::now_us())),
             ("snapshot".into(), snapshot.serialize()),
         ]);
         let mut out = self.out.lock();
@@ -92,10 +108,27 @@ impl JsonlSink {
     }
 }
 
+/// Prepends the trace-schema version to a serialized line object, so every
+/// JSONL line declares the schema it was written under.
+fn stamp_version(line: &mut Value) {
+    if let Value::Map(entries) = line {
+        entries.insert(0, ("schema_version".into(), Value::U64(SCHEMA_VERSION)));
+    }
+}
+
 impl EventSink for JsonlSink {
     fn emit(&self, event: &Event) {
+        let mut line = event.serialize();
+        stamp_version(&mut line);
         let mut out = self.out.lock();
-        let _ = writeln!(out, "{}", event.serialize().to_json());
+        let _ = writeln!(out, "{}", line.to_json());
+    }
+
+    fn emit_decision(&self, record: &DecisionRecord) {
+        // Decision records already carry `schema_version` as a struct
+        // field; `to_line` adds the `"kind":"decision"` discriminator.
+        let mut out = self.out.lock();
+        let _ = writeln!(out, "{}", record.to_line().to_json());
     }
 
     fn flush(&self) {
@@ -143,6 +176,21 @@ pub fn emit(event: &Event) {
     }
     if let Some(sink) = sink_slot().read().as_ref() {
         sink.emit(event);
+    }
+}
+
+/// Sends `record` to the installed sink, if any, honoring the same
+/// thread-local capture scope as [`emit`] so decision records interleave
+/// deterministically with events in parallel engines.
+pub fn emit_decision(record: &DecisionRecord) {
+    if !sink_active() {
+        return;
+    }
+    if crate::trace::capture_push_decision(record) {
+        return;
+    }
+    if let Some(sink) = sink_slot().read().as_ref() {
+        sink.emit_decision(record);
     }
 }
 

@@ -26,10 +26,42 @@
 //!    `eval::engine::par_map` merges unit buffers in unit-index order, so
 //!    the trace stream is identical at any thread count.
 
+use crate::decision::DecisionRecord;
 use crate::event::Event;
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// One record routed into a capture scope: events and decision records
+/// share the buffer so their relative order survives the deterministic
+/// replay in parallel engines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Captured {
+    /// A span / mark / anomaly event.
+    Event(Event),
+    /// A decision-provenance record (boxed: ~4× the size of an event,
+    /// and rare relative to span events in a capture buffer).
+    Decision(Box<DecisionRecord>),
+}
+
+impl Captured {
+    /// The event, if this is one.
+    pub fn as_event(&self) -> Option<&Event> {
+        match self {
+            Captured::Event(e) => Some(e),
+            Captured::Decision(_) => None,
+        }
+    }
+
+    /// Forwards this record to the installed sink (the merge step of
+    /// parallel engines, after ordering the capture deterministically).
+    pub fn forward_to_sink(&self) {
+        match self {
+            Captured::Event(e) => crate::sink::emit(e),
+            Captured::Decision(d) => crate::sink::emit_decision(d),
+        }
+    }
+}
 
 /// Process-wide trace-id allocator. Ids are allocated on coordinating
 /// threads only (sequential program order), so they are deterministic for a
@@ -101,7 +133,7 @@ struct ActiveTrace {
 
 thread_local! {
     static ACTIVE: RefCell<Option<ActiveTrace>> = const { RefCell::new(None) };
-    static CAPTURE: RefCell<Option<Vec<Event>>> = const { RefCell::new(None) };
+    static CAPTURE: RefCell<Option<Vec<Captured>>> = const { RefCell::new(None) };
 }
 
 /// Identity assigned to one recording span.
@@ -187,14 +219,14 @@ pub fn current_context() -> Option<TraceContext> {
 }
 
 /// Runs `f` with `ctx` installed as the thread's ambient trace and a
-/// thread-local capture buffer collecting every event emitted inside.
-/// Returns `f`'s result and the captured events, which the caller is
-/// responsible for forwarding to the sink (typically after a deterministic
-/// merge — see `eval::engine::par_map`).
+/// thread-local capture buffer collecting every event and decision record
+/// emitted inside. Returns `f`'s result and the captured records, which
+/// the caller is responsible for forwarding to the sink (typically after a
+/// deterministic merge — see `eval::engine::par_map`).
 ///
 /// The previous ambient trace and capture buffer (if any) are restored on
 /// exit, so scopes nest.
-pub fn with_context<T>(ctx: &TraceContext, f: impl FnOnce() -> T) -> (T, Vec<Event>) {
+pub fn with_context<T>(ctx: &TraceContext, f: impl FnOnce() -> T) -> (T, Vec<Captured>) {
     let prev_active = ACTIVE.with(|a| {
         a.borrow_mut().replace(ActiveTrace {
             ctx: ctx.clone(),
@@ -216,7 +248,20 @@ pub fn with_context<T>(ctx: &TraceContext, f: impl FnOnce() -> T) -> (T, Vec<Eve
 pub(crate) fn capture_push(event: &Event) -> bool {
     CAPTURE.with(|c| {
         if let Some(buf) = c.borrow_mut().as_mut() {
-            buf.push(event.clone());
+            buf.push(Captured::Event(event.clone()));
+            true
+        } else {
+            false
+        }
+    })
+}
+
+/// Routes `record` into the thread's capture buffer if one is installed.
+/// Returns whether the record was captured (and must not reach the sink).
+pub(crate) fn capture_push_decision(record: &DecisionRecord) -> bool {
+    CAPTURE.with(|c| {
+        if let Some(buf) = c.borrow_mut().as_mut() {
+            buf.push(Captured::Decision(Box::new(record.clone())));
             true
         } else {
             false
@@ -274,15 +319,50 @@ mod tests {
         let mem = std::sync::Arc::new(MemorySink::new());
         sink::set_sink(mem.clone());
         let ctx = TraceContext::for_trace_id(777);
-        let ((), events) = with_context(&ctx, || {
+        let ((), captured) = with_context(&ctx, || {
             let _s = span("trace.test.unit");
         });
         sink::clear_sink();
         assert!(mem.take().is_empty(), "captured events bypass the sink");
-        assert_eq!(events.len(), 1);
-        assert_eq!(events[0].trace_id, 777);
-        assert_eq!(events[0].parent_id, 0);
-        assert_eq!(events[0].span_id, 1);
+        assert_eq!(captured.len(), 1);
+        let event = captured[0].as_event().expect("an event was captured");
+        assert_eq!(event.trace_id, 777);
+        assert_eq!(event.parent_id, 0);
+        assert_eq!(event.span_id, 1);
+    }
+
+    #[test]
+    fn capture_scope_interleaves_decisions_with_events() {
+        let _guard = crate::testing::lock();
+        let mem = std::sync::Arc::new(MemorySink::new());
+        sink::set_sink(mem.clone());
+        let ctx = TraceContext::for_trace_id(31);
+        let ((), captured) = with_context(&ctx, || {
+            let _s = span("trace.test.decide");
+            crate::decision::emit(crate::decision::DecisionRecord::new("css.select"));
+        });
+        sink::clear_sink();
+        assert!(
+            mem.take_decisions().is_empty(),
+            "captured decisions bypass the sink"
+        );
+        // Order: the decision is emitted inside the (still open) span, so
+        // it precedes the span's own completion event.
+        assert_eq!(captured.len(), 2);
+        let Captured::Decision(d) = &captured[0] else {
+            panic!("decision first: {captured:?}");
+        };
+        assert_eq!(d.trace_id, 31);
+        assert!(captured[1].as_event().is_some());
+        // Forwarding replays both record kinds into the sink.
+        let mem2 = std::sync::Arc::new(MemorySink::new());
+        sink::set_sink(mem2.clone());
+        for c in &captured {
+            c.forward_to_sink();
+        }
+        sink::clear_sink();
+        assert_eq!(mem2.take().len(), 1);
+        assert_eq!(mem2.take_decisions().len(), 1);
     }
 
     #[test]
@@ -303,6 +383,7 @@ mod tests {
             .expect("worker joins")
         });
         sink::clear_sink();
+        let events: Vec<&Event> = events.iter().filter_map(|c| c.as_event()).collect();
         assert_eq!(events.len(), 2);
         assert!(events.iter().all(|e| e.trace_id == 4242));
         let root = events.iter().find(|e| e.stage == "trace.test.worker");

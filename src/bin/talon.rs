@@ -10,21 +10,26 @@
 //! talon analyze   --dataset dataset.txt --patterns patterns.txt [--probes 14,20]
 //! talon sls       --scenario lab|conference --policy ssw|css [--probes 14] [--yaw DEG]
 //! talon brd       --out codebook.brd [--seed N] | --check codebook.brd
-//! talon report    trace.jsonl [--tree | --flame]
+//! talon report    trace.jsonl [--tree | --flame | --quality | --json]
+//! talon replay    trace.jsonl [--threads N] [--perturb DB] [--patterns <file>]
 //! talon serve     [--metrics-addr HOST:PORT] [--sessions N] [--hold-ms MS]
 //! ```
 //!
 //! `record`, `analyze`, `sls` and `serve` accept `--trace <file>` to stream
 //! obs events as JSON Lines and append a final registry snapshot. `report`
 //! renders such a trace as summary tables, a causal span tree (`--tree`),
-//! or folded flamegraph stacks (`--flame`); `serve` exposes the registry as
+//! folded flamegraph stacks (`--flame`), a per-session link-quality table
+//! (`--quality`), or one machine-readable JSON object (`--json`); `replay`
+//! re-executes the trace's recorded decisions and exits non-zero unless
+//! every one reproduces bit-exactly; `serve` exposes the registry as
 //! Prometheus text on a TCP endpoint while running training sessions.
 
 use chamber::{Campaign, CampaignConfig, SectorPatterns};
-use css::selection::{CompressiveSelection, CssConfig};
+use css::selection::{CompressiveSelection, CssConfig, DecisionOracle};
 use eval::scenario::{EvalScenario, Fidelity};
 use geom::rng::sub_rng;
 use mac80211ad::sls::{FeedbackPolicy, MaxSnrPolicy, SlsRunner};
+use serde::{Serialize, Value};
 use std::collections::HashMap;
 use std::path::Path;
 use std::process::ExitCode;
@@ -40,9 +45,9 @@ fn main() -> ExitCode {
     // `--trace <file>`: stream obs events to a JSONL file while the
     // command runs, and append a registry snapshot at the end.
     let trace_sink = match opts.get("trace") {
-        // `report` reads an existing trace; never open a sink (which
-        // truncates the file) on what is this command's input.
-        Some(_) if cmd == "report" => None,
+        // `report` and `replay` read an existing trace; never open a sink
+        // (which truncates the file) on what is these commands' input.
+        Some(_) if cmd == "report" || cmd == "replay" => None,
         // A bare `--trace` parses as the value "true"; require a path
         // instead of silently writing a file named `true`.
         Some(path) if path == "true" => {
@@ -69,6 +74,7 @@ fn main() -> ExitCode {
         "sls" => cmd_sls(&opts),
         "brd" => cmd_brd(&opts),
         "report" => cmd_report(&args[1..], &opts),
+        "replay" => cmd_replay(&args[1..], &opts),
         "serve" => cmd_serve(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -97,7 +103,8 @@ commands:
   analyze   --dataset <file> --patterns <file> [--probes 14,20] [--seed N] [--trace <file>]
   sls       --scenario lab|conference --policy ssw|css [--probes 14] [--yaw DEG] [--seed N] [--trace <file>]
   brd       --out <file> [--seed N]  |  --check <file>
-  report    <trace.jsonl> [--tree | --flame]
+  report    <trace.jsonl> [--tree | --flame | --quality | --json]
+  replay    <trace.jsonl> [--threads N] [--perturb DB] [--patterns <file>]
   serve     [--metrics-addr HOST:PORT] [--sessions N] [--hold-ms MS] [--seed N]";
 
 /// Parses `--key value` and bare `--flag` options; non-option arguments
@@ -279,9 +286,24 @@ fn run_sls_session(opts: &HashMap<String, String>, seed: u64) -> Result<String, 
         .transpose()?
         .unwrap_or(14);
     let scenario = scenario_of(opts, seed)?;
+    // Stamp decision records with the reconstruction context so `talon
+    // replay` can rebuild this scenario's pattern database from the
+    // trace alone.
+    if obs::sink_active() {
+        let fidelity = if opts.contains_key("paper") {
+            "paper"
+        } else {
+            "fast"
+        };
+        obs::decision::set_context(&format!(
+            "scenario={},fidelity={fidelity},seed={seed}",
+            scenario.name
+        ));
+    }
     let mut dut = scenario.dut.clone();
     dut.orientation = Orientation::new(yaw, 0.0);
     let runner = SlsRunner::new(&scenario.link, &dut, &scenario.fixed);
+    let rxw = scenario.fixed.codebook.rx_sector().weights.clone();
     let mut rng = sub_rng(seed, "cli-sls");
     let outcome = match opts.get("policy").map(String::as_str) {
         Some("ssw") | None => runner.run(&mut rng, &mut MaxSnrPolicy, &mut MaxSnrPolicy),
@@ -368,6 +390,20 @@ fn run_sls_session(opts: &HashMap<String, String>, seed: u64) -> Result<String, 
                     }),
                 })
                 .collect();
+            // While tracing, hand the agent an exhaustive-sweep oracle so
+            // its decision record carries the true-best sector and the
+            // SNR loss of this selection (simulator ground truth only —
+            // it perturbs nothing).
+            if obs::sink_active() {
+                agent.provide_oracle(DecisionOracle {
+                    snr_by_sector: dut
+                        .codebook
+                        .sweep_order()
+                        .into_iter()
+                        .map(|s| (s, scenario.link.true_snr_db(&dut, s, &scenario.fixed, &rxw)))
+                        .collect(),
+                });
+            }
             if let Some(choice) = agent.select_from_readings(&readings) {
                 driver
                     .wmi(&WmiCommand::SetSectorOverride(choice))
@@ -385,7 +421,6 @@ fn run_sls_session(opts: &HashMap<String, String>, seed: u64) -> Result<String, 
         }
         Some(other) => return Err(format!("unknown policy `{other}`")),
     };
-    let rxw = scenario.fixed.codebook.rx_sector().weights.clone();
     let snr = outcome
         .initiator_tx_sector
         .map(|s| scenario.link.true_snr_db(&dut, s, &scenario.fixed, &rxw));
@@ -424,6 +459,20 @@ fn cmd_report(args: &[String], opts: &HashMap<String, String>) -> Result<(), Str
             "warning: skipped {} malformed line(s) in {path}",
             trace.skipped
         );
+    }
+
+    // `--json`: one machine-readable object carrying everything the
+    // human renderings show (stage stats, counters, anomaly tallies,
+    // per-session quality, skipped-line count).
+    if opts.contains_key("json") {
+        println!("{}", report_json(&trace).to_json());
+        return Ok(());
+    }
+
+    // `--quality`: the per-session link-quality table and drift epochs.
+    if opts.contains_key("quality") {
+        print_quality(&trace);
+        return Ok(());
     }
 
     // `--flame`: folded-stack lines only (pipe into inferno-flamegraph /
@@ -522,7 +571,229 @@ fn cmd_report(args: &[String], opts: &HashMap<String, String>) -> Result<(), Str
         println!("(no registry snapshot line in trace)");
     }
     print_health_summary(&trace);
+    if trace.skipped > 0 {
+        println!("skipped {} malformed line(s)", trace.skipped);
+    }
     Ok(())
+}
+
+/// Prints the per-session quality table (decision records grouped by
+/// session) and the drift epochs the online monitor flagged.
+fn print_quality(trace: &obs::jsonl::Trace) {
+    let sessions = obs::monitor::quality_from_trace(trace);
+    if sessions.is_empty() {
+        println!("no decision records in trace (record with --trace while training)");
+    } else {
+        let rows: Vec<Vec<String>> = sessions
+            .iter()
+            .map(|s| {
+                vec![
+                    if s.trace_id == 0 {
+                        "(untraced)".to_string()
+                    } else {
+                        s.trace_id.to_string()
+                    },
+                    s.decisions.to_string(),
+                    s.with_oracle.to_string(),
+                    s.misselections.to_string(),
+                    format!("{:.3}", s.misselection_rate),
+                    format!("{:.2}", s.median_snr_loss_db),
+                    format!("{:.2}", s.p95_snr_loss_db),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            eval::ascii::table(
+                &[
+                    "session",
+                    "decisions",
+                    "oracle",
+                    "missel",
+                    "rate",
+                    "med loss dB",
+                    "p95 loss dB",
+                ],
+                &rows
+            )
+        );
+    }
+    let epochs = obs::monitor::drift_epochs_from_trace(&trace.events);
+    if epochs.is_empty() {
+        println!("drift epochs: none");
+    } else {
+        let list: Vec<String> = epochs.iter().map(|t| format!("{t:.2}s")).collect();
+        println!("drift epochs: {}", list.join(", "));
+    }
+}
+
+/// Builds the `report --json` object: everything the human renderings
+/// show, as one machine-readable value.
+fn report_json(trace: &obs::jsonl::Trace) -> Value {
+    let mut stages: Vec<String> = trace.stages();
+    stages.sort();
+    let stage_stats: Vec<Value> = stages
+        .iter()
+        .filter_map(|stage| {
+            let mut durs: Vec<u64> = trace
+                .stage(stage)
+                .iter()
+                .filter(|e| e.kind == "span")
+                .map(|e| e.dur_us)
+                .collect();
+            if durs.is_empty() {
+                return None;
+            }
+            durs.sort_unstable();
+            let count = durs.len();
+            let mean = durs.iter().sum::<u64>() as f64 / count as f64;
+            let p95 = durs[((count - 1) as f64 * 0.95).round() as usize];
+            Some(Value::Map(vec![
+                ("stage".into(), Value::Str(stage.clone())),
+                ("spans".into(), Value::U64(count as u64)),
+                ("mean_us".into(), Value::F64(mean)),
+                ("p50_us".into(), Value::U64(durs[(count - 1) / 2])),
+                ("p95_us".into(), Value::U64(p95)),
+                (
+                    "max_us".into(),
+                    Value::U64(*durs.last().expect("non-empty")),
+                ),
+            ]))
+        })
+        .collect();
+    let anomalies: Vec<Value> = obs::tree::health_by_trace(&trace.events)
+        .iter()
+        .flat_map(|(trace_id, kinds)| {
+            let trace_id = *trace_id;
+            kinds.iter().map(move |(kind, count)| {
+                Value::Map(vec![
+                    ("trace_id".into(), Value::U64(trace_id)),
+                    ("kind".into(), Value::Str(kind.clone())),
+                    ("count".into(), Value::U64(*count)),
+                ])
+            })
+        })
+        .collect();
+    let quality: Vec<Value> = obs::monitor::quality_from_trace(trace)
+        .iter()
+        .map(obs::monitor::SessionQuality::to_value)
+        .collect();
+    let drift_epochs: Vec<Value> = obs::monitor::drift_epochs_from_trace(&trace.events)
+        .iter()
+        .map(|&t| Value::F64(t))
+        .collect();
+    let counters = match &trace.snapshot {
+        Some(snapshot) => Value::Map(
+            snapshot
+                .counters
+                .iter()
+                .map(|(name, value)| (name.clone(), Value::U64(*value)))
+                .collect(),
+        ),
+        None => Value::Null,
+    };
+    let histograms = match &trace.snapshot {
+        Some(snapshot) => Value::Seq(
+            snapshot
+                .histograms
+                .iter()
+                .filter(|(_, h)| h.count > 0)
+                .map(|(name, h)| {
+                    Value::Map(vec![
+                        ("name".into(), Value::Str(name.clone())),
+                        ("count".into(), Value::U64(h.count)),
+                        ("mean".into(), Value::F64(h.mean())),
+                        ("p50".into(), Value::U64(h.p50())),
+                        ("p95".into(), Value::U64(h.p95())),
+                        ("p99".into(), Value::U64(h.p99())),
+                        ("max".into(), Value::U64(h.max)),
+                    ])
+                })
+                .collect(),
+        ),
+        None => Value::Null,
+    };
+    Value::Map(vec![
+        (
+            "schema_version".into(),
+            Value::U64(obs::decision::SCHEMA_VERSION),
+        ),
+        ("events".into(), Value::U64(trace.events.len() as u64)),
+        ("decisions".into(), Value::U64(trace.decisions.len() as u64)),
+        ("skipped_lines".into(), Value::U64(trace.skipped as u64)),
+        ("stages".into(), Value::Seq(stage_stats)),
+        ("counters".into(), counters),
+        ("histograms".into(), histograms),
+        ("anomalies".into(), Value::Seq(anomalies)),
+        ("quality".into(), Value::Seq(quality)),
+        ("drift_epochs".into(), Value::Seq(drift_epochs)),
+    ])
+}
+
+/// `talon replay <trace.jsonl>`: re-executes every replayable decision in
+/// the trace and fails unless all of them reproduce bit-exactly.
+fn cmd_replay(args: &[String], opts: &HashMap<String, String>) -> Result<(), String> {
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .or_else(|| opts.get("trace"))
+        .ok_or("replay needs a trace file: talon replay <trace.jsonl>")?;
+    let trace =
+        obs::jsonl::read_trace(Path::new(path)).map_err(|e| format!("reading {path}: {e}"))?;
+    if trace.skipped > 0 {
+        eprintln!(
+            "warning: skipped {} malformed line(s) in {path}",
+            trace.skipped
+        );
+    }
+    if trace.decisions.is_empty() {
+        return Err(format!(
+            "no decision records in {path}; record one with e.g. \
+             `talon sls --policy css --trace {path}`"
+        ));
+    }
+    let mut config = eval::replay::ReplayConfig::default();
+    if let Some(t) = opts.get("threads") {
+        config.threads = t.parse().map_err(|_| "bad --threads")?;
+    }
+    if let Some(p) = opts.get("perturb") {
+        config.perturb_snr_db = p.parse().map_err(|_| "bad --perturb")?;
+    }
+    if let Some(pat) = opts.get("patterns") {
+        let patterns = SectorPatterns::load(Path::new(pat))
+            .map_err(|e| format!("reading {pat}: {e}"))?
+            .map_err(|e| format!("parsing {pat}: {e}"))?;
+        config.patterns_override = Some(patterns);
+    }
+    let report = eval::replay::replay_trace(&trace, &config);
+    if opts.contains_key("json") {
+        println!("{}", Serialize::serialize(&report).to_json());
+    } else {
+        println!("{}", report.summary());
+        const SHOWN: usize = 20;
+        for d in report.divergent.iter().take(SHOWN) {
+            println!(
+                "  decision {} (session {}): {} recorded {} recomputed {}",
+                d.index, d.trace_id, d.field, d.expected, d.actual
+            );
+        }
+        if report.divergent.len() > SHOWN {
+            println!("  … and {} more", report.divergent.len() - SHOWN);
+        }
+    }
+    if report.is_clean() {
+        if !opts.contains_key("json") {
+            println!("replay OK: every decision reproduced bit-exactly");
+        }
+        Ok(())
+    } else {
+        Err(format!(
+            "replay diverged: {} divergence(s), {} digest mismatch(es), {} decision(s) without patterns",
+            report.divergent.len(),
+            report.digest_mismatches,
+            report.skipped_no_patterns,
+        ))
+    }
 }
 
 /// Prints per-session (per-trace) link-health anomaly counts, when any
