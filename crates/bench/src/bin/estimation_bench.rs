@@ -182,6 +182,27 @@ fn main() {
                 ));
             }
         }
+        // A baseline recorded on a 1-core host carries no parallel signal
+        // (its speedup/efficiency are ~1.0 by construction), so comparing
+        // against it would flag every multi-core run. Skip the parallel
+        // comparison then; the host-side efficiency floor still applies.
+        let baseline_parallel_is_meaningful = json_f64(&baseline, "cores").is_none_or(|c| c > 1.0);
+        if baseline_parallel_is_meaningful {
+            if let Some(base_speedup) = json_f64(&baseline, "parallel_speedup") {
+                let floor = base_speedup * 0.75;
+                if threads > 1 && parallel_speedup < floor {
+                    failures.push(format!(
+                        "parallel speedup regressed >25%: {parallel_speedup:.2}× vs \
+                         baseline {base_speedup:.2}× (floor {floor:.2}×)"
+                    ));
+                }
+            }
+        } else {
+            println!(
+                "note: baseline {baseline_path} was recorded with cores: 1 — \
+                 skipping the parallel-key regression comparison"
+            );
+        }
         if cores >= 4 && parallel_efficiency < 0.6 {
             failures.push(format!(
                 "parallel efficiency {parallel_efficiency:.2} below the 0.6×/core floor \

@@ -19,6 +19,8 @@
 //! | [`throughput`] | Fig. 11 (TCP throughput at −45°/0°/45°) |
 //! | [`extensions`] | §7 claims quantified: `ext-dense`, `ext-tracking` |
 //! | [`dataset_io`] | archive/reload recorded sweeps for offline re-analysis |
+//! | [`replay`]     | trace-driven re-execution of recorded decisions |
+//! | [`soak`]       | million-decision record/replay soak with trace-cost metrics |
 //! | [`ascii`]      | plain-text table/series rendering for all binaries |
 //!
 //! Every experiment takes an explicit seed and a fidelity knob
@@ -38,9 +40,11 @@ pub mod patterns;
 pub mod replay;
 pub mod scenario;
 pub mod snr_loss;
+pub mod soak;
 pub mod stability;
 pub mod table1;
 pub mod throughput;
 
-pub use replay::{replay_trace, Divergence, ReplayConfig, ReplayReport};
+pub use replay::{replay_trace, Divergence, ReplayConfig, ReplayReport, ReplaySession};
 pub use scenario::{EvalScenario, Fidelity, RecordedDataset, RecordedPosition};
+pub use soak::{run_soak, SoakConfig, SoakReport};

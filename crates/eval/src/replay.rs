@@ -167,103 +167,145 @@ struct Job<'a> {
     est: usize,
 }
 
+/// Incremental replay over a stream of decision records.
+///
+/// [`replay_trace`] feeds a whole in-memory [`Trace`] through one of
+/// these; the soak harness (`crate::soak`) instead feeds bounded chunks
+/// straight off a streaming binary reader, so a million-decision trace
+/// replays without ever materializing in memory. Reconstructed pattern
+/// databases and estimators are cached across chunks (decisions from one
+/// run share a context, so the cache stays tiny), and reports merge in
+/// decision order regardless of chunking or thread count.
+pub struct ReplaySession {
+    config: ReplayConfig,
+    report: ReplayReport,
+    /// Pattern database per context string, built once each.
+    patterns_by_ctx: BTreeMap<String, Option<(SectorPatterns, u64)>>,
+    /// Estimator per (context, mode, options) — decisions from one run
+    /// share one, so this stays tiny.
+    est_keys: Vec<(String, String, EstimatorOptions)>,
+    estimators: Vec<(CompressiveEstimator, SectorPatterns)>,
+    /// Global decision index across every chunk fed so far.
+    next_index: usize,
+}
+
+impl ReplaySession {
+    /// An empty session; feed it chunks, then [`ReplaySession::finish`].
+    pub fn new(config: ReplayConfig) -> Self {
+        ReplaySession {
+            config,
+            report: ReplayReport::default(),
+            patterns_by_ctx: BTreeMap::new(),
+            est_keys: Vec::new(),
+            estimators: Vec::new(),
+            next_index: 0,
+        }
+    }
+
+    /// Re-executes one chunk of decisions (fanning out over
+    /// `config.threads`) and folds the outcomes into the running report.
+    pub fn replay_chunk(&mut self, decisions: &[DecisionRecord]) {
+        self.report.total_decisions += decisions.len();
+        let mut jobs: Vec<Job> = Vec::new();
+        for rec in decisions {
+            let index = self.next_index;
+            self.next_index += 1;
+            if !rec.replayable {
+                self.report.skipped_non_replayable += 1;
+                continue;
+            }
+            let mode = match rec.mode.as_str() {
+                "snr" => CorrelationMode::SnrOnly,
+                "joint" => CorrelationMode::JointSnrRssi,
+                _ => {
+                    self.report.skipped_non_replayable += 1;
+                    continue;
+                }
+            };
+            let override_patterns = &self.config.patterns_override;
+            let entry = self
+                .patterns_by_ctx
+                .entry(rec.context.clone())
+                .or_insert_with(|| {
+                    let p = match override_patterns {
+                        Some(p) => Some(p.clone()),
+                        None => patterns_for_context(&rec.context),
+                    };
+                    p.map(|p| {
+                        let d = patterns_digest(&p);
+                        (p, d)
+                    })
+                });
+            let Some((patterns, digest)) = entry else {
+                self.report.skipped_no_patterns += 1;
+                continue;
+            };
+            if *digest != rec.patterns_digest {
+                self.report.digest_mismatches += 1;
+                self.report.divergent.push(Divergence {
+                    index,
+                    trace_id: rec.trace_id,
+                    field: "patterns_digest".into(),
+                    expected: format!("{:#018x}", rec.patterns_digest),
+                    actual: format!("{digest:#018x}"),
+                });
+                continue;
+            }
+            let options = EstimatorOptions {
+                energy_prior: rec.energy_prior,
+                smoothing: rec.smoothing,
+                subcell_refinement: rec.subcell_refinement,
+            };
+            let key = (rec.context.clone(), rec.mode.clone(), options);
+            let est = match self.est_keys.iter().position(|k| *k == key) {
+                Some(i) => i,
+                None => {
+                    self.est_keys.push(key);
+                    self.estimators.push((
+                        CompressiveEstimator::new(patterns, mode).with_options(options),
+                        patterns.clone(),
+                    ));
+                    self.estimators.len() - 1
+                }
+            };
+            jobs.push(Job { index, rec, est });
+        }
+
+        let estimators = &self.estimators;
+        let jobs = &jobs;
+        let perturb = self.config.perturb_snr_db;
+        let results: Vec<(Vec<Divergence>, f64)> = par_map(
+            jobs.len(),
+            self.config.threads.max(1),
+            || (),
+            |(), i| {
+                let job = &jobs[i];
+                let (est, patterns) = &estimators[job.est];
+                replay_one(job.index, job.rec, est, patterns, perturb)
+            },
+        );
+        for (divergent, max_err) in results {
+            self.report.replayed += 1;
+            self.report.max_abs_err = self.report.max_abs_err.max(max_err);
+            self.report.divergent.extend(divergent);
+        }
+    }
+
+    /// The merged report over everything fed so far.
+    pub fn finish(self) -> ReplayReport {
+        self.report
+    }
+}
+
 /// Re-executes every replayable decision in `trace` and compares outputs.
 ///
 /// Deterministic at any `config.threads`: pattern databases and
 /// estimators are built once on the coordinating thread, the fan-out is
 /// a pure map, and results merge in decision order.
 pub fn replay_trace(trace: &Trace, config: &ReplayConfig) -> ReplayReport {
-    let mut report = ReplayReport {
-        total_decisions: trace.decisions.len(),
-        ..ReplayReport::default()
-    };
-
-    // Pattern database per context string, built once each.
-    let mut patterns_by_ctx: BTreeMap<&str, Option<(SectorPatterns, u64)>> = BTreeMap::new();
-    // Estimator per (context, mode, options) — decisions from one run
-    // share one, so this stays tiny.
-    let mut est_keys: Vec<(String, String, EstimatorOptions)> = Vec::new();
-    let mut estimators: Vec<(CompressiveEstimator, SectorPatterns)> = Vec::new();
-
-    let mut jobs: Vec<Job> = Vec::new();
-    for (index, rec) in trace.decisions.iter().enumerate() {
-        if !rec.replayable {
-            report.skipped_non_replayable += 1;
-            continue;
-        }
-        let mode = match rec.mode.as_str() {
-            "snr" => CorrelationMode::SnrOnly,
-            "joint" => CorrelationMode::JointSnrRssi,
-            _ => {
-                report.skipped_non_replayable += 1;
-                continue;
-            }
-        };
-        let entry = patterns_by_ctx
-            .entry(rec.context.as_str())
-            .or_insert_with(|| {
-                let p = match &config.patterns_override {
-                    Some(p) => Some(p.clone()),
-                    None => patterns_for_context(&rec.context),
-                };
-                p.map(|p| {
-                    let d = patterns_digest(&p);
-                    (p, d)
-                })
-            });
-        let Some((patterns, digest)) = entry else {
-            report.skipped_no_patterns += 1;
-            continue;
-        };
-        if *digest != rec.patterns_digest {
-            report.digest_mismatches += 1;
-            report.divergent.push(Divergence {
-                index,
-                trace_id: rec.trace_id,
-                field: "patterns_digest".into(),
-                expected: format!("{:#018x}", rec.patterns_digest),
-                actual: format!("{digest:#018x}"),
-            });
-            continue;
-        }
-        let options = EstimatorOptions {
-            energy_prior: rec.energy_prior,
-            smoothing: rec.smoothing,
-            subcell_refinement: rec.subcell_refinement,
-        };
-        let key = (rec.context.clone(), rec.mode.clone(), options);
-        let est = match est_keys.iter().position(|k| *k == key) {
-            Some(i) => i,
-            None => {
-                est_keys.push(key);
-                estimators.push((
-                    CompressiveEstimator::new(patterns, mode).with_options(options),
-                    patterns.clone(),
-                ));
-                estimators.len() - 1
-            }
-        };
-        jobs.push(Job { index, rec, est });
-    }
-
-    let estimators = &estimators;
-    let perturb = config.perturb_snr_db;
-    let results: Vec<(Vec<Divergence>, f64)> = par_map(
-        jobs.len(),
-        config.threads.max(1),
-        || (),
-        |(), i| {
-            let job = &jobs[i];
-            let (est, patterns) = &estimators[job.est];
-            replay_one(job.index, job.rec, est, patterns, perturb)
-        },
-    );
-    for (divergent, max_err) in results {
-        report.replayed += 1;
-        report.max_abs_err = report.max_abs_err.max(max_err);
-        report.divergent.extend(divergent);
-    }
-    report
+    let mut session = ReplaySession::new(config.clone());
+    session.replay_chunk(&trace.decisions);
+    session.finish()
 }
 
 /// Accumulates field comparisons for one replayed decision.

@@ -1,0 +1,1373 @@
+//! `obs::binfmt` — the compact binary trace format.
+//!
+//! JSONL traces are the debugging escape hatch: greppable, editable,
+//! self-describing — and roughly an order of magnitude larger than the
+//! information they carry, because every line repeats every field name and
+//! prints every `f64` in decimal. At daemon scale (millions of decision
+//! records per run) that size *is* the bottleneck, so the recording path
+//! writes this binary format instead and `talon trace convert` round-trips
+//! between the two.
+//!
+//! ## Framing
+//!
+//! A trace file is an 8-byte magic ([`MAGIC`]) plus a little-endian `u32`
+//! file schema version, followed by independent record frames:
+//!
+//! ```text
+//! ┌────────┬──────┬─────────┬────────────┬───────────┬─────────┐
+//! │ 0xA7   │ kind │ version │ len varint │ payload   │ crc u32 │
+//! │ marker │ u8   │ u8      │ ≤ 3 bytes  │ len bytes │ LE      │
+//! └────────┴──────┴─────────┴────────────┴───────────┴─────────┘
+//! ```
+//!
+//! * the **marker** byte is a resync point: a reader that loses framing
+//!   (corrupt length, overwritten region) scans forward to the next
+//!   marker and tries again, skip-and-counting exactly like the JSONL
+//!   parser skips malformed lines;
+//! * **kind** selects the payload codec (1 = [`Event`], 2 =
+//!   [`DecisionRecord`], 3 = [`Snapshot`], 4 = string definition);
+//! * **version** stamps every record with [`SCHEMA_VERSION`]; a record
+//!   written by a newer build is a hard error (checked after its CRC
+//!   validates, so corruption cannot masquerade as a future version);
+//! * **len** is capped at [`MAX_RECORD_LEN`] — an insane length is treated
+//!   as corruption, not an allocation request;
+//! * **crc** is CRC-32 (IEEE) over `kind ‖ version ‖ len ‖ payload`; a
+//!   mismatch skips the frame.
+//!
+//! ## Payload encoding
+//!
+//! Payloads are fixed-field-order binary (the order is the schema, pinned
+//! by the version byte): LEB128 varints for ids/counts, zigzag varints for
+//! signed fields, and bit-packed `Vec<bool>` masks. Unknown trailing bytes
+//! in a same-version payload are a decode error (skip-and-count), never
+//! silently ignored.
+//!
+//! `f64` is encoded bit-exactly (replay depends on it) but rarely as raw
+//! bits: the pattern is byte-swapped so a quantized value's trailing
+//! mantissa zeros become a short capped varint, vectors whose every
+//! element is an exact quarter-step (the firmware's dB quantization) drop
+//! to zigzag integers, and non-quantized vectors XOR each element with its
+//! predecessor, shrinking runs of similar magnitudes. See [`Enc::f64`] /
+//! [`Enc::f64s`].
+//!
+//! ## String interning
+//!
+//! Stage names, sources, contexts, and field names repeat in virtually
+//! every record. The writer assigns each distinct string a small id,
+//! announced once in its own string-definition frame (kind 4, `id ‖
+//! bytes`) *before* the first frame that references it; records then carry
+//! `varint(id+1)` instead of the bytes. Code `0` means the string is
+//! inline (unknown ids after damage, cap overflow, or standalone frames
+//! from [`encode_frame`]). Definitions are append-only and ids are never
+//! reused, so damage can only make a reference *unresolvable* (that record
+//! is skipped and counted) — never silently resolve it to the wrong
+//! string. Tables are capped ([`MAX_INTERNED`] entries,
+//! [`MAX_INTERN_BYTES`] reader-side) so hostile input cannot balloon
+//! memory; past the cap, strings simply go inline.
+//!
+//! Snapshot payloads do not intern: a trace's single closing snapshot
+//! stays fully self-contained.
+//!
+//! ## Forward compatibility
+//!
+//! Any shape change bumps [`SCHEMA_VERSION`]. Readers reject newer
+//! files/records instead of misparsing them; older records remain
+//! readable as long as their version's field order is kept in the
+//! decoders.
+//!
+//! ## Bounded memory
+//!
+//! [`BinReader`] streams one frame at a time off a `BufRead` and never
+//! buffers more than one record (≤ [`MAX_RECORD_LEN`]) plus the capped
+//! string table, so a multi-GB trace replays in constant memory — the
+//! contract the soak harness (`eval::soak`) asserts with an RSS ceiling
+//! over a million-decision replay.
+
+use crate::decision::{DecisionRecord, SCHEMA_VERSION};
+use crate::event::Event;
+use crate::jsonl::Trace;
+use crate::registry::Snapshot;
+use crate::sink::{note_write_error, EventSink};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// File magic: the first 8 bytes of every binary trace. Chosen to be
+/// unmistakable for JSONL (a JSONL trace starts with `{`), which is what
+/// [`crate::trace::open_trace`] sniffs.
+pub const MAGIC: &[u8; 8] = b"TALNTRC\x01";
+
+/// Per-frame resync marker byte.
+pub const MARKER: u8 = 0xA7;
+
+/// Frame kind: an [`Event`] payload.
+pub const KIND_EVENT: u8 = 1;
+/// Frame kind: a [`DecisionRecord`] payload.
+pub const KIND_DECISION: u8 = 2;
+/// Frame kind: a [`Snapshot`] payload.
+pub const KIND_SNAPSHOT: u8 = 3;
+/// Frame kind: a string definition (`varint id ‖ UTF-8 bytes`).
+pub const KIND_STRDEF: u8 = 4;
+
+/// Upper bound on one record's payload. A frame declaring more is treated
+/// as corruption (the reader resyncs) — the same pathological-input cap
+/// the JSONL reader applies to single lines.
+pub const MAX_RECORD_LEN: usize = 1 << 20;
+
+/// Maximum interned strings per trace; beyond this, strings go inline.
+pub const MAX_INTERNED: usize = 1 << 16;
+
+/// Reader-side cap on total interned bytes, against hostile inputs.
+pub const MAX_INTERN_BYTES: usize = 1 << 24;
+
+// ── CRC-32 (IEEE 802.3, reflected) ──────────────────────────────────────
+
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `data`, as used in the per-record frame checksum.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// ── String interning (writer side) ──────────────────────────────────────
+
+/// Writer-side string table: string → id, append-only, capped.
+#[derive(Debug, Default)]
+struct Interner {
+    ids: HashMap<String, u32>,
+}
+
+impl Interner {
+    /// The id for `s`, assigning the next one on first sight. `None` once
+    /// the table is full (the caller writes the string inline instead).
+    fn intern(&mut self, s: &str) -> Option<(u32, bool)> {
+        if let Some(&id) = self.ids.get(s) {
+            return Some((id, false));
+        }
+        if self.ids.len() >= MAX_INTERNED {
+            return None;
+        }
+        let id = self.ids.len() as u32;
+        self.ids.insert(s.to_string(), id);
+        Some((id, true))
+    }
+}
+
+// ── Wire primitives ─────────────────────────────────────────────────────
+
+/// Append-only encoder for one payload. When built with an interner
+/// ([`Enc::interned`]), strings written via [`Enc::istr`] become table
+/// references and newly assigned ids accumulate in `defs` for the caller
+/// to announce (as strdef frames) before this payload's frame.
+#[derive(Default)]
+struct Enc<'a> {
+    buf: Vec<u8>,
+    intern: Option<&'a mut Interner>,
+    defs: Vec<(u32, String)>,
+}
+
+impl<'a> Enc<'a> {
+    fn interned(intern: &'a mut Interner) -> Self {
+        Enc {
+            buf: Vec::new(),
+            intern: Some(intern),
+            defs: Vec::new(),
+        }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// LEB128 unsigned varint.
+    fn varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7F) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    /// Zigzag-encoded signed varint.
+    fn zigzag(&mut self, v: i64) {
+        self.varint(((v << 1) ^ (v >> 63)) as u64);
+    }
+
+    /// Bit-exact `f64`, compactly: the bit pattern is byte-swapped (so the
+    /// sign/exponent/high-mantissa land in the *low* bytes and a short
+    /// mantissa's trailing zeros become leading zeros) and written as a
+    /// capped varint ([`Enc::varint9`]).
+    ///
+    /// Trace floats are dominated by firmware-quantized dB values
+    /// (quarter-dB steps — mantissas almost all zeros): those cost 1–3
+    /// bytes here instead of 8 raw. Full-precision doubles (estimator
+    /// outputs) pay 9 bytes, one more than raw — a trade the real record
+    /// mix wins by ~3× on its float sections.
+    fn f64(&mut self, v: f64) {
+        self.varint9(v.to_bits().swap_bytes());
+    }
+
+    /// LEB128 varint capped at 9 bytes: after eight 7-bit groups the ninth
+    /// byte carries the remaining 8 bits whole (no continuation flag), so
+    /// a dense `u64` costs 9 bytes, not 10.
+    fn varint9(&mut self, mut v: u64) {
+        for _ in 0..8 {
+            let byte = (v & 0x7F) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+        self.buf.push(v as u8);
+    }
+
+    /// Inline string: varint length + UTF-8 bytes. Used for strdef
+    /// payloads and snapshots (which stay self-contained).
+    fn str(&mut self, s: &str) {
+        self.varint(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Internable string: `varint(id+1)` when the interner has (or can
+    /// assign) an id for `s`, else `0` + inline. First-seen ids are pushed
+    /// to `defs` so the caller announces them before this frame.
+    fn istr(&mut self, s: &str) {
+        match self.intern.as_mut().and_then(|i| i.intern(s)) {
+            Some((id, is_new)) => {
+                if is_new {
+                    self.defs.push((id, s.to_string()));
+                }
+                self.varint(u64::from(id) + 1);
+            }
+            None => {
+                self.varint(0);
+                self.str(s);
+            }
+        }
+    }
+
+    /// `f64` vector. The readings / kernel vectors in decision records are
+    /// firmware-quantized to quarter-dB steps, so when every element
+    /// round-trips bit-exactly through `value × 4` as an integer the whole
+    /// vector is written as zigzag varints of those quarter-steps (tag 1,
+    /// mostly 1 byte per value). Otherwise (tag 0) the first element is a
+    /// varint9 float and each later element is the XOR of its bits with
+    /// its predecessor's — consecutive values of similar magnitude (e.g.
+    /// ranked correlation weights) share sign/exponent/leading-mantissa
+    /// bits, and identical repeats collapse to one byte.
+    fn f64s(&mut self, vs: &[f64]) {
+        self.varint(vs.len() as u64);
+        let quarters: Option<Vec<i64>> = vs
+            .iter()
+            .map(|&v| {
+                let q = v * 4.0;
+                (q.abs() < (1i64 << 52) as f64
+                    && ((q as i64) as f64 / 4.0).to_bits() == v.to_bits())
+                .then_some(q as i64)
+            })
+            .collect();
+        match quarters {
+            Some(qs) => {
+                self.u8(1);
+                for q in qs {
+                    self.zigzag(q);
+                }
+            }
+            None => {
+                self.u8(0);
+                let mut prev = 0u64;
+                for (i, &v) in vs.iter().enumerate() {
+                    let bits = v.to_bits();
+                    if i == 0 {
+                        self.varint9(bits.swap_bytes());
+                    } else {
+                        // XOR zeroes the *high* (shared) bits, which is
+                        // exactly what an unswapped varint drops.
+                        self.varint9(bits ^ prev);
+                    }
+                    prev = bits;
+                }
+            }
+        }
+    }
+
+    fn varints(&mut self, vs: &[u64]) {
+        self.varint(vs.len() as u64);
+        for &v in vs {
+            self.varint(v);
+        }
+    }
+
+    /// Bit-packed bool vector: varint count, then ⌈n/8⌉ bytes, LSB first.
+    fn bools(&mut self, vs: &[bool]) {
+        self.varint(vs.len() as u64);
+        let mut byte = 0u8;
+        for (i, &b) in vs.iter().enumerate() {
+            if b {
+                byte |= 1 << (i % 8);
+            }
+            if i % 8 == 7 {
+                self.buf.push(byte);
+                byte = 0;
+            }
+        }
+        if !vs.is_empty() && !vs.len().is_multiple_of(8) {
+            self.buf.push(byte);
+        }
+    }
+}
+
+/// Cursor over one payload; every read is bounds-checked. `table` is the
+/// interned-string table accumulated from strdef frames.
+struct Dec<'a> {
+    data: &'a [u8],
+    pos: usize,
+    table: &'a [String],
+}
+
+type DecodeResult<T> = Result<T, String>;
+
+impl<'a> Dec<'a> {
+    fn new(data: &'a [u8], table: &'a [String]) -> Self {
+        Dec {
+            data,
+            pos: 0,
+            table,
+        }
+    }
+
+    fn take(&mut self, n: usize) -> DecodeResult<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.data.len())
+            .ok_or_else(|| format!("payload truncated at byte {}", self.pos))?;
+        let out = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> DecodeResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn varint(&mut self) -> DecodeResult<u64> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.u8()?;
+            if shift == 63 && byte > 1 {
+                return Err("varint overflows u64".into());
+            }
+            v |= u64::from(byte & 0x7F) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err("varint longer than 10 bytes".into());
+            }
+        }
+    }
+
+    fn zigzag(&mut self) -> DecodeResult<i64> {
+        let v = self.varint()?;
+        Ok(((v >> 1) as i64) ^ -((v & 1) as i64))
+    }
+
+    fn f64(&mut self) -> DecodeResult<f64> {
+        Ok(f64::from_bits(self.varint9()?.swap_bytes()))
+    }
+
+    fn varint9(&mut self) -> DecodeResult<u64> {
+        let mut v = 0u64;
+        for group in 0..8 {
+            let byte = self.u8()?;
+            v |= u64::from(byte & 0x7F) << (7 * group);
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Ok(v | u64::from(self.u8()?) << 56)
+    }
+
+    /// Guards a declared element count against the remaining bytes, so a
+    /// corrupt count cannot request a pathological allocation.
+    fn count(&mut self, min_elem_bytes: usize) -> DecodeResult<usize> {
+        let n = self.varint()? as usize;
+        if n.saturating_mul(min_elem_bytes.max(1)) > self.data.len() - self.pos + 7 {
+            return Err(format!("count {n} exceeds remaining payload"));
+        }
+        Ok(n)
+    }
+
+    fn str(&mut self) -> DecodeResult<String> {
+        let n = self.count(1)?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| "invalid UTF-8 in string".into())
+    }
+
+    /// Internable string: code `0` = inline, `n` = table entry `n-1`. An
+    /// id missing from the table (its strdef frame was lost to damage) is
+    /// a decode error — the record is skipped, never mislabeled.
+    fn istr(&mut self) -> DecodeResult<String> {
+        match self.varint()? {
+            0 => self.str(),
+            n => self
+                .table
+                .get(n as usize - 1)
+                .cloned()
+                .ok_or_else(|| format!("unknown interned string id {}", n - 1)),
+        }
+    }
+
+    fn f64s(&mut self) -> DecodeResult<Vec<f64>> {
+        // A quarter-step or varint9 element can be as short as one byte.
+        let n = self.count(1)?;
+        match self.u8()? {
+            1 => (0..n).map(|_| Ok(self.zigzag()? as f64 / 4.0)).collect(),
+            0 => {
+                let mut prev = 0u64;
+                (0..n)
+                    .map(|i| {
+                        let bits = if i == 0 {
+                            self.varint9()?.swap_bytes()
+                        } else {
+                            self.varint9()? ^ prev
+                        };
+                        prev = bits;
+                        Ok(f64::from_bits(bits))
+                    })
+                    .collect()
+            }
+            other => Err(format!("unknown f64 vector tag {other}")),
+        }
+    }
+
+    fn varints(&mut self) -> DecodeResult<Vec<u64>> {
+        let n = self.count(1)?;
+        (0..n).map(|_| self.varint()).collect()
+    }
+
+    fn bools(&mut self) -> DecodeResult<Vec<bool>> {
+        // Packed at 8 per byte, so guard the count against packed size,
+        // not element count.
+        let n = self.varint()? as usize;
+        if n.div_ceil(8) > self.data.len() - self.pos {
+            return Err(format!("bool count {n} exceeds remaining payload"));
+        }
+        let bytes = self.take(n.div_ceil(8))?;
+        Ok((0..n).map(|i| bytes[i / 8] >> (i % 8) & 1 != 0).collect())
+    }
+
+    /// Decoding must consume the payload exactly: trailing bytes in a
+    /// same-version record mean the codecs disagree, which is corruption.
+    fn finish(self) -> DecodeResult<()> {
+        if self.pos == self.data.len() {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} trailing byte(s) after payload",
+                self.data.len() - self.pos
+            ))
+        }
+    }
+}
+
+// ── Payload codecs ──────────────────────────────────────────────────────
+
+/// Event `kind` strings get a one-byte code; anything else (forward
+/// compatibility with new kinds) is carried as an internable string.
+const EVENT_KIND_OTHER: u8 = 3;
+
+fn event_kind_code(kind: &str) -> u8 {
+    match kind {
+        "span" => 0,
+        "mark" => 1,
+        "anomaly" => 2,
+        _ => EVENT_KIND_OTHER,
+    }
+}
+
+fn encode_event(e: &Event, enc: &mut Enc) {
+    let code = event_kind_code(&e.kind);
+    enc.u8(code);
+    if code == EVENT_KIND_OTHER {
+        enc.istr(&e.kind);
+    }
+    enc.varint(e.ts_us);
+    enc.istr(&e.stage);
+    enc.varint(e.dur_us);
+    enc.varint(e.trace_id);
+    enc.varint(e.span_id);
+    enc.varint(e.parent_id);
+    enc.varint(e.fields.len() as u64);
+    for (k, v) in &e.fields {
+        enc.istr(k);
+        enc.f64(*v);
+    }
+}
+
+fn decode_event(dec: &mut Dec) -> DecodeResult<Event> {
+    let kind = match dec.u8()? {
+        0 => "span".to_string(),
+        1 => "mark".to_string(),
+        2 => "anomaly".to_string(),
+        EVENT_KIND_OTHER => dec.istr()?,
+        other => return Err(format!("unknown event kind code {other}")),
+    };
+    let ts_us = dec.varint()?;
+    let stage = dec.istr()?;
+    let dur_us = dec.varint()?;
+    let trace_id = dec.varint()?;
+    let span_id = dec.varint()?;
+    let parent_id = dec.varint()?;
+    let n = dec.count(2)?;
+    let mut fields = BTreeMap::new();
+    for _ in 0..n {
+        let key = dec.istr()?;
+        fields.insert(key, dec.f64()?);
+    }
+    Ok(Event {
+        ts_us,
+        kind,
+        stage,
+        dur_us,
+        trace_id,
+        span_id,
+        parent_id,
+        fields,
+    })
+}
+
+fn encode_decision(r: &DecisionRecord, enc: &mut Enc) {
+    enc.varint(r.schema_version);
+    enc.varint(r.ts_us);
+    enc.varint(r.trace_id);
+    enc.varint(r.parent_id);
+    enc.istr(&r.source);
+    enc.istr(&r.context);
+    enc.istr(&r.mode);
+    let flags = u8::from(r.energy_prior)
+        | u8::from(r.smoothing) << 1
+        | u8::from(r.subcell_refinement) << 2
+        | u8::from(r.replayable) << 3
+        | u8::from(r.has_estimate) << 4
+        | u8::from(r.fallback) << 5
+        | u8::from(r.has_oracle) << 6;
+    enc.u8(flags);
+    // The digest is a hash (uniformly random bits): a varint would cost
+    // 9–10 bytes, raw LE costs exactly 8.
+    enc.buf.extend_from_slice(&r.patterns_digest.to_le_bytes());
+    enc.varints(&r.probed);
+    enc.f64s(&r.snr_db);
+    enc.f64s(&r.rssi_dbm);
+    enc.bools(&r.masked);
+    enc.bools(&r.clamped);
+    enc.f64s(&r.p_snr);
+    enc.f64s(&r.p_rssi);
+    enc.varints(&r.top_cells);
+    enc.f64s(&r.top_weights);
+    enc.f64(r.energy_max);
+    enc.f64(r.est_az_deg);
+    enc.f64(r.est_el_deg);
+    enc.f64(r.score);
+    enc.zigzag(r.chosen_sector);
+    enc.zigzag(r.oracle_sector);
+    enc.f64(r.oracle_snr_db);
+    enc.f64(r.chosen_snr_db);
+    enc.f64(r.snr_loss_db);
+}
+
+fn decode_decision(dec: &mut Dec) -> DecodeResult<DecisionRecord> {
+    let schema_version = dec.varint()?;
+    let ts_us = dec.varint()?;
+    let trace_id = dec.varint()?;
+    let parent_id = dec.varint()?;
+    let source = dec.istr()?;
+    let context = dec.istr()?;
+    let mode = dec.istr()?;
+    let flags = dec.u8()?;
+    let digest_bytes: [u8; 8] = dec.take(8)?.try_into().expect("take(8) is 8 bytes");
+    let patterns_digest = u64::from_le_bytes(digest_bytes);
+    Ok(DecisionRecord {
+        schema_version,
+        ts_us,
+        trace_id,
+        parent_id,
+        source,
+        context,
+        mode,
+        energy_prior: flags & 1 != 0,
+        smoothing: flags >> 1 & 1 != 0,
+        subcell_refinement: flags >> 2 & 1 != 0,
+        replayable: flags >> 3 & 1 != 0,
+        has_estimate: flags >> 4 & 1 != 0,
+        fallback: flags >> 5 & 1 != 0,
+        has_oracle: flags >> 6 & 1 != 0,
+        patterns_digest,
+        probed: dec.varints()?,
+        snr_db: dec.f64s()?,
+        rssi_dbm: dec.f64s()?,
+        masked: dec.bools()?,
+        clamped: dec.bools()?,
+        p_snr: dec.f64s()?,
+        p_rssi: dec.f64s()?,
+        top_cells: dec.varints()?,
+        top_weights: dec.f64s()?,
+        energy_max: dec.f64()?,
+        est_az_deg: dec.f64()?,
+        est_el_deg: dec.f64()?,
+        score: dec.f64()?,
+        chosen_sector: dec.zigzag()?,
+        oracle_sector: dec.zigzag()?,
+        oracle_snr_db: dec.f64()?,
+        chosen_snr_db: dec.f64()?,
+        snr_loss_db: dec.f64()?,
+    })
+}
+
+fn encode_snapshot(s: &Snapshot, enc: &mut Enc) {
+    enc.varint(s.counters.len() as u64);
+    for (k, v) in &s.counters {
+        enc.str(k);
+        enc.varint(*v);
+    }
+    enc.varint(s.gauges.len() as u64);
+    for (k, v) in &s.gauges {
+        enc.str(k);
+        enc.zigzag(*v);
+    }
+    enc.varint(s.histograms.len() as u64);
+    for (k, h) in &s.histograms {
+        enc.str(k);
+        enc.varint(h.count);
+        enc.varint(h.sum);
+        enc.varint(h.max);
+        enc.varint(h.buckets.len() as u64);
+        for b in &h.buckets {
+            enc.varint(b.lo);
+            enc.varint(b.hi);
+            enc.varint(b.count);
+        }
+    }
+}
+
+fn decode_snapshot(dec: &mut Dec) -> DecodeResult<Snapshot> {
+    use crate::metrics::{Bucket, HistogramSnapshot};
+    let mut snapshot = Snapshot::default();
+    for _ in 0..dec.count(2)? {
+        let key = dec.str()?;
+        snapshot.counters.insert(key, dec.varint()?);
+    }
+    for _ in 0..dec.count(2)? {
+        let key = dec.str()?;
+        snapshot.gauges.insert(key, dec.zigzag()?);
+    }
+    for _ in 0..dec.count(4)? {
+        let key = dec.str()?;
+        let count = dec.varint()?;
+        let sum = dec.varint()?;
+        let max = dec.varint()?;
+        let buckets = (0..dec.count(3)?)
+            .map(|_| {
+                Ok(Bucket {
+                    lo: dec.varint()?,
+                    hi: dec.varint()?,
+                    count: dec.varint()?,
+                })
+            })
+            .collect::<DecodeResult<Vec<_>>>()?;
+        snapshot.histograms.insert(
+            key,
+            HistogramSnapshot {
+                count,
+                sum,
+                max,
+                buckets,
+            },
+        );
+    }
+    Ok(snapshot)
+}
+
+// ── Records and frames ──────────────────────────────────────────────────
+
+/// One record read from (or written to) a trace, format-agnostic: the
+/// same enum comes out of the JSONL and the binary streaming readers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceRecord {
+    /// A span / mark / anomaly event.
+    Event(Event),
+    /// A decision-provenance record (boxed — ~4× an event).
+    Decision(Box<DecisionRecord>),
+    /// A registry snapshot (normally the trace's closing record).
+    Snapshot(Snapshot),
+}
+
+fn encode_payload(record: &TraceRecord, enc: &mut Enc) -> u8 {
+    match record {
+        TraceRecord::Event(e) => {
+            encode_event(e, enc);
+            KIND_EVENT
+        }
+        TraceRecord::Decision(d) => {
+            encode_decision(d, enc);
+            KIND_DECISION
+        }
+        TraceRecord::Snapshot(s) => {
+            encode_snapshot(s, enc);
+            KIND_SNAPSHOT
+        }
+    }
+}
+
+/// Encodes one record as a complete standalone frame (marker through CRC,
+/// no interning — all strings inline), ready to append after the header.
+pub fn encode_frame(record: &TraceRecord) -> Vec<u8> {
+    let mut enc = Enc::default();
+    let kind = encode_payload(record, &mut enc);
+    frame_with(kind, SCHEMA_VERSION as u8, &enc.buf)
+}
+
+/// Builds a frame from raw parts (exposed so corruption tests can forge
+/// frames the writer would never produce).
+pub fn frame_with(kind: u8, version: u8, payload: &[u8]) -> Vec<u8> {
+    assert!(payload.len() <= MAX_RECORD_LEN, "record exceeds cap");
+    let mut head = Enc::default();
+    head.u8(kind);
+    head.u8(version);
+    head.varint(payload.len() as u64);
+    let mut out = Vec::with_capacity(payload.len() + head.buf.len() + 5);
+    out.push(MARKER);
+    out.extend_from_slice(&head.buf);
+    out.extend_from_slice(payload);
+    let crc = crc32(&out[1..]);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// The file header every binary trace starts with.
+pub fn file_header() -> Vec<u8> {
+    let mut out = Vec::with_capacity(12);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(SCHEMA_VERSION as u32).to_le_bytes());
+    out
+}
+
+fn decode_payload(kind: u8, payload: &[u8], table: &[String]) -> DecodeResult<TraceRecord> {
+    let mut dec = Dec::new(payload, table);
+    let record = match kind {
+        KIND_EVENT => TraceRecord::Event(decode_event(&mut dec)?),
+        KIND_DECISION => TraceRecord::Decision(Box::new(decode_decision(&mut dec)?)),
+        KIND_SNAPSHOT => TraceRecord::Snapshot(decode_snapshot(&mut dec)?),
+        other => return Err(format!("unknown record kind {other}")),
+    };
+    dec.finish()?;
+    Ok(record)
+}
+
+// ── Writer ──────────────────────────────────────────────────────────────
+
+/// The sink's state under one lock: output stream plus the interner whose
+/// ids the stream's frames reference.
+#[derive(Debug)]
+struct BinState {
+    out: BufWriter<File>,
+    intern: Interner,
+}
+
+/// Streaming binary trace writer: an [`EventSink`] that appends one frame
+/// per record through a `BufWriter` (preceded by strdef frames for any
+/// first-seen strings), so the recording hot path costs one encode plus a
+/// (usually buffered) memcpy. Write failures bump
+/// `health.trace_write_failed` and warn once — a full disk degrades the
+/// trace, it no longer silently loses provenance.
+#[derive(Debug)]
+pub struct BinSink {
+    state: Mutex<BinState>,
+}
+
+impl BinSink {
+    /// Creates (truncating) the binary trace file at `path` and writes the
+    /// magic + file-version header.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let mut out = BufWriter::new(File::create(path)?);
+        out.write_all(&file_header())?;
+        Ok(BinSink {
+            state: Mutex::new(BinState {
+                out,
+                intern: Interner::default(),
+            }),
+        })
+    }
+
+    /// Encodes and appends one record frame, preceded by strdef frames for
+    /// any strings this record interned first.
+    fn write_record(&self, what: &str, record: &TraceRecord) {
+        let mut state = self.state.lock();
+        let BinState { out, intern } = &mut *state;
+        let mut enc = Enc::interned(intern);
+        let kind = encode_payload(record, &mut enc);
+        let Enc { buf, defs, .. } = enc;
+        let mut result = Ok(());
+        for (id, s) in &defs {
+            let mut def = Enc::default();
+            def.varint(u64::from(*id));
+            def.buf.extend_from_slice(s.as_bytes());
+            let frame = frame_with(KIND_STRDEF, SCHEMA_VERSION as u8, &def.buf);
+            result = result.and_then(|()| out.write_all(&frame));
+        }
+        let frame = frame_with(kind, SCHEMA_VERSION as u8, &buf);
+        result = result.and_then(|()| out.write_all(&frame));
+        if let Err(e) = result {
+            note_write_error("BinSink", what, &e);
+        }
+    }
+}
+
+impl EventSink for BinSink {
+    fn emit(&self, event: &Event) {
+        self.write_record("event", &TraceRecord::Event(event.clone()));
+    }
+
+    fn emit_decision(&self, record: &DecisionRecord) {
+        self.write_record(
+            "decision record",
+            &TraceRecord::Decision(Box::new(record.clone())),
+        );
+    }
+
+    fn write_snapshot(&self, snapshot: &Snapshot) {
+        self.write_record("snapshot", &TraceRecord::Snapshot(snapshot.clone()));
+    }
+
+    fn flush(&self) {
+        if let Err(e) = self.state.lock().out.flush() {
+            note_write_error("BinSink", "buffered trace frames", &e);
+        }
+    }
+}
+
+// ── Reader ──────────────────────────────────────────────────────────────
+
+/// Bounded-memory streaming reader over any `BufRead` source.
+///
+/// Damage tolerance mirrors the JSONL parser: corrupt frames (bad CRC,
+/// insane length, truncated tail from a killed writer) are skipped and
+/// counted, never fatal. Version strictness also mirrors it: a file or a
+/// CRC-valid record stamped with a newer schema version is a hard error.
+#[derive(Debug)]
+pub struct BinReader<R: BufRead> {
+    input: R,
+    /// Interned strings, by id, accumulated from strdef frames.
+    table: Vec<String>,
+    table_bytes: usize,
+    skipped: usize,
+    /// Set once the underlying stream hits EOF.
+    done: bool,
+}
+
+/// The reader type [`BinReader::open`] returns for a trace file on disk.
+pub type FileBinReader = BinReader<BufReader<File>>;
+
+impl FileBinReader {
+    /// Opens a binary trace file, validating magic and file version.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, String> {
+        let path = path.as_ref();
+        let file = File::open(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        BinReader::from_reader(BufReader::new(file))
+    }
+}
+
+impl<R: BufRead> BinReader<R> {
+    /// Wraps a stream positioned at the file header.
+    pub fn from_reader(mut input: R) -> Result<Self, String> {
+        let mut header = [0u8; 12];
+        input
+            .read_exact(&mut header)
+            .map_err(|e| format!("binary trace header unreadable: {e}"))?;
+        if &header[..8] != MAGIC {
+            return Err("not a binary trace (bad magic)".into());
+        }
+        let version = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+        if u64::from(version) > SCHEMA_VERSION {
+            return Err(format!(
+                "trace schema_version {version} is newer than supported \
+                 version {SCHEMA_VERSION}; upgrade talon to read this trace"
+            ));
+        }
+        Ok(BinReader {
+            input,
+            table: Vec::new(),
+            table_bytes: 0,
+            skipped: 0,
+            done: false,
+        })
+    }
+
+    /// Frames skipped so far (CRC mismatches, truncated tails, resyncs,
+    /// records whose strdef frame was lost).
+    pub fn skipped(&self) -> usize {
+        self.skipped
+    }
+
+    /// Reads one byte; `None` at EOF.
+    fn read_byte(&mut self) -> Option<u8> {
+        let mut byte = [0u8; 1];
+        match self.input.read_exact(&mut byte) {
+            Ok(()) => Some(byte[0]),
+            Err(_) => {
+                self.done = true;
+                None
+            }
+        }
+    }
+
+    /// Scans forward to the next [`MARKER`] byte (already consumed), or
+    /// EOF. Called after losing framing; the caller has already counted
+    /// the skip.
+    fn resync(&mut self) {
+        while let Some(b) = self.read_byte() {
+            if b == MARKER {
+                return;
+            }
+        }
+    }
+
+    /// Applies one CRC-valid strdef payload to the table. Ids are
+    /// append-only: the next expected id extends the table, a re-send of
+    /// an existing id must match it exactly, anything else (gaps, alias
+    /// attempts, cap overflow) is corruption.
+    fn apply_strdef(&mut self, payload: &[u8]) -> DecodeResult<()> {
+        let mut dec = Dec::new(payload, &[]);
+        let id = dec.varint()? as usize;
+        let bytes = dec.take(payload.len() - dec.pos)?;
+        let s = std::str::from_utf8(bytes).map_err(|_| "invalid UTF-8 in strdef")?;
+        if id < self.table.len() {
+            return if self.table[id] == s {
+                Ok(())
+            } else {
+                Err(format!("strdef {id} redefines an existing string"))
+            };
+        }
+        if id != self.table.len() || id >= MAX_INTERNED {
+            return Err(format!("strdef id {id} out of sequence"));
+        }
+        if self.table_bytes + s.len() > MAX_INTERN_BYTES {
+            return Err("string table exceeds memory cap".into());
+        }
+        self.table_bytes += s.len();
+        self.table.push(s.to_string());
+        Ok(())
+    }
+
+    /// The next decoded record.
+    ///
+    /// `Ok(None)` at end of stream; `Err` only for the fatal
+    /// newer-schema-version case. Everything else is skip-and-count.
+    pub fn next_record(&mut self) -> Result<Option<TraceRecord>, String> {
+        let mut frame: Vec<u8> = Vec::new();
+        while !self.done {
+            // ── Marker ──
+            match self.read_byte() {
+                None => return Ok(None),
+                Some(MARKER) => {}
+                Some(_) => {
+                    // Lost framing (or garbage between frames): count one
+                    // skip for the damaged region and scan forward.
+                    self.skipped += 1;
+                    self.resync();
+                    if self.done {
+                        return Ok(None);
+                    }
+                }
+            }
+            // ── Head: kind, version, len varint ──
+            let mut head: Vec<u8> = Vec::with_capacity(5);
+            let mut truncated = false;
+            for _ in 0..2 {
+                match self.read_byte() {
+                    Some(b) => head.push(b),
+                    None => {
+                        truncated = true;
+                        break;
+                    }
+                }
+            }
+            let mut len = 0usize;
+            if !truncated {
+                let mut ok = false;
+                for group in 0..3u32 {
+                    let Some(b) = self.read_byte() else {
+                        truncated = true;
+                        break;
+                    };
+                    head.push(b);
+                    len |= ((b & 0x7F) as usize) << (7 * group);
+                    if b & 0x80 == 0 {
+                        ok = true;
+                        break;
+                    }
+                }
+                if !truncated && !ok {
+                    // A 4th length byte means > 2^21: corruption.
+                    self.skipped += 1;
+                    self.resync();
+                    continue;
+                }
+            }
+            if truncated {
+                // Truncated mid-head (killed writer): one dangling frame.
+                self.skipped += 1;
+                self.done = true;
+                return Ok(None);
+            }
+            if len > MAX_RECORD_LEN {
+                // An insane length is corruption, not an allocation
+                // request. Resync from here.
+                self.skipped += 1;
+                self.resync();
+                continue;
+            }
+            // ── Payload + CRC ──
+            frame.clear();
+            frame.resize(len + 4, 0);
+            if self.input.read_exact(&mut frame).is_err() {
+                self.skipped += 1;
+                self.done = true;
+                return Ok(None);
+            }
+            let (payload, crc_bytes) = frame.split_at(len);
+            let stored_crc = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+            let mut crc_input = Vec::with_capacity(head.len() + len);
+            crc_input.extend_from_slice(&head);
+            crc_input.extend_from_slice(payload);
+            if crc32(&crc_input) != stored_crc {
+                self.skipped += 1;
+                continue;
+            }
+            // CRC validated: the version byte is trustworthy, so a newer
+            // record really was written by a newer build — hard error.
+            let version = u64::from(head[1]);
+            if version > SCHEMA_VERSION {
+                return Err(format!(
+                    "trace record schema_version {version} is newer than supported \
+                     version {SCHEMA_VERSION}; upgrade talon to read this trace"
+                ));
+            }
+            if head[0] == KIND_STRDEF {
+                if self.apply_strdef(payload).is_err() {
+                    self.skipped += 1;
+                }
+                continue;
+            }
+            match decode_payload(head[0], payload, &self.table) {
+                Ok(record) => return Ok(Some(record)),
+                Err(_) => {
+                    // CRC-valid but undecodable (codec disagreement or a
+                    // reference to a lost strdef): skip, same accounting
+                    // as damage.
+                    self.skipped += 1;
+                    continue;
+                }
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Reads a whole binary trace into a [`Trace`] (the same structure the
+/// JSONL reader produces), skipping and counting damaged frames and
+/// bumping `health.trace_corrupt` for each. Prefer [`BinReader`] directly
+/// when the trace may not fit in memory (see `eval::soak`).
+pub fn read_trace(path: impl AsRef<Path>) -> Result<Trace, String> {
+    let mut reader = FileBinReader::open(path)?;
+    let mut trace = Trace::default();
+    while let Some(record) = reader.next_record()? {
+        trace.push(record);
+    }
+    trace.skipped = reader.skipped();
+    if trace.skipped > 0 {
+        crate::health::anomaly_n("trace_corrupt", trace.skipped as u64, &[]);
+    }
+    Ok(trace)
+}
+
+/// Whether the file at `path` starts with the binary trace magic.
+pub fn sniff(path: impl AsRef<Path>) -> std::io::Result<bool> {
+    let mut head = [0u8; 8];
+    let mut file = File::open(path)?;
+    match file.read_exact(&mut head) {
+        Ok(()) => Ok(&head == MAGIC),
+        // Shorter than a magic: whatever it is, it is not a binary trace.
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => Ok(false),
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_event() -> Event {
+        let mut fields = BTreeMap::new();
+        fields.insert("probes".to_string(), 14.0);
+        fields.insert("margin_db".to_string(), -2.5);
+        Event::span(12, "css.estimate", 34, fields).with_ids(7, 3, 1)
+    }
+
+    fn sample_decision() -> DecisionRecord {
+        let mut rec = DecisionRecord::new("css.select");
+        rec.mode = "joint".into();
+        rec.replayable = true;
+        rec.patterns_digest = 0xDEAD_BEEF_CAFE_F00D;
+        rec.push_probe(3, Some((12.5, -55.0)));
+        rec.push_probe(7, None);
+        rec.push_probe(9, Some((60.0, -30.0)));
+        rec.p_snr = vec![19.5, 67.0];
+        rec.p_rssi = vec![5.0, 30.0];
+        rec.top_cells = vec![42, 41];
+        rec.top_weights = vec![0.93, 0.91];
+        rec.has_estimate = true;
+        rec.est_az_deg = -24.371;
+        rec.est_el_deg = 1.25;
+        rec.score = 0.93;
+        rec.chosen_sector = 9;
+        rec.set_oracle(&[(3, 18.0), (9, 15.5)], 9);
+        rec
+    }
+
+    /// Round-trips one record through a standalone (uninterned) frame via
+    /// the real streaming reader.
+    fn roundtrip(record: &TraceRecord) -> TraceRecord {
+        let mut bytes = file_header();
+        bytes.extend_from_slice(&encode_frame(record));
+        let mut reader = BinReader::from_reader(std::io::Cursor::new(bytes)).expect("header");
+        let out = reader
+            .next_record()
+            .expect("no fatal error")
+            .expect("one record");
+        assert!(reader.next_record().expect("clean tail").is_none());
+        assert_eq!(reader.skipped(), 0);
+        out
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The canonical IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn event_round_trips_bit_exactly() {
+        let e = sample_event();
+        let TraceRecord::Event(back) = roundtrip(&TraceRecord::Event(e.clone())) else {
+            panic!("wrong kind");
+        };
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn decision_round_trips_bit_exactly() {
+        let d = sample_decision();
+        let TraceRecord::Decision(back) = roundtrip(&TraceRecord::Decision(Box::new(d.clone())))
+        else {
+            panic!("wrong kind");
+        };
+        assert_eq!(*back, d);
+        assert_eq!(back.est_az_deg.to_bits(), d.est_az_deg.to_bits());
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let reg = crate::Registry::new();
+        reg.counter("css.estimates").add(5);
+        reg.gauge("wil.ring.occupancy").set(-12);
+        reg.histogram("sls.run.dur_us").record(1500);
+        let s = reg.snapshot();
+        let TraceRecord::Snapshot(back) = roundtrip(&TraceRecord::Snapshot(s.clone())) else {
+            panic!("wrong kind");
+        };
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn varint_and_zigzag_extremes() {
+        let mut enc = Enc::default();
+        enc.varint(0);
+        enc.varint(u64::MAX);
+        enc.zigzag(i64::MIN);
+        enc.zigzag(i64::MAX);
+        enc.zigzag(-1);
+        let mut dec = Dec::new(&enc.buf, &[]);
+        assert_eq!(dec.varint().unwrap(), 0);
+        assert_eq!(dec.varint().unwrap(), u64::MAX);
+        assert_eq!(dec.zigzag().unwrap(), i64::MIN);
+        assert_eq!(dec.zigzag().unwrap(), i64::MAX);
+        assert_eq!(dec.zigzag().unwrap(), -1);
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn f64_vectors_round_trip_bit_exactly() {
+        // Quantized quarter-steps, full-precision runs, extremes, and
+        // negative zero (which must not take the quarter-int path).
+        let vectors: Vec<Vec<f64>> = vec![
+            vec![],
+            vec![0.0, -7.0, -6.75, 12.25, 55.75, -128.0],
+            vec![0.209_633_8, 0.207_1, 0.207_1, 0.198_4],
+            vec![f64::MAX, f64::MIN, f64::MIN_POSITIVE, f64::EPSILON],
+            vec![-0.0, 0.0, 1.0e300, -1.0e-300],
+        ];
+        for vs in vectors {
+            let mut enc = Enc::default();
+            enc.f64s(&vs);
+            let mut dec = Dec::new(&enc.buf, &[]);
+            let back = dec.f64s().unwrap();
+            dec.finish().unwrap();
+            let bits: Vec<u64> = vs.iter().map(|v| v.to_bits()).collect();
+            let back_bits: Vec<u64> = back.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(bits, back_bits, "{vs:?}");
+        }
+    }
+
+    #[test]
+    fn bool_packing_round_trips_awkward_lengths() {
+        for n in [0usize, 1, 7, 8, 9, 14, 16, 33] {
+            let vs: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+            let mut enc = Enc::default();
+            enc.bools(&vs);
+            let mut dec = Dec::new(&enc.buf, &[]);
+            assert_eq!(dec.bools().unwrap(), vs, "n={n}");
+            dec.finish().unwrap();
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_a_decode_error() {
+        let mut enc = Enc::default();
+        encode_event(&sample_event(), &mut enc);
+        enc.u8(0xFF); // one stray trailing byte
+        assert!(decode_payload(KIND_EVENT, &enc.buf, &[]).is_err());
+    }
+
+    #[test]
+    fn interned_streams_round_trip_and_shrink() {
+        // Two records sharing strings: the second frame references the
+        // first's strdefs and must round-trip identically.
+        let mut intern = Interner::default();
+        let e = sample_event();
+        let mut bytes = file_header();
+        let mut sizes = Vec::new();
+        for _ in 0..2 {
+            let mut enc = Enc::interned(&mut intern);
+            encode_event(&e, &mut enc);
+            let Enc { buf, defs, .. } = enc;
+            for (id, s) in defs {
+                let mut def = Enc::default();
+                def.varint(u64::from(id));
+                def.buf.extend_from_slice(s.as_bytes());
+                bytes.extend_from_slice(&frame_with(KIND_STRDEF, SCHEMA_VERSION as u8, &def.buf));
+            }
+            sizes.push(buf.len());
+            bytes.extend_from_slice(&frame_with(KIND_EVENT, SCHEMA_VERSION as u8, &buf));
+        }
+        let mut inline = Enc::default();
+        encode_event(&e, &mut inline);
+        assert!(
+            sizes[0] == sizes[1] && sizes[1] < inline.buf.len(),
+            "interned payloads must be stable and smaller than inline: \
+             {sizes:?} vs {}",
+            inline.buf.len()
+        );
+        let mut reader = BinReader::from_reader(std::io::Cursor::new(bytes)).unwrap();
+        for _ in 0..2 {
+            let TraceRecord::Event(back) = reader.next_record().unwrap().unwrap() else {
+                panic!("wrong kind");
+            };
+            assert_eq!(back, e);
+        }
+        assert!(reader.next_record().unwrap().is_none());
+        assert_eq!(reader.skipped(), 0);
+    }
+
+    #[test]
+    fn binary_decision_is_much_smaller_than_jsonl() {
+        // The shape of a real replayable `css.select` record (M=14 lab
+        // sweep): firmware-quantized quarter-dB readings and kernel
+        // vectors, full-precision weights and estimator outputs.
+        let mut d = DecisionRecord::new("css.select");
+        d.context = "scenario=lab,fidelity=fast,seed=7".into();
+        d.mode = "joint".into();
+        d.energy_prior = true;
+        d.smoothing = true;
+        d.subcell_refinement = true;
+        d.patterns_digest = 599_070_852_699_260_445;
+        d.replayable = true;
+        for (i, s) in [2u64, 3, 6, 10, 11, 13, 17, 20, 25, 29, 31, 62, 63]
+            .into_iter()
+            .enumerate()
+        {
+            let snr = -7.0 + f64::from(i as u32) * 0.75;
+            d.push_probe(s, Some((snr, -67.0 + f64::from(i as u32))));
+        }
+        d.p_snr = d.snr_db.iter().map(|s| (s + 7.0).max(0.0)).collect();
+        d.p_rssi = d.rssi_dbm.iter().map(|r| r + 72.25).collect();
+        d.top_cells = vec![16, 41, 15, 40, 17, 7, 66, 8];
+        d.top_weights = (0..8)
+            .map(|i| 0.209_633_842_341_586_36 - f64::from(i) * 0.010_215_973)
+            .collect();
+        d.energy_max = 28.757_094_535_281_396;
+        d.has_estimate = true;
+        d.est_az_deg = 28.988_257_190_257_2;
+        d.score = 0.209_633_842_341_586_36;
+        d.chosen_sector = 21;
+        d.set_oracle(&[(21, 18.620_452_248_893_272)], 21);
+        let jsonl = d.to_line().to_json().len() + 1;
+        // Steady-state size: strings already interned (their one-time
+        // strdef cost amortizes to nothing over a soak trace).
+        let mut intern = Interner::default();
+        let mut warm = Enc::interned(&mut intern);
+        encode_decision(&d, &mut warm);
+        let mut enc = Enc::interned(&mut intern);
+        encode_decision(&d, &mut enc);
+        let binary = frame_with(KIND_DECISION, SCHEMA_VERSION as u8, &enc.buf).len();
+        assert!(
+            jsonl >= 5 * binary,
+            "expected ≥5× shrink on a steady-state decision record, \
+             got {jsonl} vs {binary}"
+        );
+    }
+}

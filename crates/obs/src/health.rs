@@ -43,6 +43,16 @@ pub fn anomaly(kind: &'static str, fields: &[(&str, f64)]) {
     anomaly_n(kind, 1, fields);
 }
 
+/// Counter-only accounting: bumps `health.<kind>` by `n` without emitting
+/// an anomaly event even while a sink records. This is the reporting path
+/// for findings *about the sink itself* (e.g. `trace_write_failed`) —
+/// routing an event through a sink that is failing to write would recurse.
+pub fn tally(kind: &'static str, n: u64) {
+    if n > 0 {
+        health_counter(kind).add(n);
+    }
+}
+
 /// Like [`anomaly`], but accounts for `n` occurrences at once (e.g. the
 /// malformed-line tally from one trace file). Bumps the counter by `n` and
 /// emits a single event carrying `count` alongside `fields`.
@@ -86,6 +96,7 @@ pub const KNOWN_KINDS: &[&str] = &[
     "link_outage",
     "airtime_saturated",
     "trace_corrupt",
+    "trace_write_failed",
     "link_drift",
     "misselection",
 ];

@@ -8,12 +8,26 @@
 //! a line stamped with a `schema_version` newer than this build knows is a
 //! hard error, because silently misparsing a future schema is worse than
 //! refusing it.
+//!
+//! Reading streams line-by-line through [`JsonlReader`] in bounded memory
+//! (a multi-GB trace used to be slurped whole into a `String`, which OOMed
+//! `talon report`); even a single pathological multi-gigabyte *line* is
+//! bounded by [`LINE_CAP`] — the excess is drained and the line skipped,
+//! exactly like any other damage.
 
+use crate::binfmt::TraceRecord;
 use crate::decision::{DecisionRecord, SCHEMA_VERSION};
 use crate::event::Event;
 use crate::registry::Snapshot;
 use serde::{Deserialize, Value};
+use std::fs::File;
+use std::io::{BufRead, BufReader};
 use std::path::Path;
+
+/// Upper bound on one trace line. A line longer than this cannot come from
+/// the workspace's writers (the largest decision record is a few KB) and
+/// is treated as damage: skipped and counted, never buffered whole.
+pub const LINE_CAP: usize = 1 << 20;
 
 /// Everything parsed from a trace file.
 #[derive(Debug, Clone, Default)]
@@ -44,18 +58,190 @@ impl Trace {
         }
         out
     }
+
+    /// Files one record into the matching collection.
+    pub(crate) fn push(&mut self, record: TraceRecord) {
+        match record {
+            TraceRecord::Event(e) => self.events.push(e),
+            TraceRecord::Decision(d) => self.decisions.push(*d),
+            TraceRecord::Snapshot(s) => self.snapshot = Some(s),
+        }
+    }
 }
 
-/// Parses a JSONL trace file. Blank lines are ignored; malformed lines are
-/// skipped and counted in [`Trace::skipped`], and each skip bumps the
-/// `health.trace_corrupt` counter. Failing to read the file, or finding a
-/// line written under a newer schema than this build understands, is an
-/// error.
+/// One line's parse outcome: a record, or skippable damage.
+enum Line {
+    Record(TraceRecord),
+    Skip,
+}
+
+/// Parses one non-blank trace line. `Err` is reserved for the fatal
+/// newer-schema case (the caller prefixes the line number); all damage is
+/// `Ok(Line::Skip)`.
+fn parse_line(line: &str) -> Result<Line, String> {
+    let Ok(value) = Value::from_json(line) else {
+        return Ok(Line::Skip);
+    };
+    if let Some(version) = value.get("schema_version").and_then(Value::as_u64) {
+        if version > SCHEMA_VERSION {
+            return Err(format!(
+                "schema_version {version} is newer than supported \
+                 version {SCHEMA_VERSION}; upgrade talon to read this trace"
+            ));
+        }
+    }
+    Ok(match value.get("kind").and_then(Value::as_str) {
+        Some("snapshot") => match value.get("snapshot").map(Snapshot::deserialize) {
+            Some(Ok(snap)) => Line::Record(TraceRecord::Snapshot(snap)),
+            _ => Line::Skip,
+        },
+        Some("decision") => match DecisionRecord::deserialize(&value) {
+            Ok(record) => Line::Record(TraceRecord::Decision(Box::new(record))),
+            Err(_) => Line::Skip,
+        },
+        Some(_) => match Event::deserialize(&value) {
+            Ok(event) => Line::Record(TraceRecord::Event(event)),
+            Err(_) => Line::Skip,
+        },
+        None => Line::Skip,
+    })
+}
+
+/// Streaming JSONL trace reader: one record at a time, bounded memory.
+///
+/// The counterpart of [`crate::binfmt::BinReader`] for the text format;
+/// [`crate::trace::open_reader`] picks between them by sniffing the file.
+#[derive(Debug)]
+pub struct JsonlReader<R: BufRead> {
+    input: R,
+    line: Vec<u8>,
+    line_no: usize,
+    skipped: usize,
+}
+
+/// The reader type [`JsonlReader::open`] returns for a file on disk.
+pub type FileJsonlReader = JsonlReader<BufReader<File>>;
+
+impl FileJsonlReader {
+    /// Opens a JSONL trace file for streaming.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, String> {
+        let path = path.as_ref();
+        let file = File::open(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Ok(JsonlReader::from_reader(BufReader::new(file)))
+    }
+}
+
+/// One capped line read: the line's bytes (without the newline), or a flag
+/// that it blew [`LINE_CAP`] and was drained.
+enum RawLine {
+    Eof,
+    Line,
+    Overlong,
+}
+
+impl<R: BufRead> JsonlReader<R> {
+    /// Wraps any buffered stream of JSONL trace lines.
+    pub fn from_reader(input: R) -> Self {
+        JsonlReader {
+            input,
+            line: Vec::new(),
+            line_no: 0,
+            skipped: 0,
+        }
+    }
+
+    /// Lines skipped so far (malformed, truncated, or overlong).
+    pub fn skipped(&self) -> usize {
+        self.skipped
+    }
+
+    /// Reads the next line into `self.line` without ever buffering more
+    /// than [`LINE_CAP`] bytes: an overlong line's tail is drained chunk
+    /// by chunk and discarded.
+    fn read_line(&mut self) -> RawLine {
+        self.line.clear();
+        let mut overlong = false;
+        loop {
+            let chunk = match self.input.fill_buf() {
+                Ok(chunk) => chunk,
+                // Read errors mid-file behave like EOF: keep what parsed.
+                Err(_) => return RawLine::Eof,
+            };
+            if chunk.is_empty() {
+                return if overlong {
+                    RawLine::Overlong
+                } else if self.line.is_empty() {
+                    RawLine::Eof
+                } else {
+                    RawLine::Line
+                };
+            }
+            let newline = chunk.iter().position(|&b| b == b'\n');
+            let take = newline.unwrap_or(chunk.len());
+            if !overlong {
+                if self.line.len() + take > LINE_CAP {
+                    overlong = true;
+                    self.line.clear();
+                } else {
+                    self.line.extend_from_slice(&chunk[..take]);
+                }
+            }
+            let consumed = newline.map_or(take, |i| i + 1);
+            self.input.consume(consumed);
+            if newline.is_some() {
+                return if overlong {
+                    RawLine::Overlong
+                } else {
+                    RawLine::Line
+                };
+            }
+        }
+    }
+
+    /// The next decoded record.
+    ///
+    /// `Ok(None)` at end of file; `Err` only for the fatal newer-schema
+    /// case, naming the offending line. Damage is skip-and-count.
+    pub fn next_record(&mut self) -> Result<Option<TraceRecord>, String> {
+        loop {
+            self.line_no += 1;
+            match self.read_line() {
+                RawLine::Eof => return Ok(None),
+                RawLine::Overlong => {
+                    self.skipped += 1;
+                    continue;
+                }
+                RawLine::Line => {}
+            }
+            let Ok(line) = std::str::from_utf8(&self.line) else {
+                self.skipped += 1;
+                continue;
+            };
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            match parse_line(line) {
+                Ok(Line::Record(record)) => return Ok(Some(record)),
+                Ok(Line::Skip) => self.skipped += 1,
+                Err(e) => return Err(format!("trace line {}: {e}", self.line_no)),
+            }
+        }
+    }
+}
+
+/// Parses a JSONL trace file, streaming line-by-line in bounded memory.
+/// Blank lines are ignored; malformed lines are skipped and counted in
+/// [`Trace::skipped`], and each skip bumps the `health.trace_corrupt`
+/// counter. Failing to read the file, or finding a line written under a
+/// newer schema than this build understands, is an error.
 pub fn read_trace(path: impl AsRef<Path>) -> Result<Trace, String> {
-    let path = path.as_ref();
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-    let trace = parse_trace(&text)?;
+    let mut reader = FileJsonlReader::open(path)?;
+    let mut trace = Trace::default();
+    while let Some(record) = reader.next_record()? {
+        trace.push(record);
+    }
+    trace.skipped = reader.skipped();
     if trace.skipped > 0 {
         crate::health::anomaly_n("trace_corrupt", trace.skipped as u64, &[]);
     }
@@ -69,40 +255,18 @@ pub fn read_trace(path: impl AsRef<Path>) -> Result<Trace, String> {
 ///
 /// Returns an error — rather than skipping — when a line declares a
 /// `schema_version` greater than [`SCHEMA_VERSION`]: the file was written
-/// by a newer build and this reader would misinterpret it.
+/// by a newer build and this reader would misinterpret it. The error names
+/// the offending (1-based) line.
 pub fn parse_trace(text: &str) -> Result<Trace, String> {
     let mut trace = Trace::default();
-    for line in text.lines() {
+    for (i, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() {
             continue;
         }
-        let Ok(value) = Value::from_json(line) else {
-            trace.skipped += 1;
-            continue;
-        };
-        if let Some(version) = value.get("schema_version").and_then(Value::as_u64) {
-            if version > SCHEMA_VERSION {
-                return Err(format!(
-                    "trace schema_version {version} is newer than supported \
-                     version {SCHEMA_VERSION}; upgrade talon to read this trace"
-                ));
-            }
-        }
-        match value.get("kind").and_then(Value::as_str) {
-            Some("snapshot") => match value.get("snapshot").map(Snapshot::deserialize) {
-                Some(Ok(snap)) => trace.snapshot = Some(snap),
-                _ => trace.skipped += 1,
-            },
-            Some("decision") => match DecisionRecord::deserialize(&value) {
-                Ok(record) => trace.decisions.push(record),
-                Err(_) => trace.skipped += 1,
-            },
-            Some(_) => match Event::deserialize(&value) {
-                Ok(event) => trace.events.push(event),
-                Err(_) => trace.skipped += 1,
-            },
-            None => trace.skipped += 1,
+        match parse_line(line).map_err(|e| format!("trace line {}: {e}", i + 1))? {
+            Line::Record(record) => trace.push(record),
+            Line::Skip => trace.skipped += 1,
         }
     }
     Ok(trace)
@@ -154,15 +318,17 @@ mod tests {
     }
 
     #[test]
-    fn newer_schema_version_is_rejected_with_a_clear_error() {
+    fn newer_schema_version_is_rejected_naming_the_line() {
         let newer = SCHEMA_VERSION + 1;
         let text = format!(
-            "{{\"schema_version\":{newer},\"ts_us\":1,\"kind\":\"mark\",\
+            "{{\"ts_us\":1,\"kind\":\"mark\",\"stage\":\"ok\",\"dur_us\":0,\"fields\":{{}}}}\n\
+             {{\"schema_version\":{newer},\"ts_us\":2,\"kind\":\"mark\",\
              \"stage\":\"ok\",\"dur_us\":0,\"fields\":{{}}}}\n"
         );
         let err = parse_trace(&text).unwrap_err();
         assert!(err.contains(&format!("schema_version {newer}")), "{err}");
         assert!(err.contains("newer than supported"), "{err}");
+        assert!(err.contains("trace line 2"), "{err}");
     }
 
     #[test]
@@ -191,5 +357,43 @@ mod tests {
             before + 2
         );
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn overlong_lines_are_drained_skipped_and_counted() {
+        // One pathological line far past LINE_CAP between two good lines:
+        // reading stays bounded, the monster is skipped, neighbors parse.
+        let good = "{\"ts_us\":1,\"kind\":\"mark\",\"stage\":\"ok\",\"dur_us\":0,\"fields\":{}}";
+        let mut text = String::with_capacity(LINE_CAP + 2048);
+        text.push_str(good);
+        text.push('\n');
+        text.push_str("{\"ts_us\":2,\"kind\":\"mark\",\"stage\":\"");
+        for _ in 0..(LINE_CAP / 8 + 1) {
+            text.push_str("aaaaaaaa");
+        }
+        text.push_str("\",\"dur_us\":0,\"fields\":{}}\n");
+        text.push_str(good);
+        text.push('\n');
+        let mut reader = JsonlReader::from_reader(text.as_bytes());
+        let mut events = 0;
+        while let Some(record) = reader.next_record().unwrap() {
+            assert!(matches!(record, TraceRecord::Event(_)));
+            events += 1;
+        }
+        assert_eq!(events, 2);
+        assert_eq!(reader.skipped(), 1);
+    }
+
+    #[test]
+    fn overlong_final_line_without_newline_is_skipped() {
+        let mut text = String::new();
+        text.push_str(
+            "{\"ts_us\":1,\"kind\":\"mark\",\"stage\":\"ok\",\"dur_us\":0,\"fields\":{}}\n",
+        );
+        text.push_str(&"x".repeat(LINE_CAP + 9));
+        let mut reader = JsonlReader::from_reader(text.as_bytes());
+        assert!(reader.next_record().unwrap().is_some());
+        assert!(reader.next_record().unwrap().is_none());
+        assert_eq!(reader.skipped(), 1);
     }
 }

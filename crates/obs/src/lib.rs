@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod binfmt;
 pub mod decision;
 pub mod event;
 pub mod health;
@@ -44,6 +45,7 @@ pub mod span;
 pub mod trace;
 pub mod tree;
 
+pub use binfmt::{BinReader, BinSink, TraceRecord};
 pub use decision::DecisionRecord;
 pub use event::Event;
 pub use metrics::{Bucket, Counter, Gauge, Histogram, HistogramSnapshot};
@@ -53,7 +55,8 @@ pub use serve::MetricsServer;
 pub use sink::{clear_sink, set_sink, sink_active, EventSink, JsonlSink, MemorySink, NoopSink};
 pub use span::{span, Span};
 pub use trace::{
-    current_context, current_ids, reserve_trace_ids, with_context, Captured, TraceContext,
+    current_context, current_ids, open_reader, open_trace, reserve_trace_ids, with_context,
+    Captured, TraceContext, TraceReader,
 };
 
 use std::sync::OnceLock;

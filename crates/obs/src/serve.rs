@@ -7,8 +7,9 @@
 //! thread promptly without needing a self-connect trick.
 //!
 //! This is a diagnostics endpoint, not a web server: one connection is
-//! served at a time, requests are read with a short timeout, and anything
-//! that is not `GET /metrics` (or `GET /`) gets a 404.
+//! served at a time, each under a hard wall-clock deadline
+//! ([`CONNECTION_DEADLINE`]) so a slow or stalled client cannot wedge the
+//! loop, and anything that is not `GET /metrics` (or `GET /`) gets a 404.
 
 use crate::prometheus;
 use std::io::{Read, Write};
@@ -16,7 +17,16 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Total wall-clock budget for one connection (read + respond). The server
+/// handles connections inline on its single thread, so without a *total*
+/// bound a client trickling one byte per read-timeout window could hold
+/// the endpoint — and `Drop`'s join — hostage for minutes.
+const CONNECTION_DEADLINE: Duration = Duration::from_secs(2);
+
+/// Poll granularity for the read loop's deadline / stop-flag checks.
+const READ_POLL: Duration = Duration::from_millis(100);
 
 /// A running metrics endpoint; stops when dropped.
 #[derive(Debug)]
@@ -64,8 +74,10 @@ fn accept_loop(listener: TcpListener, stop: &AtomicBool) {
         match listener.accept() {
             Ok((stream, _)) => {
                 // Serve inline: metrics scrapes are small and rare, so a
-                // per-connection thread would be pure overhead.
-                let _ = serve_connection(stream);
+                // per-connection thread would be pure overhead. The
+                // deadline inside bounds how long one client can occupy
+                // the loop; the stop flag cuts even that short.
+                let _ = serve_connection(stream, stop);
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(10));
@@ -75,10 +87,12 @@ fn accept_loop(listener: TcpListener, stop: &AtomicBool) {
     }
 }
 
-fn serve_connection(mut stream: TcpStream) -> std::io::Result<()> {
+fn serve_connection(mut stream: TcpStream, stop: &AtomicBool) -> std::io::Result<()> {
+    let deadline = Instant::now() + CONNECTION_DEADLINE;
     stream.set_nonblocking(false)?;
-    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
-    let request_line = read_request_line(&mut stream)?;
+    stream.set_read_timeout(Some(READ_POLL))?;
+    stream.set_write_timeout(Some(CONNECTION_DEADLINE))?;
+    let request_line = read_request_line(&mut stream, deadline, stop)?;
     let path = request_line.split_whitespace().nth(1).unwrap_or("/");
     let (status, body) = if path == "/metrics" || path == "/" {
         ("200 OK", prometheus::render(&crate::global().snapshot()))
@@ -98,13 +112,34 @@ fn serve_connection(mut stream: TcpStream) -> std::io::Result<()> {
 /// returns the first line. Draining the whole head matters: closing the
 /// socket with unread bytes pending makes the kernel send RST instead of
 /// FIN, which resets the client before it reads the response.
-fn read_request_line(stream: &mut TcpStream) -> std::io::Result<String> {
+///
+/// The loop re-checks the connection deadline and the server stop flag at
+/// [`READ_POLL`] granularity, so a client that stalls mid-request is cut
+/// off at the deadline (it gets an RST, which it earned) and shutdown
+/// never waits on a straggler.
+fn read_request_line(
+    stream: &mut TcpStream,
+    deadline: Instant,
+    stop: &AtomicBool,
+) -> std::io::Result<String> {
     let mut head = Vec::with_capacity(256);
     let mut byte = [0u8; 1];
     while head.len() < 8192 && !head.ends_with(b"\r\n\r\n") && !head.ends_with(b"\n\n") {
+        if stop.load(Ordering::Acquire) || Instant::now() >= deadline {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "request head not received within the connection deadline",
+            ));
+        }
         match stream.read(&mut byte) {
             Ok(0) => break,
             Ok(_) => head.push(byte[0]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Read-timeout tick: loop to re-check deadline and stop.
+            }
             Err(e) => return Err(e),
         }
     }
@@ -136,6 +171,38 @@ mod tests {
         assert!(
             response.contains("talon_serve_test_requests_total 7"),
             "{response}"
+        );
+    }
+
+    #[test]
+    fn slow_client_cannot_stall_other_scrapes_or_shutdown() {
+        crate::counter("serve.test.slow").add(1);
+        let server = MetricsServer::start("127.0.0.1:0").expect("bind");
+        let addr = server.local_addr();
+        // A slow-loris: opens a connection, sends a partial request head,
+        // and never finishes it. The old per-read timeout reset on every
+        // byte, so this held the single serving thread indefinitely.
+        let mut loris = TcpStream::connect(addr).expect("connect");
+        write!(loris, "GET /metrics HTTP/1.1\r\n").unwrap();
+        let start = Instant::now();
+        let response = get(addr, "/metrics");
+        assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "{response}");
+        assert!(
+            start.elapsed() < CONNECTION_DEADLINE + Duration::from_secs(2),
+            "healthy scrape waited {:?} behind a stalled client",
+            start.elapsed()
+        );
+        // And shutdown must not wait out a second straggler's deadline:
+        // the stop flag is polled inside the read loop.
+        let mut loris2 = TcpStream::connect(addr).expect("connect");
+        write!(loris2, "GET /").unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        let start = Instant::now();
+        drop(server);
+        assert!(
+            start.elapsed() < Duration::from_secs(1),
+            "drop waited {:?} on a stalled client",
+            start.elapsed()
         );
     }
 

@@ -24,8 +24,30 @@ pub trait EventSink: Send + Sync {
     /// event-only sinks need no changes).
     fn emit_decision(&self, _record: &DecisionRecord) {}
 
+    /// Appends a final registry-snapshot record (dropped by default).
+    /// File-backed sinks write it as the closing line/frame of the trace
+    /// so `talon report` can render counters and histograms offline.
+    fn write_snapshot(&self, _snapshot: &Snapshot) {}
+
     /// Flushes buffered output (no-op by default).
     fn flush(&self) {}
+}
+
+/// Accounts for one failed trace write: bumps `health.trace_write_failed`
+/// and warns to stderr the first time (once per process). Deliberately
+/// counter-only — emitting an anomaly *event* from here would re-enter the
+/// failing sink and recurse. Losing provenance silently is the bug this
+/// exists to fix (a full disk used to drop decision records with no
+/// signal at all).
+pub(crate) fn note_write_error(sink: &str, what: &str, err: &std::io::Error) {
+    crate::health::tally("trace_write_failed", 1);
+    static WARNED: AtomicBool = AtomicBool::new(false);
+    if !WARNED.swap(true, Ordering::Relaxed) {
+        eprintln!(
+            "warning: {sink}: writing {what} failed: {err}; trace output is \
+             incomplete (further failures only bump health.trace_write_failed)"
+        );
+    }
 }
 
 /// Discards everything.
@@ -59,14 +81,27 @@ impl MemorySink {
         std::mem::take(&mut self.decisions.lock())
     }
 
-    /// Number of buffered events.
+    /// Total buffered records: events *and* decision records. (This used
+    /// to count events only, so a sink holding nothing but decisions
+    /// reported itself empty.)
     pub fn len(&self) -> usize {
+        self.events.lock().len() + self.decisions.lock().len()
+    }
+
+    /// Number of buffered events alone.
+    pub fn events_len(&self) -> usize {
         self.events.lock().len()
     }
 
-    /// Whether nothing has been captured.
+    /// Number of buffered decision records alone.
+    pub fn decisions_len(&self) -> usize {
+        self.decisions.lock().len()
+    }
+
+    /// Whether nothing at all — no event, no decision record — has been
+    /// captured.
     pub fn is_empty(&self) -> bool {
-        self.events.lock().is_empty()
+        self.events.lock().is_empty() && self.decisions.lock().is_empty()
     }
 }
 
@@ -94,17 +129,11 @@ impl JsonlSink {
         })
     }
 
-    /// Appends a final registry-snapshot line:
-    /// `{"schema_version":2,"kind":"snapshot","ts_us":...,"snapshot":{...}}`.
-    pub fn write_snapshot(&self, snapshot: &Snapshot) {
-        let line = Value::Map(vec![
-            ("schema_version".into(), Value::U64(SCHEMA_VERSION)),
-            ("kind".into(), Value::Str("snapshot".into())),
-            ("ts_us".into(), Value::U64(crate::now_us())),
-            ("snapshot".into(), snapshot.serialize()),
-        ]);
+    fn write_line(&self, what: &str, line: &Value) {
         let mut out = self.out.lock();
-        let _ = writeln!(out, "{}", line.to_json());
+        if let Err(e) = writeln!(out, "{}", line.to_json()) {
+            note_write_error("JsonlSink", what, &e);
+        }
     }
 }
 
@@ -116,23 +145,57 @@ fn stamp_version(line: &mut Value) {
     }
 }
 
+/// The snapshot line object: the closing record of a JSONL trace.
+fn snapshot_line(snapshot: &Snapshot, ts_us: u64) -> Value {
+    Value::Map(vec![
+        ("schema_version".into(), Value::U64(SCHEMA_VERSION)),
+        ("kind".into(), Value::Str("snapshot".into())),
+        ("ts_us".into(), Value::U64(ts_us)),
+        ("snapshot".into(), snapshot.serialize()),
+    ])
+}
+
+/// The exact JSON line object [`JsonlSink`] writes for one record.
+///
+/// Exposed so JSONL size accounting (the soak harness's compression-ratio
+/// metric) agrees with the real writer byte for byte. `snapshot_ts_us`
+/// stamps a snapshot record's line (binary traces do not store one).
+pub fn record_line(record: &crate::binfmt::TraceRecord, snapshot_ts_us: u64) -> Value {
+    use crate::binfmt::TraceRecord;
+    match record {
+        TraceRecord::Event(e) => {
+            let mut line = e.serialize();
+            stamp_version(&mut line);
+            line
+        }
+        TraceRecord::Decision(d) => d.to_line(),
+        TraceRecord::Snapshot(s) => snapshot_line(s, snapshot_ts_us),
+    }
+}
+
 impl EventSink for JsonlSink {
     fn emit(&self, event: &Event) {
         let mut line = event.serialize();
         stamp_version(&mut line);
-        let mut out = self.out.lock();
-        let _ = writeln!(out, "{}", line.to_json());
+        self.write_line("event", &line);
     }
 
     fn emit_decision(&self, record: &DecisionRecord) {
         // Decision records already carry `schema_version` as a struct
         // field; `to_line` adds the `"kind":"decision"` discriminator.
-        let mut out = self.out.lock();
-        let _ = writeln!(out, "{}", record.to_line().to_json());
+        self.write_line("decision record", &record.to_line());
+    }
+
+    /// Appends a final registry-snapshot line:
+    /// `{"schema_version":2,"kind":"snapshot","ts_us":...,"snapshot":{...}}`.
+    fn write_snapshot(&self, snapshot: &Snapshot) {
+        self.write_line("snapshot", &snapshot_line(snapshot, crate::now_us()));
     }
 
     fn flush(&self) {
-        let _ = self.out.lock().flush();
+        if let Err(e) = self.out.lock().flush() {
+            note_write_error("JsonlSink", "buffered trace lines", &e);
+        }
     }
 }
 
@@ -217,6 +280,25 @@ mod tests {
         let events = sink.take();
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].stage, "test.stage");
+    }
+
+    #[test]
+    fn memory_sink_counts_decisions_as_well_as_events() {
+        let sink = MemorySink::new();
+        assert!(sink.is_empty());
+        sink.emit_decision(&DecisionRecord::new("css.select"));
+        // A sink holding only decision records is not empty (len/is_empty
+        // used to look at events alone).
+        assert!(!sink.is_empty());
+        assert_eq!(sink.len(), 1);
+        assert_eq!(sink.events_len(), 0);
+        assert_eq!(sink.decisions_len(), 1);
+        sink.emit(&Event::mark(3, "test.mark", BTreeMap::new()));
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.events_len(), 1);
+        sink.take_decisions();
+        assert_eq!(sink.len(), 1);
+        assert!(!sink.is_empty());
     }
 
     #[test]

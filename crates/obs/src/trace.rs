@@ -269,6 +269,77 @@ pub(crate) fn capture_push_decision(record: &DecisionRecord) -> bool {
     })
 }
 
+// ── Format-agnostic trace opening ───────────────────────────────────────
+
+/// Streaming reader over either trace format, chosen by sniffing the
+/// file's magic — the consumer loop is identical for JSONL and binary.
+#[derive(Debug)]
+pub enum TraceReader {
+    /// Text-format trace (the debugging escape hatch).
+    Jsonl(crate::jsonl::FileJsonlReader),
+    /// Compact binary-format trace.
+    Bin(crate::binfmt::FileBinReader),
+}
+
+impl TraceReader {
+    /// The next record; `Ok(None)` at end of file. Damage is skipped and
+    /// counted ([`TraceReader::skipped`]); a newer-schema trace is a hard
+    /// error in both formats.
+    pub fn next_record(&mut self) -> Result<Option<crate::binfmt::TraceRecord>, String> {
+        match self {
+            TraceReader::Jsonl(r) => r.next_record(),
+            TraceReader::Bin(r) => r.next_record(),
+        }
+    }
+
+    /// Damaged lines / frames skipped so far.
+    pub fn skipped(&self) -> usize {
+        match self {
+            TraceReader::Jsonl(r) => r.skipped(),
+            TraceReader::Bin(r) => r.skipped(),
+        }
+    }
+
+    /// Whether this reader is over the binary format.
+    pub fn is_binary(&self) -> bool {
+        matches!(self, TraceReader::Bin(_))
+    }
+}
+
+/// Opens a trace file of either format for streaming, sniffing the binary
+/// magic to decide. `talon soak` and `talon trace convert` consume
+/// multi-GB traces through this in constant memory.
+pub fn open_reader(path: impl AsRef<std::path::Path>) -> Result<TraceReader, String> {
+    let path = path.as_ref();
+    let binary =
+        crate::binfmt::sniff(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    if binary {
+        Ok(TraceReader::Bin(crate::binfmt::FileBinReader::open(path)?))
+    } else {
+        Ok(TraceReader::Jsonl(crate::jsonl::FileJsonlReader::open(
+            path,
+        )?))
+    }
+}
+
+/// Reads a whole trace file of either format into a [`crate::jsonl::Trace`],
+/// sniffing the format. Skips-and-counts damage (bumping
+/// `health.trace_corrupt`); errors on unreadable files and newer-schema
+/// traces. `talon report`, `talon replay`, and `quality_from_trace` accept
+/// both formats through this one front door.
+pub fn open_trace(path: impl AsRef<std::path::Path>) -> Result<crate::jsonl::Trace, String> {
+    let mut reader = open_reader(&path)?;
+    let mut trace = crate::jsonl::Trace::default();
+    while let Some(record) = reader.next_record()? {
+        trace.push(record);
+    }
+    trace.skipped = reader.skipped();
+    if trace.skipped > 0 {
+        crate::health::anomaly_n("trace_corrupt", trace.skipped as u64, &[]);
+    }
+    Ok(trace)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,280 @@
+//! Binary traces meet the same real world as JSONL ones: killed writers
+//! truncate the last frame, disks flip bits, and tools must read
+//! everything salvageable — skip-and-count, never panic, never fail the
+//! whole file. These tests drive `obs::binfmt` end to end through real
+//! files: full-fidelity round-trips (every field, unicode, float
+//! extremes), damage recovery parity with the JSONL reader, version
+//! strictness, and the documented string-table corruption cascade.
+
+use obs::binfmt::{self, frame_with, BinSink, KIND_EVENT, KIND_STRDEF, MARKER};
+use obs::decision::SCHEMA_VERSION;
+use obs::{DecisionRecord, Event, EventSink, TraceRecord};
+use std::collections::BTreeMap;
+
+fn scratch(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "obs-binfmt-robustness-{}-{name}.bin",
+        std::process::id()
+    ));
+    p
+}
+
+/// An event exercising unicode strings, a custom kind, and f64 extremes
+/// in fields.
+fn fancy_event() -> Event {
+    let mut fields = BTreeMap::new();
+    fields.insert("μ-extreme".to_string(), f64::MAX);
+    fields.insert("tiny".to_string(), f64::MIN_POSITIVE);
+    fields.insert("neg-zero".to_string(), -0.0);
+    let mut e = Event::span(7, "сектор.🛰.sweep", 123, fields).with_ids(42, 9, 3);
+    e.kind = "задержка".to_string();
+    e
+}
+
+/// A decision record with every field populated, including empty and
+/// unicode strings and full-precision float extremes.
+fn fancy_decision() -> DecisionRecord {
+    let mut rec = DecisionRecord::new("");
+    rec.context = "scénario=läb,seed=42".into();
+    rec.mode = "joint".into();
+    rec.energy_prior = true;
+    rec.subcell_refinement = true;
+    rec.replayable = true;
+    rec.patterns_digest = u64::MAX;
+    rec.push_probe(0, Some((f64::MAX, f64::MIN)));
+    rec.push_probe(63, Some((-0.0, f64::EPSILON)));
+    rec.push_probe(31, None);
+    rec.p_snr = vec![1.0e300, -1.0e-300];
+    rec.p_rssi = vec![f64::MIN_POSITIVE, -f64::MAX];
+    rec.top_cells = vec![0, u64::MAX];
+    rec.top_weights = vec![0.123_456_789_012_345_68, 1.0 / 3.0];
+    rec.energy_max = f64::MAX;
+    rec.has_estimate = true;
+    rec.est_az_deg = -179.999_999_999_999_97;
+    rec.est_el_deg = f64::EPSILON;
+    rec.score = 2.0_f64.powi(-1000);
+    rec.chosen_sector = i64::MIN;
+    rec.set_oracle(&[(63, 55.75)], 63);
+    rec
+}
+
+/// Writes a trace through the real `BinSink` and returns what was written
+/// (events, decision) so reads can be compared field-for-field.
+fn write_trace(path: &std::path::Path) -> (Vec<Event>, DecisionRecord) {
+    let sink = BinSink::create(path).expect("create trace");
+    let events = vec![fancy_event(), Event::mark(8, "plain.mark", BTreeMap::new())];
+    let decision = fancy_decision();
+    for e in &events {
+        sink.emit(e);
+    }
+    sink.emit_decision(&decision);
+    let reg = obs::Registry::new();
+    reg.counter("binfmt.robustness").add(3);
+    reg.histogram("binfmt.dur_us").record(17);
+    sink.write_snapshot(&reg.snapshot());
+    sink.flush();
+    (events, decision)
+}
+
+#[test]
+fn every_field_round_trips_bit_exactly_through_a_file() {
+    let path = scratch("roundtrip");
+    let (events, decision) = write_trace(&path);
+    let trace = binfmt::read_trace(&path).expect("readable");
+    assert_eq!(trace.skipped, 0);
+    assert_eq!(trace.events, events, "unicode and extremes survive");
+    assert_eq!(trace.decisions, vec![decision.clone()]);
+    // Bit-exact, not just equal: replay depends on it.
+    assert_eq!(
+        trace.decisions[0].est_az_deg.to_bits(),
+        decision.est_az_deg.to_bits()
+    );
+    assert_eq!(
+        trace.decisions[0].p_snr[0].to_bits(),
+        decision.p_snr[0].to_bits()
+    );
+    let snap = trace.snapshot.expect("snapshot frame");
+    assert_eq!(snap.counter("binfmt.robustness"), 3);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn truncated_tail_loses_only_the_last_record() {
+    let path = scratch("truncated");
+    let (events, decision) = write_trace(&path);
+    // Chop mid-way through the final frame, as a SIGKILLed writer would:
+    // the snapshot is lost and counted, everything before it survives.
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+    let trace = binfmt::read_trace(&path).expect("still readable");
+    assert_eq!(trace.skipped, 1);
+    assert_eq!(trace.events, events);
+    assert_eq!(trace.decisions, vec![decision]);
+    assert!(trace.snapshot.is_none());
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn corrupt_crc_skips_one_frame_not_the_file() {
+    // Hand-built standalone frames (no interning) so boundaries are known.
+    let e1 = TraceRecord::Event(Event::mark(1, "first", BTreeMap::new()));
+    let d = TraceRecord::Decision(Box::new(fancy_decision()));
+    let e2 = TraceRecord::Event(Event::mark(2, "last", BTreeMap::new()));
+    let mut middle = binfmt::encode_frame(&d);
+    let n = middle.len();
+    middle[n - 6] ^= 0xFF; // inside the payload, ahead of the 4-byte CRC
+    let mut bytes = binfmt::file_header();
+    bytes.extend_from_slice(&binfmt::encode_frame(&e1));
+    bytes.extend_from_slice(&middle);
+    bytes.extend_from_slice(&binfmt::encode_frame(&e2));
+    let path = scratch("badcrc");
+    std::fs::write(&path, &bytes).unwrap();
+    let trace = binfmt::read_trace(&path).expect("still readable");
+    assert_eq!(trace.skipped, 1, "exactly the flipped frame");
+    assert_eq!(trace.decisions.len(), 0);
+    assert_eq!(trace.events.len(), 2);
+    assert_eq!(trace.events[0].stage, "first");
+    assert_eq!(trace.events[1].stage, "last");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn garbage_between_frames_resyncs_on_the_marker() {
+    let e1 = TraceRecord::Event(Event::mark(1, "before", BTreeMap::new()));
+    let e2 = TraceRecord::Event(Event::mark(2, "after", BTreeMap::new()));
+    let mut bytes = binfmt::file_header();
+    bytes.extend_from_slice(&binfmt::encode_frame(&e1));
+    // Overwritten region with no marker byte: resync lands exactly on the
+    // next real frame and only the damaged region is counted.
+    bytes.extend_from_slice(&[0x00, 0x13, 0xFF, 0xFE, 0x00]);
+    bytes.extend_from_slice(&binfmt::encode_frame(&e2));
+    let path = scratch("garbage");
+    std::fs::write(&path, &bytes).unwrap();
+    let trace = binfmt::read_trace(&path).expect("still readable");
+    assert_eq!(trace.skipped, 1, "the damaged region is counted once");
+    assert_eq!(
+        trace
+            .events
+            .iter()
+            .map(|e| e.stage.as_str())
+            .collect::<Vec<_>>(),
+        vec!["before", "after"],
+        "both real frames survive"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn a_fake_marker_in_garbage_may_cost_a_neighbor_but_recovery_holds() {
+    // When the junk itself contains a marker byte, resync can misparse a
+    // frame head from it and consume into the following real frame — the
+    // binary analogue of JSONL losing both halves of a split line. The
+    // guarantee is recovery and honest accounting, not zero collateral:
+    // the reader must find the next intact frame and count every loss.
+    let e1 = TraceRecord::Event(Event::mark(1, "before", BTreeMap::new()));
+    let e2 = TraceRecord::Event(Event::mark(2, "victim", BTreeMap::new()));
+    let e3 = TraceRecord::Event(Event::mark(3, "final", BTreeMap::new()));
+    let mut bytes = binfmt::file_header();
+    bytes.extend_from_slice(&binfmt::encode_frame(&e1));
+    bytes.extend_from_slice(&[0x00, MARKER, 0xFF, 0xFE, 0x00]);
+    bytes.extend_from_slice(&binfmt::encode_frame(&e2));
+    bytes.extend_from_slice(&binfmt::encode_frame(&e3));
+    let path = scratch("fakemarker");
+    std::fs::write(&path, &bytes).unwrap();
+    let trace = binfmt::read_trace(&path).expect("still readable");
+    let stages: Vec<&str> = trace.events.iter().map(|e| e.stage.as_str()).collect();
+    assert_eq!(stages.first(), Some(&"before"));
+    assert_eq!(
+        stages.last(),
+        Some(&"final"),
+        "reader recovers past the damage"
+    );
+    assert!(
+        trace.skipped >= 2,
+        "garbage and collateral are both counted"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn newer_file_version_is_a_hard_error() {
+    let mut bytes = binfmt::file_header();
+    let v = (SCHEMA_VERSION as u32 + 1).to_le_bytes();
+    bytes[8..12].copy_from_slice(&v);
+    let path = scratch("newfile");
+    std::fs::write(&path, &bytes).unwrap();
+    let err = binfmt::read_trace(&path).unwrap_err();
+    assert!(err.contains("newer"), "{err}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn newer_record_version_is_a_hard_error_once_crc_validates() {
+    // A CRC-valid frame stamped with a future schema version really was
+    // written by a newer build — corruption cannot masquerade as this.
+    let mut bytes = binfmt::file_header();
+    bytes.extend_from_slice(&frame_with(
+        KIND_EVENT,
+        SCHEMA_VERSION as u8 + 1,
+        &[1, 2, 3],
+    ));
+    let path = scratch("newrecord");
+    std::fs::write(&path, &bytes).unwrap();
+    let err = binfmt::read_trace(&path).unwrap_err();
+    assert!(err.contains("newer"), "{err}");
+    assert!(err.contains("upgrade"), "{err}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn corrupting_the_string_table_skips_referencing_records_loudly() {
+    // Interned string ids are explicit and append-only, so a lost
+    // string-definition frame makes every record referencing the table
+    // *unresolvable* — skipped and counted — rather than silently
+    // mislabeled. The cascade (later strdefs are now out of sequence) is
+    // the documented price of that guarantee.
+    let path = scratch("strtable");
+    write_trace(&path);
+    let mut bytes = std::fs::read(&path).unwrap();
+    // BinSink interns the first event's strings before its frame, so the
+    // first frame after the 12-byte header is a strdef. Flip one payload
+    // byte to invalidate its CRC.
+    assert_eq!(bytes[12], MARKER);
+    assert_eq!(bytes[13], KIND_STRDEF);
+    bytes[17] ^= 0xFF;
+    std::fs::write(&path, &bytes).unwrap();
+    let trace = binfmt::read_trace(&path).expect("still readable");
+    assert!(
+        trace.events.is_empty(),
+        "records referencing the lost table entry never mislabel"
+    );
+    assert!(trace.skipped >= 2, "strdef and its dependents are counted");
+    // The snapshot stays self-contained (inline strings) and survives.
+    assert!(trace.snapshot.is_some());
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn open_trace_sniffs_binary_and_jsonl_transparently() {
+    let bin_path = scratch("sniff-bin");
+    let jsonl_path = scratch("sniff-jsonl");
+    let (events, decision) = write_trace(&bin_path);
+    {
+        let _guard = obs::testing::lock();
+        let sink = obs::JsonlSink::create(&jsonl_path).expect("create jsonl");
+        for e in &events {
+            sink.emit(e);
+        }
+        sink.emit_decision(&decision);
+        sink.flush();
+    }
+    let from_bin = obs::open_trace(&bin_path).expect("binary opens");
+    let from_jsonl = obs::open_trace(&jsonl_path).expect("jsonl opens");
+    assert_eq!(from_bin.events, events);
+    assert_eq!(from_jsonl.events, events);
+    assert_eq!(from_bin.decisions, from_jsonl.decisions);
+    assert_eq!(from_bin.decisions[0], decision);
+    let _ = std::fs::remove_file(&bin_path);
+    let _ = std::fs::remove_file(&jsonl_path);
+}

@@ -5,6 +5,7 @@
 //! `obs::jsonl::read_trace` over adversarial files and prove the
 //! process-wide `JsonlSink` keeps lines whole under concurrent writers.
 
+use obs::EventSink;
 use std::sync::Arc;
 
 /// A scratch file path unique to this test binary and name.

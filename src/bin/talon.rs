@@ -10,19 +10,25 @@
 //! talon analyze   --dataset dataset.txt --patterns patterns.txt [--probes 14,20]
 //! talon sls       --scenario lab|conference --policy ssw|css [--probes 14] [--yaw DEG]
 //! talon brd       --out codebook.brd [--seed N] | --check codebook.brd
-//! talon report    trace.jsonl [--tree | --flame | --quality | --json]
-//! talon replay    trace.jsonl [--threads N] [--perturb DB] [--patterns <file>]
+//! talon report    trace.{jsonl|bin} [--tree | --flame | --quality | --json]
+//! talon replay    trace.{jsonl|bin} [--threads N] [--perturb DB] [--patterns <file>]
 //! talon serve     [--metrics-addr HOST:PORT] [--sessions N] [--hold-ms MS]
+//! talon trace     convert <in> <out>
+//! talon soak      [--smoke] [--out BENCH_trace.json] [--check <baseline>]
 //! ```
 //!
 //! `record`, `analyze`, `sls` and `serve` accept `--trace <file>` to stream
-//! obs events as JSON Lines and append a final registry snapshot. `report`
-//! renders such a trace as summary tables, a causal span tree (`--tree`),
-//! folded flamegraph stacks (`--flame`), a per-session link-quality table
-//! (`--quality`), or one machine-readable JSON object (`--json`); `replay`
-//! re-executes the trace's recorded decisions and exits non-zero unless
-//! every one reproduces bit-exactly; `serve` exposes the registry as
-//! Prometheus text on a TCP endpoint while running training sessions.
+//! obs events — as JSON Lines, or as the CRC-framed binary format when the
+//! path ends in `.bin` — and append a final registry snapshot. `report`
+//! renders such a trace (either format, sniffed) as summary tables, a
+//! causal span tree (`--tree`), folded flamegraph stacks (`--flame`), a
+//! per-session link-quality table (`--quality`), or one machine-readable
+//! JSON object (`--json`); `replay` re-executes the trace's recorded
+//! decisions and exits non-zero unless every one reproduces bit-exactly;
+//! `trace convert` round-trips a trace between the two formats; `soak`
+//! runs the record → account → replay trace soak and emits/gates
+//! `BENCH_trace.json`; `serve` exposes the registry as Prometheus text on
+//! a TCP endpoint while running training sessions.
 
 use chamber::{Campaign, CampaignConfig, SectorPatterns};
 use css::selection::{CompressiveSelection, CssConfig, DecisionOracle};
@@ -42,29 +48,38 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
     let opts = parse_opts(&args[1..]);
-    // `--trace <file>`: stream obs events to a JSONL file while the
-    // command runs, and append a registry snapshot at the end.
-    let trace_sink = match opts.get("trace") {
-        // `report` and `replay` read an existing trace; never open a sink
-        // (which truncates the file) on what is these commands' input.
-        Some(_) if cmd == "report" || cmd == "replay" => None,
+    // `--trace <file>`: stream obs events to a trace file while the
+    // command runs, and append a registry snapshot at the end. A `.bin`
+    // path selects the compact binary format; anything else gets JSONL.
+    let trace_sink: Option<std::sync::Arc<dyn obs::EventSink>> = match opts.get("trace") {
+        // `report`, `replay`, `trace`, and `soak` read (or manage) existing
+        // trace files; never open a sink (which truncates the file) on what
+        // is these commands' input.
+        Some(_) if cmd == "report" || cmd == "replay" || cmd == "trace" || cmd == "soak" => None,
         // A bare `--trace` parses as the value "true"; require a path
         // instead of silently writing a file named `true`.
         Some(path) if path == "true" => {
             eprintln!("error: --trace needs a file path");
             return ExitCode::from(2);
         }
-        Some(path) => match obs::JsonlSink::create(path) {
-            Ok(sink) => {
-                let sink = std::sync::Arc::new(sink);
-                obs::set_sink(sink.clone());
-                Some(sink)
+        Some(path) => {
+            let created: std::io::Result<std::sync::Arc<dyn obs::EventSink>> =
+                if path.ends_with(".bin") {
+                    obs::BinSink::create(path).map(|s| std::sync::Arc::new(s) as _)
+                } else {
+                    obs::JsonlSink::create(path).map(|s| std::sync::Arc::new(s) as _)
+                };
+            match created {
+                Ok(sink) => {
+                    obs::set_sink(sink.clone());
+                    Some(sink)
+                }
+                Err(e) => {
+                    eprintln!("error: creating trace file {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
-            Err(e) => {
-                eprintln!("error: creating trace file {path}: {e}");
-                return ExitCode::FAILURE;
-            }
-        },
+        }
         None => None,
     };
     let result = match cmd.as_str() {
@@ -75,6 +90,8 @@ fn main() -> ExitCode {
         "brd" => cmd_brd(&opts),
         "report" => cmd_report(&args[1..], &opts),
         "replay" => cmd_replay(&args[1..], &opts),
+        "trace" => cmd_trace(&args[1..]),
+        "soak" => cmd_soak(&opts),
         "serve" => cmd_serve(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -103,8 +120,10 @@ commands:
   analyze   --dataset <file> --patterns <file> [--probes 14,20] [--seed N] [--trace <file>]
   sls       --scenario lab|conference --policy ssw|css [--probes 14] [--yaw DEG] [--seed N] [--trace <file>]
   brd       --out <file> [--seed N]  |  --check <file>
-  report    <trace.jsonl> [--tree | --flame | --quality | --json]
-  replay    <trace.jsonl> [--threads N] [--perturb DB] [--patterns <file>]
+  report    <trace.jsonl|.bin> [--tree | --flame | --quality | --json]
+  replay    <trace.jsonl|.bin> [--threads N] [--perturb DB] [--patterns <file>]
+  trace     convert <in> <out>   (input format sniffed; .bin output → binary, else JSONL)
+  soak      [--decisions N] [--smoke] [--threads 1,2,8] [--keep <trace.bin>] [--out <bench.json>] [--check <baseline.json>] [--seed N]
   serve     [--metrics-addr HOST:PORT] [--sessions N] [--hold-ms MS] [--seed N]";
 
 /// Parses `--key value` and bare `--flag` options; non-option arguments
@@ -452,11 +471,10 @@ fn cmd_report(args: &[String], opts: &HashMap<String, String>) -> Result<(), Str
         .find(|a| !a.starts_with("--"))
         .or_else(|| opts.get("trace"))
         .ok_or("report needs a trace file: talon report <trace.jsonl>")?;
-    let trace =
-        obs::jsonl::read_trace(Path::new(path)).map_err(|e| format!("reading {path}: {e}"))?;
+    let trace = obs::open_trace(Path::new(path)).map_err(|e| format!("reading {path}: {e}"))?;
     if trace.skipped > 0 {
         eprintln!(
-            "warning: skipped {} malformed line(s) in {path}",
+            "warning: skipped {} malformed record(s) in {path}",
             trace.skipped
         );
     }
@@ -738,11 +756,10 @@ fn cmd_replay(args: &[String], opts: &HashMap<String, String>) -> Result<(), Str
         .find(|a| !a.starts_with("--"))
         .or_else(|| opts.get("trace"))
         .ok_or("replay needs a trace file: talon replay <trace.jsonl>")?;
-    let trace =
-        obs::jsonl::read_trace(Path::new(path)).map_err(|e| format!("reading {path}: {e}"))?;
+    let trace = obs::open_trace(Path::new(path)).map_err(|e| format!("reading {path}: {e}"))?;
     if trace.skipped > 0 {
         eprintln!(
-            "warning: skipped {} malformed line(s) in {path}",
+            "warning: skipped {} malformed record(s) in {path}",
             trace.skipped
         );
     }
@@ -794,6 +811,226 @@ fn cmd_replay(args: &[String], opts: &HashMap<String, String>) -> Result<(), Str
             report.skipped_no_patterns,
         ))
     }
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    const TRACE_USAGE: &str = "usage: talon trace convert <in> <out>  (input format sniffed; \
+         .bin output → binary, else JSONL)";
+    match args.first().map(String::as_str) {
+        Some("convert") => {
+            let mut paths = args[1..].iter().filter(|a| !a.starts_with("--"));
+            let input = paths.next().ok_or(TRACE_USAGE)?.clone();
+            let output = paths.next().ok_or(TRACE_USAGE)?.clone();
+            convert_trace(&input, &output)
+        }
+        _ => Err(TRACE_USAGE.into()),
+    }
+}
+
+/// Streams a trace from one format to the other (record by record, bounded
+/// memory), choosing the output codec by extension: `.bin` → binary,
+/// anything else → JSONL. Damaged input records are skipped and counted,
+/// same as every other reader in the workspace.
+fn convert_trace(input: &str, output: &str) -> Result<(), String> {
+    use obs::TraceRecord;
+    if input == output {
+        return Err("refusing to convert a trace onto itself".into());
+    }
+    let mut reader =
+        obs::open_reader(Path::new(input)).map_err(|e| format!("reading {input}: {e}"))?;
+    let sink: std::sync::Arc<dyn obs::EventSink> = if output.ends_with(".bin") {
+        std::sync::Arc::new(
+            obs::BinSink::create(output).map_err(|e| format!("creating {output}: {e}"))?,
+        )
+    } else {
+        std::sync::Arc::new(
+            obs::JsonlSink::create(output).map_err(|e| format!("creating {output}: {e}"))?,
+        )
+    };
+    let (mut events, mut decisions, mut snapshots) = (0u64, 0u64, 0u64);
+    while let Some(record) = reader.next_record()? {
+        match record {
+            TraceRecord::Event(e) => {
+                sink.emit(&e);
+                events += 1;
+            }
+            TraceRecord::Decision(d) => {
+                sink.emit_decision(&d);
+                decisions += 1;
+            }
+            TraceRecord::Snapshot(s) => {
+                sink.write_snapshot(&s);
+                snapshots += 1;
+            }
+        }
+    }
+    sink.flush();
+    if reader.skipped() > 0 {
+        eprintln!(
+            "warning: skipped {} damaged record(s) in {input}",
+            reader.skipped()
+        );
+    }
+    let size = |p: &str| std::fs::metadata(p).map(|m| m.len()).unwrap_or(0);
+    let (in_bytes, out_bytes) = (size(input), size(output));
+    println!(
+        "converted {input} → {output}: {events} event(s), {decisions} decision(s), \
+         {snapshots} snapshot(s); {in_bytes} → {out_bytes} bytes ({:.2}× {})",
+        if out_bytes > 0 {
+            in_bytes as f64 / out_bytes as f64
+        } else {
+            f64::NAN
+        },
+        if out_bytes <= in_bytes {
+            "smaller"
+        } else {
+            "larger"
+        },
+    );
+    Ok(())
+}
+
+/// Keys every `BENCH_trace.json` must carry (the `--check` contract).
+const SOAK_REQUIRED_KEYS: &[&str] = &[
+    "decisions",
+    "trace_bytes",
+    "bytes_per_decision",
+    "jsonl_bytes_per_decision",
+    "compression_ratio",
+    "record_per_s",
+    "replay_1t_per_s",
+    "replay_nt_per_s",
+    "replay_nt_threads",
+    "rss_peak_mb",
+    "max_abs_err",
+];
+
+/// The ≥5× compression floor `BENCH_trace.json` is gated on.
+const SOAK_MIN_COMPRESSION: f64 = 5.0;
+
+/// Extracts a numeric value from a flat JSON object without a parser
+/// (the serde shim has no `from_str`; the files are machine-written).
+fn json_f64(text: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\"");
+    let at = text.find(&pat)?;
+    let rest = text[at + pat.len()..].trim_start().strip_prefix(':')?;
+    let rest = rest.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn cmd_soak(opts: &HashMap<String, String>) -> Result<(), String> {
+    let smoke = opts.get("smoke").is_some();
+    let decisions = match opts.get("decisions") {
+        Some(d) => d.parse().map_err(|_| format!("bad --decisions {d}"))?,
+        None if smoke => eval::soak::SMOKE_DECISIONS,
+        None => eval::soak::FULL_DECISIONS,
+    };
+    let threads: Vec<usize> = match opts.get("threads") {
+        Some(t) => t
+            .split(',')
+            .map(|p| p.trim().parse().map_err(|_| format!("bad --threads {t}")))
+            .collect::<Result<_, _>>()?,
+        None => vec![1, 2, 8],
+    };
+    if threads.is_empty() {
+        return Err("soak needs at least one --threads entry".into());
+    }
+    let config = eval::SoakConfig {
+        decisions,
+        threads,
+        seed: seed_of(opts),
+        keep: opts.get("keep").map(std::path::PathBuf::from),
+    };
+    let report = eval::run_soak(&config, |line| println!("{line}"))?;
+
+    let replay_1t = report
+        .replay
+        .iter()
+        .find(|r| r.threads == 1)
+        .or(report.replay.first())
+        .expect("at least one replay pass");
+    let replay_nt = report
+        .replay
+        .iter()
+        .max_by_key(|r| r.threads)
+        .expect("at least one replay pass");
+    let json = format!(
+        "{{\n  \"decisions\": {},\n  \
+         \"trace_bytes\": {},\n  \
+         \"bytes_per_decision\": {:.2},\n  \
+         \"jsonl_bytes_per_decision\": {:.2},\n  \
+         \"compression_ratio\": {:.2},\n  \
+         \"record_per_s\": {:.0},\n  \
+         \"replay_1t_per_s\": {:.0},\n  \
+         \"replay_nt_per_s\": {:.0},\n  \
+         \"replay_nt_threads\": {},\n  \
+         \"rss_peak_mb\": {:.1},\n  \
+         \"max_abs_err\": {:.1},\n  \
+         \"smoke\": {smoke}\n}}\n",
+        report.decisions,
+        report.trace_bytes,
+        report.bytes_per_decision,
+        report.jsonl_bytes_per_decision,
+        report.compression_ratio,
+        report.record_per_s,
+        replay_1t.per_s,
+        replay_nt.per_s,
+        replay_nt.threads,
+        report.rss_peak_mb,
+        report.max_abs_err,
+    );
+    let out = opts
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_trace.json".into());
+    std::fs::write(&out, &json).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("{json}");
+    println!("wrote {out}");
+
+    if let Some(baseline_path) = opts.get("check") {
+        let baseline = std::fs::read_to_string(baseline_path)
+            .map_err(|e| format!("--check: cannot read {baseline_path}: {e}"))?;
+        let mut failures = Vec::new();
+        for key in SOAK_REQUIRED_KEYS {
+            if json_f64(&json, key).is_none() {
+                failures.push(format!("fresh measurement is missing key {key:?}"));
+            }
+            if json_f64(&baseline, key).is_none() {
+                failures.push(format!("baseline {baseline_path} is missing key {key:?}"));
+            }
+        }
+        if report.compression_ratio < SOAK_MIN_COMPRESSION {
+            failures.push(format!(
+                "compression ratio {:.2}× is below the {SOAK_MIN_COMPRESSION}× floor",
+                report.compression_ratio
+            ));
+        }
+        // Size is deterministic for a fixed workload, so a fatter record
+        // is a codec regression, not noise (unlike throughput, which is
+        // host-dependent and not compared).
+        if let Some(base_bpd) = json_f64(&baseline, "bytes_per_decision") {
+            let limit = base_bpd * 1.15;
+            if report.bytes_per_decision > limit {
+                failures.push(format!(
+                    "bytes/decision regressed >15%: {:.1} vs baseline {base_bpd:.1} \
+                     (limit {limit:.1})",
+                    report.bytes_per_decision
+                ));
+            }
+        }
+        if !failures.is_empty() {
+            let mut message = String::from("BENCH_trace check FAILED:");
+            for f in &failures {
+                message.push_str(&format!("\n  - {f}"));
+            }
+            return Err(message);
+        }
+        println!("check against {baseline_path}: OK");
+    }
+    Ok(())
 }
 
 /// Prints per-session (per-trace) link-health anomaly counts, when any

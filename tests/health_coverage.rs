@@ -227,6 +227,41 @@ fn trace_corrupt_fires_on_malformed_trace_lines() {
 }
 
 #[test]
+fn trace_write_failed_fires_when_the_trace_device_is_full() {
+    // `/dev/full` fails every write with ENOSPC — the disk-full scenario
+    // that used to drop trace lines silently. Both file-backed sinks must
+    // tally the failure instead.
+    if !std::path::Path::new("/dev/full").exists() {
+        eprintln!("skipping: /dev/full not available");
+        return;
+    }
+    use obs::EventSink;
+    let before = counter("health.trace_write_failed");
+    let jsonl = obs::JsonlSink::create("/dev/full").expect("open is fine; writes fail");
+    jsonl.emit_decision(&obs::DecisionRecord::new("css.select"));
+    jsonl.flush();
+    assert!(
+        counter("health.trace_write_failed") > before,
+        "ENOSPC on a JSONL decision write is tallied"
+    );
+    let before = counter("health.trace_write_failed");
+    // BinSink::create writes the file header eagerly, so on /dev/full it
+    // fails at open — also acceptable, but flush the buffered header
+    // through emit+flush if create somehow succeeds.
+    match obs::BinSink::create("/dev/full") {
+        Err(_) => {} // header write failed loudly at create
+        Ok(bin) => {
+            bin.emit_decision(&obs::DecisionRecord::new("css.select"));
+            bin.flush();
+            assert!(
+                counter("health.trace_write_failed") > before,
+                "ENOSPC on a binary frame write is tallied"
+            );
+        }
+    }
+}
+
+#[test]
 fn link_drift_fires_when_the_loss_stream_steps_up() {
     let mut monitor = obs::QualityMonitor::new();
     // Quiet baseline through the warm-up, then a sustained 9 dB loss.
@@ -269,6 +304,7 @@ fn known_kinds_cover_every_emitter_exercised_here() {
         "link_outage",
         "airtime_saturated",
         "trace_corrupt",
+        "trace_write_failed",
         "link_drift",
         "misselection",
     ] {
