@@ -35,6 +35,8 @@ const REQUIRED_KEYS: &[&str] = &[
     "histogram_record_ns",
     "span_no_sink_ns",
     "span_memory_sink_ns",
+    "sampler_tick_ns",
+    "alert_eval_ns",
     "estimate_m14_ns",
     "noop_overhead_percent",
 ];
@@ -106,6 +108,27 @@ fn main() {
         ns
     };
 
+    // One live-monitoring tick at a registry the size this process has
+    // built up (all the bench series plus whatever obs registers): global
+    // snapshot + ring append + every default alert rule evaluated. This is
+    // what `talon serve` pays per --tick-ms, so it lives in the baseline.
+    let monitor_iters = if smoke { 2_000 } else { 20_000 };
+    let sampler_tick_ns = {
+        let mut sampler = obs::Sampler::new(obs::SamplerConfig::default());
+        time_ns(monitor_iters, || {
+            sampler.sample(black_box(&obs::global().snapshot()));
+        })
+    };
+    let alert_eval_ns = {
+        let mut sampler = obs::Sampler::new(obs::SamplerConfig::default());
+        let mut engine = obs::AlertEngine::new(obs::default_rules());
+        let snapshot = obs::global().snapshot();
+        time_ns(monitor_iters, || {
+            sampler.sample(&snapshot);
+            black_box(engine.evaluate(black_box(&sampler)));
+        })
+    };
+
     // The instrumented estimator, sink-less (the shipping default).
     let (patterns, dut, fixed) = bench_patterns(42);
     let link = Link::new(Environment::lab());
@@ -131,6 +154,8 @@ fn main() {
          \"histogram_record_ns\": {histogram_record_ns:.2},\n  \
          \"span_no_sink_ns\": {span_no_sink_ns:.2},\n  \
          \"span_memory_sink_ns\": {span_memory_sink_ns:.2},\n  \
+         \"sampler_tick_ns\": {sampler_tick_ns:.2},\n  \
+         \"alert_eval_ns\": {alert_eval_ns:.2},\n  \
          \"estimate_m14_ns\": {estimate_m14_ns:.2},\n  \
          \"noop_overhead_percent\": {noop_overhead_percent:.4}\n}}\n"
     );

@@ -1,0 +1,82 @@
+//! Deterministic link-quality fault profiles for live-monitoring drills.
+//!
+//! `talon serve --inject-drift` needs a repeatable "the link went bad and
+//! then recovered" scenario to drive the [`obs`] quality monitor and alert
+//! engine end to end: the acceptance test asserts `/healthz` flips to 503
+//! while the drift alert fires and back to 200 after hysteresis clears,
+//! with the *same* alert transition sequence on every run. A
+//! [`DriftProfile`] is that scenario: a pure function from sampler tick to
+//! the SNR loss (dB vs the oracle-best sector) the serving link shows at
+//! that tick. No randomness, no clock reads — determinism is the point.
+
+/// A step-shaped SNR-loss timeline: `healthy_loss_db` everywhere except
+/// the ticks in `[onset_tick, clear_tick)`, which show `drift_loss_db`.
+///
+/// Fed to [`obs::QualityMonitor::record_loss`] once per sampler tick, the
+/// step exercises the full alert lifecycle: the CUSUM detector opens a
+/// drift epoch at onset (`health.link_drift`), the sustained loss gauge
+/// holds the `snr_loss_high` page alert firing, and the drop back to
+/// `healthy_loss_db` walks it through hysteresis to resolved.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftProfile {
+    /// SNR loss outside the drift window, dB.
+    pub healthy_loss_db: f64,
+    /// SNR loss during the drift window, dB.
+    pub drift_loss_db: f64,
+    /// First tick (inclusive) showing `drift_loss_db`.
+    pub onset_tick: u64,
+    /// First tick at or after which the link is healthy again.
+    pub clear_tick: u64,
+}
+
+impl DriftProfile {
+    /// The stock drill used by `talon serve --inject-drift`: a healthy
+    /// 1 dB link that degrades to 25 dB at tick 10 and recovers at tick
+    /// 25. The numbers are chosen against the default rules: 25 dB
+    /// (25 000 milli-dB) is far above the 6 dB `snr_loss_high` page
+    /// threshold, and 1 dB is below its 2 dB clear threshold.
+    pub fn demo() -> Self {
+        DriftProfile {
+            healthy_loss_db: 1.0,
+            drift_loss_db: 25.0,
+            onset_tick: 10,
+            clear_tick: 25,
+        }
+    }
+
+    /// The SNR loss the link shows at `tick`.
+    pub fn loss_at(&self, tick: u64) -> f64 {
+        if tick >= self.onset_tick && tick < self.clear_tick {
+            self.drift_loss_db
+        } else {
+            self.healthy_loss_db
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_profile_is_healthy_outside_the_window() {
+        let p = DriftProfile::demo();
+        assert_eq!(p.loss_at(0), 1.0);
+        assert_eq!(p.loss_at(9), 1.0);
+        assert_eq!(p.loss_at(10), 25.0);
+        assert_eq!(p.loss_at(24), 25.0);
+        assert_eq!(p.loss_at(25), 1.0);
+        assert_eq!(p.loss_at(1000), 1.0);
+    }
+
+    #[test]
+    fn demo_profile_straddles_the_default_alert_thresholds() {
+        // Keep the drill honest against obs::default_rules(): drift must
+        // exceed the 6 dB page threshold and recovery must fall under the
+        // 2 dB clear threshold, or the e2e healthz flip can never happen.
+        let p = DriftProfile::demo();
+        assert!(p.drift_loss_db * 1000.0 > 6000.0);
+        assert!(p.healthy_loss_db * 1000.0 <= 2000.0);
+        assert!(p.onset_tick < p.clear_tick);
+    }
+}

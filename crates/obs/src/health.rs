@@ -99,6 +99,7 @@ pub const KNOWN_KINDS: &[&str] = &[
     "trace_write_failed",
     "link_drift",
     "misselection",
+    "alert_firing",
 ];
 
 /// Ensures a `health.<kind>` counter exists for every known kind.

@@ -21,6 +21,12 @@
 //!   anomaly events.
 //! - **Export** ([`prometheus`], [`serve::MetricsServer`]) — Prometheus
 //!   text exposition of the registry over a zero-dep TCP endpoint.
+//! - **Live monitoring** ([`timeseries::Sampler`], [`alert::AlertEngine`],
+//!   [`live::LiveMonitor`]) — tick-driven registry sampling into bounded
+//!   rings, windowed rates/quantiles derived by diffing snapshots, and a
+//!   declarative alert rule engine with hysteresis; serves `/healthz`,
+//!   `/alerts` and `/timeseries` through [`MetricsServer`] and powers
+//!   `talon top`.
 //!
 //! Everything is built on atomics and `parking_lot` locks; there are no
 //! tracing/metrics framework dependencies. The no-sink fast path is one
@@ -30,11 +36,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alert;
 pub mod binfmt;
 pub mod decision;
 pub mod event;
 pub mod health;
 pub mod jsonl;
+pub mod live;
 pub mod metrics;
 pub mod monitor;
 pub mod prometheus;
@@ -42,18 +50,22 @@ pub mod registry;
 pub mod serve;
 pub mod sink;
 pub mod span;
+pub mod timeseries;
 pub mod trace;
 pub mod tree;
 
+pub use alert::{default_rules, AlertEngine, Predicate, Rule, Severity};
 pub use binfmt::{BinReader, BinSink, TraceRecord};
 pub use decision::DecisionRecord;
 pub use event::Event;
+pub use live::{LiveMonitor, Ticker};
 pub use metrics::{Bucket, Counter, Gauge, Histogram, HistogramSnapshot};
 pub use monitor::{DriftConfig, DriftDetector, QualityMonitor, QualitySummary};
 pub use registry::{Registry, Snapshot};
 pub use serve::MetricsServer;
 pub use sink::{clear_sink, set_sink, sink_active, EventSink, JsonlSink, MemorySink, NoopSink};
 pub use span::{span, Span};
+pub use timeseries::{Sampler, SamplerConfig};
 pub use trace::{
     current_context, current_ids, open_reader, open_trace, reserve_trace_ids, with_context,
     Captured, TraceContext, TraceReader,

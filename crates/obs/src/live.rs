@@ -1,0 +1,425 @@
+//! The live-monitoring bundle: one sampler + one alert engine behind a
+//! lock, tickable from anywhere, queryable from the metrics endpoint.
+//!
+//! [`LiveMonitor`] is what `talon serve` (and eventually `talond`) holds:
+//! each [`LiveMonitor::tick`] snapshots the global registry, appends it to
+//! the [`Sampler`] rings, and runs the [`AlertEngine`] — one lock
+//! acquisition, no clock reads, so a test (or a deterministic injection
+//! run) that calls `tick()` in a loop gets the exact transition sequence a
+//! production timer loop would produce. [`LiveMonitor::start_ticker`]
+//! spawns the production timer thread; drop the handle to stop it.
+//!
+//! The JSON renderers here back the `/healthz`, `/alerts`, and
+//! `/timeseries` endpoints on [`crate::MetricsServer`] and the `talon top`
+//! dashboard. `/healthz` is the operational contract: **503 while any
+//! page-severity alert fires**, 200 otherwise, with the firing rule names
+//! in the body either way.
+
+use crate::alert::{default_rules, AlertEngine, Rule, Severity, Transition};
+use crate::timeseries::{Sampler, SamplerConfig};
+use parking_lot::Mutex;
+use serde::Value;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Points of history included per metric in the `/timeseries` overview
+/// (sparkline feed; the per-metric query returns up to the full ring).
+const OVERVIEW_POINTS: u64 = 30;
+
+struct Inner {
+    sampler: Sampler,
+    engine: AlertEngine,
+}
+
+/// Sampler + alert engine behind one lock. See the module docs.
+pub struct LiveMonitor {
+    inner: Mutex<Inner>,
+}
+
+impl LiveMonitor {
+    /// A monitor with explicit sampler tuning and rule set.
+    pub fn new(config: SamplerConfig, rules: Vec<Rule>) -> Self {
+        LiveMonitor {
+            inner: Mutex::new(Inner {
+                sampler: Sampler::new(config),
+                engine: AlertEngine::new(rules),
+            }),
+        }
+    }
+
+    /// A monitor with the default sampler tuning and the compiled-in
+    /// default rule set ([`default_rules`]).
+    pub fn with_defaults() -> Self {
+        LiveMonitor::new(SamplerConfig::default(), default_rules())
+    }
+
+    /// One tick: snapshot the global registry, sample it, evaluate every
+    /// rule. Returns the alert edges this tick produced.
+    pub fn tick(&self) -> Vec<Transition> {
+        self.tick_with(&crate::global().snapshot())
+    }
+
+    /// [`LiveMonitor::tick`] against a caller-provided snapshot
+    /// (deterministic test / replay entry point).
+    pub fn tick_with(&self, snapshot: &crate::registry::Snapshot) -> Vec<Transition> {
+        let mut inner = self.inner.lock();
+        inner.sampler.sample(snapshot);
+        let inner = &mut *inner;
+        inner.engine.evaluate(&inner.sampler)
+    }
+
+    /// Ticks taken so far.
+    pub fn ticks(&self) -> u64 {
+        self.inner.lock().sampler.ticks()
+    }
+
+    /// The `/healthz` answer: `(healthy, body)`. Unhealthy means at least
+    /// one page-severity alert is firing; the body names the firing rules
+    /// (all severities) either way.
+    pub fn healthz(&self) -> (bool, String) {
+        let inner = self.inner.lock();
+        let paging = inner.engine.firing_names(Some(Severity::Page));
+        let firing = inner.engine.firing_names(None);
+        let healthy = paging.is_empty();
+        let mut body = String::from(if healthy { "ok" } else { "unhealthy" });
+        if !firing.is_empty() {
+            body.push_str("\nfiring: ");
+            body.push_str(&firing.join(", "));
+        }
+        body.push('\n');
+        (healthy, body)
+    }
+
+    /// The `/alerts` JSON: every rule's status plus the recent transition
+    /// log, oldest first.
+    pub fn alerts_json(&self) -> String {
+        let inner = self.inner.lock();
+        let alerts: Vec<Value> = inner
+            .engine
+            .statuses()
+            .iter()
+            .map(|s| s.to_value())
+            .collect();
+        let transitions: Vec<Value> = inner
+            .engine
+            .transitions()
+            .iter()
+            .map(|t| {
+                Value::Map(vec![
+                    ("rule".into(), Value::Str(t.rule.clone())),
+                    ("tick".into(), Value::U64(t.tick)),
+                    ("from".into(), Value::Str(t.from.clone())),
+                    ("to".into(), Value::Str(t.to.clone())),
+                    ("value".into(), Value::F64(t.value)),
+                ])
+            })
+            .collect();
+        Value::Map(vec![
+            ("tick".into(), Value::U64(inner.sampler.ticks())),
+            (
+                "firing".into(),
+                Value::U64(inner.engine.firing_count(None) as u64),
+            ),
+            (
+                "firing_page".into(),
+                Value::U64(inner.engine.firing_count(Some(Severity::Page)) as u64),
+            ),
+            ("alerts".into(), Value::Seq(alerts)),
+            ("transitions".into(), Value::Seq(transitions)),
+        ])
+        .to_json()
+    }
+
+    /// The `/timeseries` overview JSON: per-metric windowed signals
+    /// (counter rates, gauge stats, histogram quantiles) plus short
+    /// sparkline feeds, over the last `window` ticks.
+    pub fn overview_json(&self, window: u64) -> String {
+        let inner = self.inner.lock();
+        let s = &inner.sampler;
+        let spark = OVERVIEW_POINTS.min(window.max(2));
+        let counters: Vec<Value> = s
+            .counter_names()
+            .iter()
+            .map(|name| {
+                Value::Map(vec![
+                    ("name".into(), Value::Str((*name).into())),
+                    (
+                        "value".into(),
+                        Value::U64(s.counter_value(name).unwrap_or(0)),
+                    ),
+                    (
+                        "rate_per_s".into(),
+                        s.counter_rate_per_sec(name, window)
+                            .map_or(Value::Null, Value::F64),
+                    ),
+                    (
+                        "deltas".into(),
+                        Value::Seq(
+                            s.counter_deltas(name, spark)
+                                .into_iter()
+                                .map(Value::F64)
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        let gauges: Vec<Value> = s
+            .gauge_names()
+            .iter()
+            .filter_map(|name| {
+                let stats = s.gauge_stats(name, window)?;
+                let points = s.points(name, spark).unwrap_or_default();
+                Some(Value::Map(vec![
+                    ("name".into(), Value::Str((*name).into())),
+                    ("last".into(), Value::I64(stats.last)),
+                    ("min".into(), Value::I64(stats.min)),
+                    ("mean".into(), Value::F64(stats.mean)),
+                    ("max".into(), Value::I64(stats.max)),
+                    (
+                        "points".into(),
+                        Value::Seq(points.into_iter().map(|(_, v)| Value::F64(v)).collect()),
+                    ),
+                ]))
+            })
+            .collect();
+        let histograms: Vec<Value> = s
+            .histogram_names()
+            .iter()
+            .filter_map(|name| {
+                let h = s.windowed_histogram(name, window)?;
+                Some(Value::Map(vec![
+                    ("name".into(), Value::Str((*name).into())),
+                    ("count".into(), Value::U64(h.count)),
+                    ("mean".into(), Value::F64(h.mean())),
+                    ("p50".into(), Value::U64(h.p50())),
+                    ("p95".into(), Value::U64(h.p95())),
+                    ("p99".into(), Value::U64(h.p99())),
+                ]))
+            })
+            .collect();
+        Value::Map(vec![
+            ("tick".into(), Value::U64(s.ticks())),
+            ("tick_ms".into(), Value::U64(s.config().tick_ms)),
+            ("window".into(), Value::U64(window)),
+            ("counters".into(), Value::Seq(counters)),
+            ("gauges".into(), Value::Seq(gauges)),
+            ("histograms".into(), Value::Seq(histograms)),
+        ])
+        .to_json()
+    }
+
+    /// The per-metric `/timeseries?metric=` JSON: raw ring points over the
+    /// last `window` ticks plus the windowed derivation for the metric's
+    /// kind. `None` for a metric the sampler has never seen.
+    pub fn series_json(&self, metric: &str, window: u64) -> Option<String> {
+        let inner = self.inner.lock();
+        let s = &inner.sampler;
+        let kind = s.kind_of(metric)?;
+        let points = s.points(metric, window.max(1))?;
+        let mut map = vec![
+            ("metric".into(), Value::Str(metric.into())),
+            ("kind".into(), Value::Str(kind.into())),
+            ("tick".into(), Value::U64(s.ticks())),
+            ("tick_ms".into(), Value::U64(s.config().tick_ms)),
+            ("window".into(), Value::U64(window)),
+            (
+                "points".into(),
+                Value::Seq(
+                    points
+                        .into_iter()
+                        .map(|(t, v)| {
+                            Value::Map(vec![
+                                ("t".into(), Value::U64(t)),
+                                ("v".into(), Value::F64(v)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ];
+        match kind {
+            "counter" => {
+                map.push((
+                    "rate_per_s".into(),
+                    s.counter_rate_per_sec(metric, window)
+                        .map_or(Value::Null, Value::F64),
+                ));
+            }
+            "gauge" => {
+                if let Some(stats) = s.gauge_stats(metric, window) {
+                    map.push(("min".into(), Value::I64(stats.min)));
+                    map.push(("mean".into(), Value::F64(stats.mean)));
+                    map.push(("max".into(), Value::I64(stats.max)));
+                }
+            }
+            _ => {
+                if let Some(h) = s.windowed_histogram(metric, window) {
+                    map.push(("count".into(), Value::U64(h.count)));
+                    map.push(("p50".into(), Value::U64(h.p50())));
+                    map.push(("p95".into(), Value::U64(h.p95())));
+                    map.push(("p99".into(), Value::U64(h.p99())));
+                }
+            }
+        }
+        Some(Value::Map(map).to_json())
+    }
+
+    /// Spawns a timer thread calling [`LiveMonitor::tick`] every `period`
+    /// until the returned handle is dropped.
+    pub fn start_ticker(self: &Arc<Self>, period: Duration) -> Ticker {
+        let monitor = Arc::clone(self);
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("talon-sampler".into())
+            .spawn(move || {
+                // Poll the stop flag at a finer grain than the tick so
+                // drop never waits out a long period.
+                let poll = period.min(Duration::from_millis(50));
+                let mut elapsed = Duration::ZERO;
+                while !stop_flag.load(Ordering::Acquire) {
+                    std::thread::sleep(poll);
+                    elapsed += poll;
+                    if elapsed >= period {
+                        elapsed = Duration::ZERO;
+                        monitor.tick();
+                    }
+                }
+            })
+            .expect("spawn sampler thread");
+        Ticker {
+            stop,
+            thread: Some(thread),
+        }
+    }
+}
+
+impl std::fmt::Debug for LiveMonitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LiveMonitor")
+            .field("ticks", &self.ticks())
+            .finish()
+    }
+}
+
+/// Handle to a running sampler timer thread; stops it on drop.
+#[derive(Debug)]
+pub struct Ticker {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Drop for Ticker {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alert::{Predicate, Rule, Severity};
+    use crate::registry::Snapshot;
+
+    fn gauge_rule(metric: &str) -> Rule {
+        Rule {
+            name: "g_high".into(),
+            severity: Severity::Page,
+            predicate: Predicate::ValueAbove {
+                metric: metric.into(),
+                threshold: 10.0,
+            },
+            for_ticks: 2,
+            clear_below: 5.0,
+            clear_for_ticks: 2,
+        }
+    }
+
+    fn snap(v: i64) -> Snapshot {
+        let mut s = Snapshot::default();
+        s.gauges.insert("live.test.g".to_string(), v);
+        s.counters
+            .insert("live.test.c".to_string(), v.max(0) as u64);
+        s
+    }
+
+    #[test]
+    fn healthz_flips_with_the_page_alert() {
+        let m = LiveMonitor::new(SamplerConfig::default(), vec![gauge_rule("live.test.g")]);
+        assert!(m.healthz().0, "healthy before any tick");
+        m.tick_with(&snap(20));
+        assert!(m.healthz().0, "pending is not unhealthy");
+        m.tick_with(&snap(20));
+        let (healthy, body) = m.healthz();
+        assert!(!healthy);
+        assert!(body.contains("firing: g_high"), "{body}");
+        // Hysteresis: two ticks at/below the clear bar resolve.
+        m.tick_with(&snap(1));
+        m.tick_with(&snap(1));
+        let (healthy, body) = m.healthz();
+        assert!(healthy, "{body}");
+        assert_eq!(body, "ok\n");
+    }
+
+    #[test]
+    fn json_payloads_parse_and_carry_the_series() {
+        let m = LiveMonitor::new(SamplerConfig::default(), vec![gauge_rule("live.test.g")]);
+        for v in [1, 2, 20, 20, 20] {
+            m.tick_with(&snap(v));
+        }
+        let alerts = Value::from_json(&m.alerts_json()).expect("alerts JSON parses");
+        assert_eq!(alerts.get("firing_page").and_then(Value::as_u64), Some(1));
+        let rows = alerts.get("alerts").and_then(Value::as_seq).expect("rows");
+        assert_eq!(rows[0].get("state").and_then(Value::as_str), Some("firing"));
+        assert!(!alerts
+            .get("transitions")
+            .and_then(Value::as_seq)
+            .expect("log")
+            .is_empty());
+
+        let overview = Value::from_json(&m.overview_json(10)).expect("overview parses");
+        let counters = overview
+            .get("counters")
+            .and_then(Value::as_seq)
+            .expect("counters");
+        let c = counters
+            .iter()
+            .find(|c| c.get("name").and_then(Value::as_str) == Some("live.test.c"))
+            .expect("sampled counter listed");
+        assert!(c.get("rate_per_s").and_then(Value::as_f64).is_some());
+
+        let series = Value::from_json(&m.series_json("live.test.g", 10).expect("known metric"))
+            .expect("series parses");
+        assert_eq!(series.get("kind").and_then(Value::as_str), Some("gauge"));
+        assert_eq!(
+            series
+                .get("points")
+                .and_then(Value::as_seq)
+                .expect("points")
+                .len(),
+            5
+        );
+        assert!(m.series_json("no.such.metric", 10).is_none());
+    }
+
+    #[test]
+    fn ticker_ticks_and_stops_on_drop() {
+        let m = Arc::new(LiveMonitor::with_defaults());
+        let ticker = m.start_ticker(Duration::from_millis(10));
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while m.ticks() == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(m.ticks() > 0, "ticker produced at least one tick");
+        drop(ticker);
+        let after = m.ticks();
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(m.ticks(), after, "no ticks after drop");
+    }
+}

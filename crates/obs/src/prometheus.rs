@@ -6,9 +6,14 @@
 //! underscores): the counter `health.snr_clamped` becomes
 //! `talon_health_snr_clamped_total`.
 //!
-//! Histograms are exposed with cumulative `le` buckets derived from the
-//! power-of-two bucket upper bounds, plus the conventional `_sum` and
-//! `_count` series.
+//! Every series gets a `# HELP` line from the static description table
+//! ([`help_for`]; unknown names fall back to the raw registry name) ahead
+//! of its `# TYPE` line. Histograms are exposed with cumulative `le`
+//! buckets derived from the power-of-two bucket upper bounds, plus the
+//! conventional `_sum` and `_count` series.
+//!
+//! [`process_series`] adds the restart-detection pair every scrape wants:
+//! `talon_build_info{version=...}` and process start-time / uptime gauges.
 
 use crate::registry::Snapshot;
 use std::fmt::Write;
@@ -27,21 +32,112 @@ pub fn series_name(name: &str) -> String {
     out
 }
 
+/// Static `# HELP` text for the metric names the workspace emits. Names
+/// not listed fall back to the raw registry name ([`help_for`]), so every
+/// series always carries *a* description. Listed here rather than at the
+/// emitting call sites so the exposition works for snapshots read back
+/// from trace files, where the emitters are long gone.
+const DESCRIPTIONS: &[(&str, &str)] = &[
+    ("css.estimates", "Compressive direction estimates computed"),
+    (
+        "css.selections",
+        "Sector selections issued by the CSS agent",
+    ),
+    ("sls.runs", "Full SLS training rounds executed"),
+    ("alert.fired", "Alert firing edges since process start"),
+    ("alert.resolved", "Alert resolved edges since process start"),
+    ("alert.firing", "Alert rules currently in the firing state"),
+    (
+        "alert.firing_page",
+        "Page-severity alert rules currently firing (healthz gates on this)",
+    ),
+    (
+        "quality.snr_loss_mdb",
+        "Latest SNR loss of the serving sector vs the oracle best, milli-dB",
+    ),
+    (
+        "quality.misselection_ppm",
+        "Misselected trainings per million over the monitored stream",
+    ),
+    (
+        "health.snr_clamped",
+        "SNR reports saturated by the firmware wire format",
+    ),
+    (
+        "health.missing_probe",
+        "Probe frames swept but never decoded",
+    ),
+    (
+        "health.outlier_residual",
+        "Probe readings disagreeing with the Eq. 5 model at the estimate",
+    ),
+    (
+        "health.export_gap",
+        "Swept probes that never reached user space via the export ring",
+    ),
+    (
+        "health.ring_overflow",
+        "Export ring overwrites of unread entries",
+    ),
+    (
+        "health.link_outage",
+        "Transitions into zero-rate link outage",
+    ),
+    (
+        "health.airtime_saturated",
+        "Deployments whose training airtime exceeded the channel",
+    ),
+    (
+        "health.trace_corrupt",
+        "Malformed trace records skipped on read",
+    ),
+    (
+        "health.trace_write_failed",
+        "Trace records lost to sink write failures",
+    ),
+    (
+        "health.link_drift",
+        "Drift epochs opened by the CUSUM quality monitor",
+    ),
+    (
+        "health.misselection",
+        "Selections that gave up more than the misselection threshold",
+    ),
+    (
+        "health.alert_firing",
+        "Alert rules that entered the firing state",
+    ),
+];
+
+/// The `# HELP` text for a registry metric name: the static description
+/// when known, the raw name otherwise (never empty — some scrapers drop
+/// series with blank help).
+pub fn help_for(name: &str) -> &str {
+    DESCRIPTIONS
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, help)| *help)
+        .unwrap_or(name)
+}
+
 /// Renders `snapshot` in the Prometheus text exposition format.
 pub fn render(snapshot: &Snapshot) -> String {
     let mut out = String::new();
     for (name, value) in &snapshot.counters {
         let series = format!("{}_total", series_name(name));
+        let _ = writeln!(out, "# HELP {series} {}", help_for(name));
         let _ = writeln!(out, "# TYPE {series} counter");
         let _ = writeln!(out, "{series} {value}");
     }
     for (name, value) in &snapshot.gauges {
         let series = series_name(name);
+        let _ = writeln!(out, "# HELP {series} {}", help_for(name));
         let _ = writeln!(out, "# TYPE {series} gauge");
         let _ = writeln!(out, "{series} {value}");
     }
     for (name, hist) in &snapshot.histograms {
         let series = series_name(name);
+        let _ = writeln!(out, "# HELP {series} {}", help_for(name));
         let _ = writeln!(out, "# TYPE {series} histogram");
         let mut cumulative = 0u64;
         for b in &hist.buckets {
@@ -55,6 +151,57 @@ pub fn render(snapshot: &Snapshot) -> String {
         let _ = writeln!(out, "{series}_sum {}", hist.sum);
         let _ = writeln!(out, "{series}_count {}", hist.count);
     }
+    out
+}
+
+/// Unix seconds at which this process's trace clock started, fixed at
+/// first call (call early — e.g. when the server starts — so the value
+/// approximates actual process start).
+fn start_time_unix() -> f64 {
+    use std::sync::OnceLock;
+    static START: OnceLock<f64> = OnceLock::new();
+    *START.get_or_init(|| {
+        let now = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs_f64())
+            .unwrap_or(0.0);
+        now - crate::now_us() as f64 / 1e6
+    })
+}
+
+/// Synthesized process-identity series appended to every `/metrics`
+/// response: `talon_build_info{version=...} 1` plus start-time and uptime
+/// gauges, so scrapes can detect restarts (uptime reset, start time
+/// moved) and version rollouts.
+pub fn process_series() -> String {
+    let mut out = String::new();
+    let version = env!("CARGO_PKG_VERSION");
+    let _ = writeln!(
+        out,
+        "# HELP talon_build_info Build metadata of the serving talon binary"
+    );
+    let _ = writeln!(out, "# TYPE talon_build_info gauge");
+    let _ = writeln!(out, "talon_build_info{{version=\"{version}\"}} 1");
+    let _ = writeln!(
+        out,
+        "# HELP talon_process_start_time_seconds Unix time the process trace clock started"
+    );
+    let _ = writeln!(out, "# TYPE talon_process_start_time_seconds gauge");
+    let _ = writeln!(
+        out,
+        "talon_process_start_time_seconds {:.3}",
+        start_time_unix()
+    );
+    let _ = writeln!(
+        out,
+        "# HELP talon_process_uptime_seconds Seconds since the process trace clock started"
+    );
+    let _ = writeln!(out, "# TYPE talon_process_uptime_seconds gauge");
+    let _ = writeln!(
+        out,
+        "talon_process_uptime_seconds {:.3}",
+        crate::now_us() as f64 / 1e6
+    );
     out
 }
 
@@ -100,13 +247,67 @@ mod tests {
     }
 
     #[test]
+    fn every_series_gets_a_help_line() {
+        let reg = Registry::new();
+        reg.counter("health.snr_clamped").add(1);
+        reg.counter("some.unknown.metric").add(1);
+        reg.gauge("quality.snr_loss_mdb").set(7);
+        reg.histogram("css.estimate.dur_us").record(9);
+        let text = render(&reg.snapshot());
+        // Described name: the table text. Unknown name: raw-name fallback.
+        assert!(text.contains(
+            "# HELP talon_health_snr_clamped_total SNR reports saturated by the firmware wire format"
+        ));
+        assert!(text.contains("# HELP talon_some_unknown_metric_total some.unknown.metric"));
+        assert!(text.contains("# HELP talon_quality_snr_loss_mdb Latest SNR loss"));
+        // Every TYPE line is directly preceded by the matching HELP line.
+        let lines: Vec<&str> = text.lines().collect();
+        for (i, line) in lines.iter().enumerate() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let series = rest.split(' ').next().expect("series name");
+                assert!(
+                    i > 0 && lines[i - 1].starts_with(&format!("# HELP {series} ")),
+                    "no HELP ahead of: {line}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn process_series_carry_build_info_and_uptime() {
+        let text = process_series();
+        assert!(text.contains(&format!(
+            "talon_build_info{{version=\"{}\"}} 1",
+            env!("CARGO_PKG_VERSION")
+        )));
+        assert!(text.contains("# TYPE talon_process_start_time_seconds gauge"));
+        let uptime: f64 = text
+            .lines()
+            .find_map(|l| l.strip_prefix("talon_process_uptime_seconds "))
+            .expect("uptime series")
+            .parse()
+            .expect("numeric uptime");
+        assert!(uptime >= 0.0);
+        let start: f64 = text
+            .lines()
+            .find_map(|l| l.strip_prefix("talon_process_start_time_seconds "))
+            .expect("start series")
+            .parse()
+            .expect("numeric start time");
+        assert!(start > 1e9, "plausible unix time: {start}");
+    }
+
+    #[test]
     fn every_line_is_comment_or_sample() {
         let reg = Registry::new();
         reg.counter("a.b").inc();
         reg.histogram("c.d").record(9);
-        for line in render(&reg.snapshot()).lines() {
+        let mut text = render(&reg.snapshot());
+        text.push_str(&process_series());
+        for line in text.lines() {
             assert!(
-                line.starts_with("# TYPE ")
+                line.starts_with("# HELP ")
+                    || line.starts_with("# TYPE ")
                     || line.split_once(' ').is_some_and(|(name, value)| {
                         name.starts_with("talon_") && value.parse::<f64>().is_ok()
                     }),

@@ -1,16 +1,30 @@
-//! A zero-dependency metrics endpoint on `std::net::TcpListener`.
+//! A zero-dependency operational endpoint on `std::net::TcpListener`.
 //!
 //! [`MetricsServer::start`] binds an address (use port 0 for an ephemeral
-//! port), spawns one background thread, and answers `GET /metrics` with the
-//! Prometheus text exposition of the global registry. The accept loop is
-//! non-blocking and polls a shutdown flag, so dropping the server stops the
-//! thread promptly without needing a self-connect trick.
+//! port), spawns one background thread, and answers:
 //!
-//! This is a diagnostics endpoint, not a web server: one connection is
-//! served at a time, each under a hard wall-clock deadline
+//! * `GET /metrics` (or `/`) — Prometheus text exposition of the global
+//!   registry plus the [`crate::prometheus::process_series`] build-info /
+//!   uptime series;
+//! * `GET /healthz` — `200 ok` normally, **503** while any page-severity
+//!   alert fires on the attached [`LiveMonitor`];
+//! * `GET /alerts` — JSON: every rule's state plus the recent transition
+//!   log;
+//! * `GET /timeseries[?metric=<name>&window=<ticks>]` — JSON: the
+//!   windowed overview, or one metric's ring.
+//!
+//! The monitor-backed routes need [`MetricsServer::start_with_monitor`];
+//! without a monitor they answer 503 (`/healthz` has nothing watching, so
+//! claiming health would be a lie) and 404.
+//!
+//! The accept loop is non-blocking and polls a shutdown flag, so dropping
+//! the server stops the thread promptly without needing a self-connect
+//! trick. This is a diagnostics endpoint, not a web server: one connection
+//! is served at a time, each under a hard wall-clock deadline
 //! ([`CONNECTION_DEADLINE`]) so a slow or stalled client cannot wedge the
-//! loop, and anything that is not `GET /metrics` (or `GET /`) gets a 404.
+//! loop, and unknown paths get a 404.
 
+use crate::live::LiveMonitor;
 use crate::prometheus;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -28,6 +42,9 @@ const CONNECTION_DEADLINE: Duration = Duration::from_secs(2);
 /// Poll granularity for the read loop's deadline / stop-flag checks.
 const READ_POLL: Duration = Duration::from_millis(100);
 
+/// Default `window` for `/timeseries` queries, ticks.
+const DEFAULT_WINDOW: u64 = 60;
+
 /// A running metrics endpoint; stops when dropped.
 #[derive(Debug)]
 pub struct MetricsServer {
@@ -37,8 +54,20 @@ pub struct MetricsServer {
 }
 
 impl MetricsServer {
-    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts serving.
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts serving `/metrics`
+    /// only (no live monitor — `/healthz` answers 503, `/alerts` and
+    /// `/timeseries` 404).
     pub fn start(addr: &str) -> std::io::Result<Self> {
+        Self::spawn(addr, None)
+    }
+
+    /// Binds `addr` and starts serving with the live-monitoring routes
+    /// backed by `monitor`.
+    pub fn start_with_monitor(addr: &str, monitor: Arc<LiveMonitor>) -> std::io::Result<Self> {
+        Self::spawn(addr, Some(monitor))
+    }
+
+    fn spawn(addr: &str, monitor: Option<Arc<LiveMonitor>>) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -46,7 +75,7 @@ impl MetricsServer {
         let stop_flag = Arc::clone(&stop);
         let thread = std::thread::Builder::new()
             .name("talon-metrics".into())
-            .spawn(move || accept_loop(listener, &stop_flag))?;
+            .spawn(move || accept_loop(listener, &stop_flag, monitor.as_deref()))?;
         Ok(MetricsServer {
             addr,
             stop,
@@ -69,15 +98,15 @@ impl Drop for MetricsServer {
     }
 }
 
-fn accept_loop(listener: TcpListener, stop: &AtomicBool) {
+fn accept_loop(listener: TcpListener, stop: &AtomicBool, monitor: Option<&LiveMonitor>) {
     while !stop.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((stream, _)) => {
-                // Serve inline: metrics scrapes are small and rare, so a
-                // per-connection thread would be pure overhead. The
+                // Serve inline: operational scrapes are small and rare, so
+                // a per-connection thread would be pure overhead. The
                 // deadline inside bounds how long one client can occupy
                 // the loop; the stop flag cuts even that short.
-                let _ = serve_connection(stream, stop);
+                let _ = serve_connection(stream, stop, monitor);
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(10));
@@ -87,20 +116,88 @@ fn accept_loop(listener: TcpListener, stop: &AtomicBool) {
     }
 }
 
-fn serve_connection(mut stream: TcpStream, stop: &AtomicBool) -> std::io::Result<()> {
+/// Routes one request. `(status line, content type, body)`.
+fn respond(
+    path_and_query: &str,
+    monitor: Option<&LiveMonitor>,
+) -> (&'static str, &'static str, String) {
+    const TEXT: &str = "text/plain; version=0.0.4";
+    const JSON: &str = "application/json";
+    let (path, query) = match path_and_query.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (path_and_query, ""),
+    };
+    match path {
+        "/metrics" | "/" => {
+            let mut body = prometheus::render(&crate::global().snapshot());
+            body.push_str(&prometheus::process_series());
+            ("200 OK", TEXT, body)
+        }
+        "/healthz" => match monitor {
+            Some(m) => {
+                let (healthy, body) = m.healthz();
+                if healthy {
+                    ("200 OK", TEXT, body)
+                } else {
+                    ("503 Service Unavailable", TEXT, body)
+                }
+            }
+            None => (
+                "503 Service Unavailable",
+                TEXT,
+                String::from("no live monitor attached\n"),
+            ),
+        },
+        "/alerts" => match monitor {
+            Some(m) => ("200 OK", JSON, m.alerts_json()),
+            None => ("404 Not Found", TEXT, String::from("no live monitor\n")),
+        },
+        "/timeseries" => match monitor {
+            Some(m) => {
+                let window = query_param(query, "window")
+                    .and_then(|w| w.parse().ok())
+                    .unwrap_or(DEFAULT_WINDOW);
+                match query_param(query, "metric") {
+                    Some(metric) => match m.series_json(metric, window) {
+                        Some(body) => ("200 OK", JSON, body),
+                        None => (
+                            "404 Not Found",
+                            TEXT,
+                            format!("metric not sampled: {metric}\n"),
+                        ),
+                    },
+                    None => ("200 OK", JSON, m.overview_json(window)),
+                }
+            }
+            None => ("404 Not Found", TEXT, String::from("no live monitor\n")),
+        },
+        _ => ("404 Not Found", TEXT, String::from("not found\n")),
+    }
+}
+
+/// The value of `key` in a `k=v&k2=v2` query string. No percent-decoding:
+/// metric names are plain identifiers.
+fn query_param<'q>(query: &'q str, key: &str) -> Option<&'q str> {
+    query.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=')?;
+        (k == key).then_some(v)
+    })
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    stop: &AtomicBool,
+    monitor: Option<&LiveMonitor>,
+) -> std::io::Result<()> {
     let deadline = Instant::now() + CONNECTION_DEADLINE;
     stream.set_nonblocking(false)?;
     stream.set_read_timeout(Some(READ_POLL))?;
     stream.set_write_timeout(Some(CONNECTION_DEADLINE))?;
     let request_line = read_request_line(&mut stream, deadline, stop)?;
     let path = request_line.split_whitespace().nth(1).unwrap_or("/");
-    let (status, body) = if path == "/metrics" || path == "/" {
-        ("200 OK", prometheus::render(&crate::global().snapshot()))
-    } else {
-        ("404 Not Found", String::from("not found\n"))
-    };
+    let (status, content_type, body) = respond(path, monitor);
     let response = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4\r\n\
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
          Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
     );
@@ -152,6 +249,9 @@ fn read_request_line(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::alert::{Predicate, Rule, Severity};
+    use crate::timeseries::SamplerConfig;
+    use serde::Value;
 
     fn get(addr: SocketAddr, path: &str) -> String {
         let mut stream = TcpStream::connect(addr).expect("connect");
@@ -159,6 +259,10 @@ mod tests {
         let mut response = String::new();
         stream.read_to_string(&mut response).unwrap();
         response
+    }
+
+    fn body_of(response: &str) -> &str {
+        response.split_once("\r\n\r\n").expect("head/body split").1
     }
 
     #[test]
@@ -172,6 +276,75 @@ mod tests {
             response.contains("talon_serve_test_requests_total 7"),
             "{response}"
         );
+        // Build-info and uptime ride along on every scrape.
+        assert!(response.contains("talon_build_info{version="), "{response}");
+        assert!(
+            response.contains("talon_process_uptime_seconds"),
+            "{response}"
+        );
+    }
+
+    #[test]
+    fn monitorless_server_refuses_health_and_404s_live_routes() {
+        let server = MetricsServer::start("127.0.0.1:0").expect("bind");
+        let addr = server.local_addr();
+        assert!(
+            get(addr, "/healthz").starts_with("HTTP/1.1 503"),
+            "nothing is watching"
+        );
+        assert!(get(addr, "/alerts").starts_with("HTTP/1.1 404"));
+        assert!(get(addr, "/timeseries").starts_with("HTTP/1.1 404"));
+    }
+
+    #[test]
+    fn live_routes_answer_from_the_attached_monitor() {
+        let rule = Rule {
+            name: "serve_test_high".into(),
+            severity: Severity::Page,
+            predicate: Predicate::ValueAbove {
+                metric: "serve.test.live_gauge".into(),
+                threshold: 10.0,
+            },
+            for_ticks: 1,
+            clear_below: 2.0,
+            clear_for_ticks: 1,
+        };
+        let monitor = Arc::new(LiveMonitor::new(SamplerConfig::default(), vec![rule]));
+        let server =
+            MetricsServer::start_with_monitor("127.0.0.1:0", Arc::clone(&monitor)).expect("bind");
+        let addr = server.local_addr();
+
+        // Healthy before the gauge spikes.
+        let mut snap = crate::registry::Snapshot::default();
+        snap.gauges.insert("serve.test.live_gauge".to_string(), 1);
+        monitor.tick_with(&snap);
+        let response = get(addr, "/healthz");
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(body_of(&response).starts_with("ok"), "{response}");
+
+        // Spike → page alert → 503 with the rule named.
+        snap.gauges.insert("serve.test.live_gauge".to_string(), 99);
+        monitor.tick_with(&snap);
+        let response = get(addr, "/healthz");
+        assert!(response.starts_with("HTTP/1.1 503"), "{response}");
+        assert!(body_of(&response).contains("serve_test_high"), "{response}");
+
+        // /alerts is parseable JSON naming the firing rule.
+        let response = get(addr, "/alerts");
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.contains("application/json"), "{response}");
+        let alerts = Value::from_json(body_of(&response)).expect("alerts JSON");
+        assert_eq!(alerts.get("firing_page").and_then(Value::as_u64), Some(1));
+
+        // /timeseries overview and the per-metric query.
+        let response = get(addr, "/timeseries?window=5");
+        let overview = Value::from_json(body_of(&response)).expect("overview JSON");
+        assert_eq!(overview.get("window").and_then(Value::as_u64), Some(5));
+        let response = get(addr, "/timeseries?metric=serve.test.live_gauge&window=5");
+        let series = Value::from_json(body_of(&response)).expect("series JSON");
+        assert_eq!(series.get("kind").and_then(Value::as_str), Some("gauge"));
+        let response = get(addr, "/timeseries?metric=no.such.metric");
+        assert!(response.starts_with("HTTP/1.1 404"), "{response}");
     }
 
     #[test]

@@ -1,0 +1,443 @@
+//! Windowed time-series over periodic registry snapshots.
+//!
+//! Everything before this module is cumulative: counters only grow,
+//! histograms only accumulate, and a scrape tells you what happened since
+//! process start — not what is happening *now*. [`Sampler`] closes that
+//! gap without new dependencies: on every tick it copies the registry
+//! [`Snapshot`] into bounded per-metric rings, and windowed signals are
+//! derived on demand by diffing ring entries:
+//!
+//! * **counter rates** — sum of adjacent (saturating) deltas over the
+//!   window, divided by the ticks spanned;
+//! * **gauge stats** — min/mean/max/last over the window's raw values;
+//! * **windowed histogram quantiles** — the cumulative bucket counts at
+//!   the two window endpoints are subtracted, yielding the distribution
+//!   of samples recorded *inside* the window, on which the usual
+//!   [`HistogramSnapshot::quantile`] runs.
+//!
+//! The sampler is tick-count-driven: [`Sampler::sample`] is one tick, and
+//! nothing in here reads a clock. Production drives it from a timer loop
+//! (`talon serve`); tests feed hand-built snapshots and get bit-exact,
+//! sleep-free determinism. `tick_ms` is carried only to convert per-tick
+//! rates into per-second rates for display.
+//!
+//! Memory is bounded by construction: at most [`SamplerConfig::capacity`]
+//! entries per metric, and the metric set is the registry's (which real
+//! workloads bound at a few dozen names).
+
+use crate::metrics::HistogramSnapshot;
+use crate::registry::Snapshot;
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+/// Tuning of a [`Sampler`].
+#[derive(Debug, Clone, Copy)]
+pub struct SamplerConfig {
+    /// Ring length: ticks of history retained per metric.
+    pub capacity: usize,
+    /// Nominal milliseconds between ticks (display conversion only — the
+    /// sampler itself never reads a clock).
+    pub tick_ms: u64,
+}
+
+impl Default for SamplerConfig {
+    fn default() -> Self {
+        SamplerConfig {
+            capacity: 512,
+            tick_ms: 1000,
+        }
+    }
+}
+
+/// A bounded ring of `(tick, value)` samples; pushing past capacity drops
+/// the oldest entry.
+#[derive(Debug, Clone)]
+struct Ring<T> {
+    samples: VecDeque<(u64, T)>,
+    capacity: usize,
+}
+
+impl<T> Ring<T> {
+    fn new(capacity: usize) -> Self {
+        Ring {
+            samples: VecDeque::with_capacity(capacity.min(64)),
+            capacity,
+        }
+    }
+
+    fn push(&mut self, tick: u64, value: T) {
+        if self.samples.len() == self.capacity {
+            self.samples.pop_front();
+        }
+        self.samples.push_back((tick, value));
+    }
+
+    /// The last `n` samples, oldest first.
+    fn tail(&self, n: usize) -> impl Iterator<Item = &(u64, T)> {
+        self.samples
+            .iter()
+            .skip(self.samples.len().saturating_sub(n))
+    }
+
+    fn latest(&self) -> Option<&(u64, T)> {
+        self.samples.back()
+    }
+}
+
+/// Min/mean/max/last of a gauge over a window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaugeStats {
+    /// Smallest value in the window.
+    pub min: i64,
+    /// Largest value in the window.
+    pub max: i64,
+    /// Arithmetic mean of the window's values.
+    pub mean: f64,
+    /// Most recent value.
+    pub last: i64,
+}
+
+/// Snapshot-diffing time-series sampler. See the module docs.
+#[derive(Debug)]
+pub struct Sampler {
+    config: SamplerConfig,
+    ticks: u64,
+    counters: BTreeMap<String, Ring<u64>>,
+    gauges: BTreeMap<String, Ring<i64>>,
+    histograms: BTreeMap<String, Ring<HistogramSnapshot>>,
+}
+
+impl Sampler {
+    /// An empty sampler.
+    pub fn new(config: SamplerConfig) -> Self {
+        Sampler {
+            config,
+            ticks: 0,
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+        }
+    }
+
+    /// The sampler's tuning.
+    pub fn config(&self) -> SamplerConfig {
+        self.config
+    }
+
+    /// Ticks taken so far (the next [`Sampler::sample`] records at this
+    /// tick index).
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Records one tick: every metric in `snapshot` is appended to its
+    /// ring (created on first sight, capacity-bounded thereafter).
+    pub fn sample(&mut self, snapshot: &Snapshot) {
+        let tick = self.ticks;
+        let cap = self.config.capacity;
+        for (name, value) in &snapshot.counters {
+            self.counters
+                .entry(name.clone())
+                .or_insert_with(|| Ring::new(cap))
+                .push(tick, *value);
+        }
+        for (name, value) in &snapshot.gauges {
+            self.gauges
+                .entry(name.clone())
+                .or_insert_with(|| Ring::new(cap))
+                .push(tick, *value);
+        }
+        for (name, hist) in &snapshot.histograms {
+            self.histograms
+                .entry(name.clone())
+                .or_insert_with(|| Ring::new(cap))
+                .push(tick, hist.clone());
+        }
+        self.ticks += 1;
+    }
+
+    /// Counter names with at least one sample.
+    pub fn counter_names(&self) -> Vec<&str> {
+        self.counters.keys().map(String::as_str).collect()
+    }
+
+    /// Gauge names with at least one sample.
+    pub fn gauge_names(&self) -> Vec<&str> {
+        self.gauges.keys().map(String::as_str).collect()
+    }
+
+    /// Histogram names with at least one sample.
+    pub fn histogram_names(&self) -> Vec<&str> {
+        self.histograms.keys().map(String::as_str).collect()
+    }
+
+    /// Latest cumulative value of counter `name`.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.counters.get(name)?.latest().map(|&(_, v)| v)
+    }
+
+    /// Latest value of gauge `name`.
+    pub fn gauge_value(&self, name: &str) -> Option<i64> {
+        self.gauges.get(name)?.latest().map(|&(_, v)| v)
+    }
+
+    /// Per-tick rate of counter `name` over the last `window` ticks:
+    /// the sum of saturating adjacent deltas (a counter that moved
+    /// backwards — registry cleared, process restarted — contributes 0
+    /// for that interval instead of poisoning the window) divided by the
+    /// ticks actually spanned. `None` until two samples exist.
+    pub fn counter_rate(&self, name: &str, window: u64) -> Option<f64> {
+        let ring = self.counters.get(name)?;
+        let take = (window as usize).saturating_add(1);
+        let samples: Vec<&(u64, u64)> = ring.tail(take).collect();
+        if samples.len() < 2 {
+            return None;
+        }
+        let mut delta = 0u64;
+        for pair in samples.windows(2) {
+            delta += pair[1].1.saturating_sub(pair[0].1);
+        }
+        let span = samples.last().expect("non-empty").0 - samples.first().expect("non-empty").0;
+        if span == 0 {
+            return None;
+        }
+        Some(delta as f64 / span as f64)
+    }
+
+    /// Per-second rate of counter `name` over the last `window` ticks,
+    /// using the configured tick period.
+    pub fn counter_rate_per_sec(&self, name: &str, window: u64) -> Option<f64> {
+        let per_tick = self.counter_rate(name, window)?;
+        Some(per_tick * 1000.0 / self.config.tick_ms.max(1) as f64)
+    }
+
+    /// Min/mean/max/last of gauge `name` over the last `window` samples.
+    pub fn gauge_stats(&self, name: &str, window: u64) -> Option<GaugeStats> {
+        let ring = self.gauges.get(name)?;
+        let values: Vec<i64> = ring.tail(window.max(1) as usize).map(|&(_, v)| v).collect();
+        let (first, rest) = values.split_first()?;
+        let (mut min, mut max, mut sum) = (*first, *first, *first as f64);
+        for &v in rest {
+            min = min.min(v);
+            max = max.max(v);
+            sum += v as f64;
+        }
+        Some(GaugeStats {
+            min,
+            max,
+            mean: sum / values.len() as f64,
+            last: *values.last().expect("non-empty"),
+        })
+    }
+
+    /// The distribution of samples recorded into histogram `name` during
+    /// the last `window` ticks, by diffing the cumulative snapshots at the
+    /// window endpoints. With fewer than two ring entries the latest
+    /// cumulative snapshot is returned whole (everything is "recent").
+    ///
+    /// `max` cannot be windowed from cumulative buckets and carries the
+    /// all-time maximum; quantiles derive from the diffed buckets alone.
+    pub fn windowed_histogram(&self, name: &str, window: u64) -> Option<HistogramSnapshot> {
+        let ring = self.histograms.get(name)?;
+        let take = (window as usize).saturating_add(1);
+        let samples: Vec<&(u64, HistogramSnapshot)> = ring.tail(take).collect();
+        let (_, newest) = samples.last()?;
+        if samples.len() < 2 {
+            return Some((*newest).clone());
+        }
+        let (_, oldest) = samples.first().expect("non-empty");
+        Some(diff_histograms(oldest, newest))
+    }
+
+    /// Windowed quantile of histogram `name` (see
+    /// [`Sampler::windowed_histogram`]).
+    pub fn quantile(&self, name: &str, window: u64, q: f64) -> Option<u64> {
+        Some(self.windowed_histogram(name, window)?.quantile(q))
+    }
+
+    /// The last `n` raw points of a counter (cumulative value) or gauge,
+    /// oldest first, as `(tick, value)` pairs. Histograms expose their
+    /// cumulative count. `None` for unknown names.
+    pub fn points(&self, name: &str, n: u64) -> Option<Vec<(u64, f64)>> {
+        let n = n.max(1) as usize;
+        if let Some(ring) = self.counters.get(name) {
+            return Some(ring.tail(n).map(|&(t, v)| (t, v as f64)).collect());
+        }
+        if let Some(ring) = self.gauges.get(name) {
+            return Some(ring.tail(n).map(|&(t, v)| (t, v as f64)).collect());
+        }
+        if let Some(ring) = self.histograms.get(name) {
+            return Some(ring.tail(n).map(|(t, h)| (*t, h.count as f64)).collect());
+        }
+        None
+    }
+
+    /// Per-tick deltas of counter `name` over its last `n` intervals,
+    /// oldest first (sparkline feed). Empty until two samples exist.
+    pub fn counter_deltas(&self, name: &str, n: u64) -> Vec<f64> {
+        let Some(ring) = self.counters.get(name) else {
+            return Vec::new();
+        };
+        let samples: Vec<&(u64, u64)> = ring.tail((n as usize).saturating_add(1)).collect();
+        samples
+            .windows(2)
+            .map(|pair| pair[1].1.saturating_sub(pair[0].1) as f64)
+            .collect()
+    }
+
+    /// Kind of metric `name`, if sampled: `"counter"`, `"gauge"`, or
+    /// `"histogram"`.
+    pub fn kind_of(&self, name: &str) -> Option<&'static str> {
+        if self.counters.contains_key(name) {
+            Some("counter")
+        } else if self.gauges.contains_key(name) {
+            Some("gauge")
+        } else if self.histograms.contains_key(name) {
+            Some("histogram")
+        } else {
+            None
+        }
+    }
+}
+
+/// The distribution recorded between two cumulative snapshots of the same
+/// histogram (`old` taken before `new`): per-bucket and total saturating
+/// diffs. `max` carries `new.max` (the all-time maximum — a window cannot
+/// recover its own).
+pub fn diff_histograms(old: &HistogramSnapshot, new: &HistogramSnapshot) -> HistogramSnapshot {
+    let old_counts: BTreeMap<u64, u64> = old.buckets.iter().map(|b| (b.lo, b.count)).collect();
+    let buckets = new
+        .buckets
+        .iter()
+        .filter_map(|b| {
+            let count = b
+                .count
+                .saturating_sub(old_counts.get(&b.lo).copied().unwrap_or(0));
+            (count > 0).then_some(crate::metrics::Bucket {
+                lo: b.lo,
+                hi: b.hi,
+                count,
+            })
+        })
+        .collect();
+    HistogramSnapshot {
+        count: new.count.saturating_sub(old.count),
+        sum: new.sum.saturating_sub(old.sum),
+        max: new.max,
+        buckets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn snap_with_counter(name: &str, value: u64) -> Snapshot {
+        let mut s = Snapshot::default();
+        s.counters.insert(name.to_string(), value);
+        s
+    }
+
+    #[test]
+    fn counter_rate_diffs_the_window() {
+        let mut sampler = Sampler::new(SamplerConfig {
+            capacity: 8,
+            tick_ms: 500,
+        });
+        for v in [0u64, 3, 3, 10, 14] {
+            sampler.sample(&snap_with_counter("c", v));
+        }
+        // Last 2 ticks: (3→10→14) = 11 over 2 ticks.
+        assert_eq!(sampler.counter_rate("c", 2), Some(5.5));
+        // Full history: 14 over 4 ticks.
+        assert_eq!(sampler.counter_rate("c", 100), Some(3.5));
+        // Per-second at 500 ms/tick doubles the per-tick rate.
+        assert_eq!(sampler.counter_rate_per_sec("c", 2), Some(11.0));
+        assert_eq!(sampler.counter_rate("missing", 2), None);
+    }
+
+    #[test]
+    fn counter_reset_does_not_poison_the_rate() {
+        let mut sampler = Sampler::new(SamplerConfig::default());
+        for v in [100u64, 110, 0, 5] {
+            sampler.sample(&snap_with_counter("c", v));
+        }
+        // Deltas: 10, 0 (reset clamps), 5 → 15 over 3 ticks.
+        assert_eq!(sampler.counter_rate("c", 10), Some(5.0));
+    }
+
+    #[test]
+    fn ring_drops_the_oldest_past_capacity() {
+        let mut sampler = Sampler::new(SamplerConfig {
+            capacity: 3,
+            tick_ms: 1000,
+        });
+        for v in 0..10u64 {
+            sampler.sample(&snap_with_counter("c", v * v));
+        }
+        // Only ticks 7..=9 retained: (49→64→81) = 32 over 2 ticks.
+        assert_eq!(sampler.counter_rate("c", 100), Some(16.0));
+        assert_eq!(sampler.ticks(), 10);
+    }
+
+    #[test]
+    fn gauge_stats_cover_the_window() {
+        let mut sampler = Sampler::new(SamplerConfig::default());
+        for v in [5i64, -2, 9, 4] {
+            let mut s = Snapshot::default();
+            s.gauges.insert("g".to_string(), v);
+            sampler.sample(&s);
+        }
+        let stats = sampler.gauge_stats("g", 3).expect("present");
+        assert_eq!(stats.min, -2);
+        assert_eq!(stats.max, 9);
+        assert_eq!(stats.last, 4);
+        assert!((stats.mean - (-2.0 + 9.0 + 4.0) / 3.0).abs() < 1e-12);
+        let all = sampler.gauge_stats("g", 100).expect("present");
+        assert_eq!(all.min, -2);
+        assert_eq!(all.max, 9);
+    }
+
+    #[test]
+    fn windowed_quantile_sees_only_recent_samples() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat");
+        let mut sampler = Sampler::new(SamplerConfig::default());
+        // Tick 0: a thousand 10 µs samples.
+        for _ in 0..1000 {
+            h.record(10);
+        }
+        sampler.sample(&reg.snapshot());
+        // Tick 1: ten 100 000 µs samples.
+        for _ in 0..10 {
+            h.record(100_000);
+        }
+        sampler.sample(&reg.snapshot());
+        // The cumulative p99 is still ~10 µs (10/1010 slow), but the
+        // window over the last tick contains only slow samples.
+        let windowed = sampler.quantile("lat", 1, 0.5).expect("present");
+        assert!(windowed > 50_000, "{windowed}");
+        let cumulative = reg.snapshot().histograms["lat"].quantile(0.5);
+        assert!(cumulative < 20, "{cumulative}");
+    }
+
+    #[test]
+    fn points_and_deltas_feed_sparklines() {
+        let mut sampler = Sampler::new(SamplerConfig::default());
+        for v in [0u64, 2, 5] {
+            let mut s = snap_with_counter("c", v);
+            s.gauges.insert("g".to_string(), v as i64 * 10);
+            sampler.sample(&s);
+        }
+        assert_eq!(
+            sampler.points("c", 10),
+            Some(vec![(0, 0.0), (1, 2.0), (2, 5.0)])
+        );
+        assert_eq!(sampler.points("g", 2), Some(vec![(1, 20.0), (2, 50.0)]));
+        assert_eq!(sampler.counter_deltas("c", 10), vec![2.0, 3.0]);
+        assert_eq!(sampler.points("nope", 5), None);
+        assert_eq!(sampler.kind_of("c"), Some("counter"));
+        assert_eq!(sampler.kind_of("g"), Some("gauge"));
+    }
+}

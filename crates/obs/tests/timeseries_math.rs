@@ -1,0 +1,212 @@
+//! Pins the sampler's windowed derivations against brute-force
+//! recomputation from the raw sample history.
+//!
+//! The sampler derives rates and windowed quantiles by diffing ring
+//! entries — cheap, but easy to get subtly wrong (off-by-one windows,
+//! ring-capacity clamping, saturating resets). These tests drive a
+//! [`Sampler`] with a deterministic pseudo-random workload while keeping
+//! the full raw history on the side, then recompute every windowed signal
+//! the slow, obvious way and demand exact agreement. The histogram check
+//! goes through an entirely different path: the raw values recorded inside
+//! the window are fed into a *fresh* histogram, whose direct distribution
+//! must match the sampler's cumulative-bucket diff.
+
+use obs::timeseries::{Sampler, SamplerConfig};
+use obs::Registry;
+
+/// Deterministic 64-bit LCG (no dependency on the rand shim needed for a
+/// test workload).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+/// The raw history the brute-force recomputation works from.
+struct History {
+    counter: Vec<u64>,       // cumulative value at each tick
+    gauge: Vec<i64>,         // value at each tick
+    recorded: Vec<Vec<u64>>, // histogram values recorded during each tick
+}
+
+/// Runs `ticks` ticks of a pseudo-random workload through both the sampler
+/// and the side history. The counter occasionally resets (drops to a
+/// smaller value) to exercise the saturating-delta clamp.
+fn drive(seed: u64, ticks: u64, capacity: usize) -> (Sampler, History) {
+    let mut rng = Lcg(seed);
+    let mut sampler = Sampler::new(SamplerConfig {
+        capacity,
+        tick_ms: 250,
+    });
+    let reg = Registry::new();
+    let hist = reg.histogram("h");
+    let mut history = History {
+        counter: Vec::new(),
+        gauge: Vec::new(),
+        recorded: Vec::new(),
+    };
+    let mut counter_value = 0u64;
+    for _ in 0..ticks {
+        if rng.next().is_multiple_of(17) {
+            counter_value = rng.next() % 10; // reset: moved backwards
+        } else {
+            counter_value += rng.next() % 50;
+        }
+        let gauge_value = (rng.next() % 2001) as i64 - 1000;
+        let mut recorded = Vec::new();
+        for _ in 0..rng.next() % 6 {
+            let v = rng.next() % 100_000;
+            hist.record(v);
+            recorded.push(v);
+        }
+        let mut snap = reg.snapshot();
+        snap.counters.insert("c".to_string(), counter_value);
+        snap.gauges.insert("g".to_string(), gauge_value);
+        sampler.sample(&snap);
+        history.counter.push(counter_value);
+        history.gauge.push(gauge_value);
+        history.recorded.push(recorded);
+    }
+    (sampler, history)
+}
+
+/// What the ring retains of a full history: the last `capacity` entries,
+/// tagged with their tick numbers.
+fn retained<T: Copy>(full: &[T], capacity: usize) -> Vec<(u64, T)> {
+    let start = full.len().saturating_sub(capacity);
+    full[start..]
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| ((start + i) as u64, v))
+        .collect()
+}
+
+#[test]
+fn counter_rate_matches_brute_force_over_every_window() {
+    for &(seed, capacity) in &[(1u64, 512usize), (2, 32), (3, 7)] {
+        let ticks = 100;
+        let (sampler, history) = drive(seed, ticks, capacity);
+        for window in [1u64, 2, 3, 5, 10, 31, 99, 1000] {
+            let ring = retained(&history.counter, capacity);
+            let tail_start = ring.len().saturating_sub(window as usize + 1);
+            let tail = &ring[tail_start..];
+            let expected = if tail.len() < 2 {
+                None
+            } else {
+                let delta: u64 = tail.windows(2).map(|p| p[1].1.saturating_sub(p[0].1)).sum();
+                let span = tail.last().unwrap().0 - tail.first().unwrap().0;
+                Some(delta as f64 / span as f64)
+            };
+            assert_eq!(
+                sampler.counter_rate("c", window),
+                expected,
+                "seed {seed} capacity {capacity} window {window}"
+            );
+            // Per-second is the per-tick rate scaled by the tick period.
+            assert_eq!(
+                sampler.counter_rate_per_sec("c", window),
+                expected.map(|r| r * 4.0),
+                "250 ms/tick → ×4"
+            );
+        }
+    }
+}
+
+#[test]
+fn gauge_stats_match_brute_force_over_every_window() {
+    for &(seed, capacity) in &[(4u64, 512usize), (5, 16)] {
+        let (sampler, history) = drive(seed, 80, capacity);
+        for window in [1u64, 2, 7, 16, 79, 500] {
+            let ring = retained(&history.gauge, capacity);
+            let tail_start = ring.len().saturating_sub(window.max(1) as usize);
+            let values: Vec<i64> = ring[tail_start..].iter().map(|&(_, v)| v).collect();
+            let stats = sampler
+                .gauge_stats("g", window)
+                .expect("gauge sampled every tick");
+            assert_eq!(stats.min, *values.iter().min().unwrap());
+            assert_eq!(stats.max, *values.iter().max().unwrap());
+            assert_eq!(stats.last, *values.last().unwrap());
+            let mean = values.iter().map(|&v| v as f64).sum::<f64>() / values.len() as f64;
+            assert!(
+                (stats.mean - mean).abs() < 1e-9,
+                "seed {seed} capacity {capacity} window {window}: {} vs {mean}",
+                stats.mean
+            );
+        }
+    }
+}
+
+#[test]
+fn windowed_histogram_matches_direct_accumulation_of_the_window() {
+    for &(seed, capacity) in &[(6u64, 512usize), (7, 24)] {
+        let ticks = 90u64;
+        let (sampler, history) = drive(seed, ticks, capacity);
+        for window in [1u64, 4, 23, 89, 400] {
+            let windowed = sampler
+                .windowed_histogram("h", window)
+                .expect("histogram sampled every tick");
+            // The ring's tail(window+1) spans ticks [old_tick, ticks-1];
+            // diffing its endpoint snapshots isolates recordings made in
+            // ticks old_tick+1 ..= ticks-1 (a snapshot at tick t already
+            // contains everything through t).
+            let oldest_retained = ticks as usize - capacity.min(ticks as usize);
+            let old_tick = (ticks as usize - 1)
+                .saturating_sub(window as usize)
+                .max(oldest_retained);
+            let in_window: Vec<u64> = history.recorded[old_tick + 1..]
+                .iter()
+                .flatten()
+                .copied()
+                .collect();
+            // Independent recomputation: a fresh histogram fed only the
+            // window's raw values must agree with the cumulative diff.
+            let reg = Registry::new();
+            let direct = reg.histogram("direct");
+            for &v in &in_window {
+                direct.record(v);
+            }
+            let direct = reg.snapshot().histograms["direct"].clone();
+            assert_eq!(
+                windowed.count, direct.count,
+                "seed {seed} capacity {capacity} window {window}"
+            );
+            assert_eq!(windowed.sum, direct.sum);
+            assert_eq!(
+                windowed
+                    .buckets
+                    .iter()
+                    .map(|b| (b.lo, b.count))
+                    .collect::<Vec<_>>(),
+                direct
+                    .buckets
+                    .iter()
+                    .map(|b| (b.lo, b.count))
+                    .collect::<Vec<_>>()
+            );
+            for q in [0.5, 0.95, 0.99] {
+                assert_eq!(
+                    sampler.quantile("h", window, q),
+                    Some(direct.quantile(q)),
+                    "seed {seed} capacity {capacity} window {window} q {q}"
+                );
+            }
+            assert!((windowed.mean() - direct.mean()).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn single_sample_windows_fall_back_to_cumulative() {
+    let (sampler, history) = drive(8, 1, 512);
+    // One tick: no rate yet, and the windowed histogram is the whole
+    // cumulative snapshot.
+    assert_eq!(sampler.counter_rate("c", 10), None);
+    let windowed = sampler.windowed_histogram("h", 10).expect("sampled");
+    assert_eq!(windowed.count, history.recorded[0].len() as u64);
+}

@@ -12,7 +12,8 @@
 //! talon brd       --out codebook.brd [--seed N] | --check codebook.brd
 //! talon report    trace.{jsonl|bin} [--tree | --flame | --quality | --json]
 //! talon replay    trace.{jsonl|bin} [--threads N] [--perturb DB] [--patterns <file>]
-//! talon serve     [--metrics-addr HOST:PORT] [--sessions N] [--hold-ms MS]
+//! talon serve     [--metrics-addr HOST:PORT] [--sessions N] [--hold-ms MS] [--tick-ms MS] [--ticks N] [--inject-drift]
+//! talon top       --addr HOST:PORT [--frames N] [--interval-ms MS] [--window TICKS]
 //! talon trace     convert <in> <out>
 //! talon soak      [--smoke] [--out BENCH_trace.json] [--check <baseline>]
 //! ```
@@ -28,7 +29,11 @@
 //! `trace convert` round-trips a trace between the two formats; `soak`
 //! runs the record → account → replay trace soak and emits/gates
 //! `BENCH_trace.json`; `serve` exposes the registry as Prometheus text on
-//! a TCP endpoint while running training sessions.
+//! a TCP endpoint while running training sessions, plus the live-monitor
+//! routes `/healthz`, `/alerts` and `/timeseries` backed by a tick-driven
+//! sampler and alert engine (`--inject-drift` runs the deterministic
+//! link-degradation drill); `top` renders a live terminal dashboard from a
+//! serving endpoint's `/timeseries` and `/alerts`.
 
 use chamber::{Campaign, CampaignConfig, SectorPatterns};
 use css::selection::{CompressiveSelection, CssConfig, DecisionOracle};
@@ -93,6 +98,7 @@ fn main() -> ExitCode {
         "trace" => cmd_trace(&args[1..]),
         "soak" => cmd_soak(&opts),
         "serve" => cmd_serve(&opts),
+        "top" => cmd_top(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -124,7 +130,8 @@ commands:
   replay    <trace.jsonl|.bin> [--threads N] [--perturb DB] [--patterns <file>]
   trace     convert <in> <out>   (input format sniffed; .bin output → binary, else JSONL)
   soak      [--decisions N] [--smoke] [--threads 1,2,8] [--keep <trace.bin>] [--out <bench.json>] [--check <baseline.json>] [--seed N]
-  serve     [--metrics-addr HOST:PORT] [--sessions N] [--hold-ms MS] [--seed N]";
+  serve     [--metrics-addr HOST:PORT] [--sessions N] [--hold-ms MS] [--tick-ms MS] [--ticks N] [--inject-drift] [--seed N]
+  top       --addr HOST:PORT [--frames N] [--interval-ms MS] [--window TICKS]";
 
 /// Parses `--key value` and bare `--flag` options; non-option arguments
 /// are skipped (commands read them positionally). A `--flag` followed by
@@ -1076,10 +1083,30 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
         .get("hold-ms")
         .map(|s| s.parse().map_err(|_| "bad --hold-ms"))
         .transpose()?;
+    let tick_ms: u64 = opts
+        .get("tick-ms")
+        .map(|s| s.parse().map_err(|_| "bad --tick-ms"))
+        .transpose()?
+        .unwrap_or(1000);
+    if tick_ms == 0 {
+        return Err("--tick-ms must be at least 1".into());
+    }
+    let max_ticks: Option<u64> = opts
+        .get("ticks")
+        .map(|s| s.parse().map_err(|_| "bad --ticks"))
+        .transpose()?;
     // Pre-register the health counters so the exposition carries the
     // link-health series (at zero) even before the first anomaly.
     obs::health::register_known_kinds();
-    let server = obs::MetricsServer::start(addr).map_err(|e| format!("binding {addr}: {e}"))?;
+    let monitor = std::sync::Arc::new(obs::LiveMonitor::new(
+        obs::SamplerConfig {
+            tick_ms,
+            ..obs::SamplerConfig::default()
+        },
+        obs::default_rules(),
+    ));
+    let server = obs::MetricsServer::start_with_monitor(addr, std::sync::Arc::clone(&monitor))
+        .map_err(|e| format!("binding {addr}: {e}"))?;
     println!("serving metrics on http://{}/metrics", server.local_addr());
     use std::io::Write as _;
     std::io::stdout().flush().ok();
@@ -1088,16 +1115,312 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
         let summary = run_sls_session(opts, seed + i as u64)?;
         eprintln!("session {i}: {summary}");
     }
-    // Keep serving: for `--hold-ms` milliseconds, or until killed.
+
+    if opts.contains_key("inject-drift") {
+        return run_drift_drill(&monitor, tick_ms, max_ticks, hold_ms);
+    }
+
+    // Production path: a timer thread ticks the sampler/alert engine at
+    // the configured cadence while this thread holds the process open.
+    let _ticker = monitor.start_ticker(std::time::Duration::from_millis(tick_ms));
     let start = std::time::Instant::now();
     loop {
         std::thread::sleep(std::time::Duration::from_millis(50));
+        if let Some(n) = max_ticks {
+            if monitor.ticks() >= n {
+                return Ok(());
+            }
+        }
         if let Some(ms) = hold_ms {
             if start.elapsed() >= std::time::Duration::from_millis(ms) {
                 return Ok(());
             }
         }
     }
+}
+
+/// The `--inject-drift` drill: drives the sampler tick-by-tick from this
+/// thread (no timer races) while a [`netsim::DriftProfile`] degrades and
+/// recovers the link through the quality monitor. Every alert edge is
+/// printed with its tick number, so two runs with the same flags produce
+/// byte-identical `alert …` lines — the acceptance contract for the
+/// monitoring pipeline. Wall-clock sleeps only pace the ticks (so scrapes
+/// can watch `/healthz` flip); they never influence what happens at one.
+fn run_drift_drill(
+    monitor: &obs::LiveMonitor,
+    tick_ms: u64,
+    max_ticks: Option<u64>,
+    hold_ms: Option<u64>,
+) -> Result<(), String> {
+    use std::io::Write as _;
+    let profile = netsim::DriftProfile::demo();
+    let ticks = max_ticks.unwrap_or(45);
+    let mut quality = obs::QualityMonitor::new();
+    let mut edges = 0usize;
+    for tick in 0..ticks {
+        quality.record_loss(tick as f64, profile.loss_at(tick));
+        for t in monitor.tick() {
+            edges += 1;
+            println!(
+                "tick {}: alert {} {}->{} (value {:.1})",
+                t.tick, t.rule, t.from, t.to, t.value
+            );
+            std::io::stdout().flush().ok();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(tick_ms));
+    }
+    println!("drift drill complete: {edges} transition(s) over {ticks} tick(s)");
+    std::io::stdout().flush().ok();
+    if let Some(ms) = hold_ms {
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+    }
+    Ok(())
+}
+
+/// Renders `values` as a unicode block sparkline, scaled to its own
+/// min..max (a flat series renders as all-low blocks).
+fn sparkline(values: &[f64]) -> String {
+    const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    values
+        .iter()
+        .map(|&v| {
+            let frac = if hi > lo { (v - lo) / (hi - lo) } else { 0.0 };
+            BLOCKS[((frac * 7.0).round() as usize).min(7)]
+        })
+        .collect()
+}
+
+/// One HTTP/1.1 GET over a raw TCP stream (the workspace has no HTTP
+/// client); returns the response body.
+fn http_get(addr: &str, path: &str) -> Result<String, String> {
+    use std::io::{Read as _, Write as _};
+    let mut stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+        .ok();
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )
+    .map_err(|e| format!("sending request to {addr}: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("reading from {addr}: {e}"))?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("malformed response from {addr}"))?;
+    let status = head.lines().next().unwrap_or_default();
+    // /healthz legitimately answers 503; the dashboard still wants the
+    // body. Anything else non-200 is an error worth surfacing.
+    if !status.contains(" 200 ") && !status.contains(" 503 ") {
+        return Err(format!("{path}: {status}"));
+    }
+    Ok(body.to_string())
+}
+
+/// `talon top`: a plain-ANSI live dashboard over a serving endpoint's
+/// `/timeseries` overview and `/alerts`.
+fn cmd_top(opts: &HashMap<String, String>) -> Result<(), String> {
+    let addr = opts
+        .get("addr")
+        .ok_or("top needs --addr HOST:PORT (from `talon serve`)")?;
+    let frames: u64 = opts
+        .get("frames")
+        .map(|s| s.parse().map_err(|_| "bad --frames"))
+        .transpose()?
+        .unwrap_or(0); // 0 = until killed
+    let interval_ms: u64 = opts
+        .get("interval-ms")
+        .map(|s| s.parse().map_err(|_| "bad --interval-ms"))
+        .transpose()?
+        .unwrap_or(1000);
+    let window: u64 = opts
+        .get("window")
+        .map(|s| s.parse().map_err(|_| "bad --window"))
+        .transpose()?
+        .unwrap_or(60);
+    let mut frame = 0u64;
+    loop {
+        let overview = http_get(addr, &format!("/timeseries?window={window}"))?;
+        let alerts = http_get(addr, "/alerts")?;
+        let screen = render_top(addr, window, &overview, &alerts)?;
+        if frames != 1 {
+            // Clear + home between frames; a single-frame run (tests,
+            // scripts) stays pipe-friendly.
+            print!("\x1b[2J\x1b[H");
+        }
+        println!("{screen}");
+        frame += 1;
+        if frames != 0 && frame >= frames {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+}
+
+/// Builds one `talon top` frame from the `/timeseries` overview and
+/// `/alerts` JSON payloads.
+fn render_top(addr: &str, window: u64, overview: &str, alerts: &str) -> Result<String, String> {
+    let overview = Value::from_json(overview).map_err(|e| format!("parsing /timeseries: {e:?}"))?;
+    let alerts = Value::from_json(alerts).map_err(|e| format!("parsing /alerts: {e:?}"))?;
+    let tick = overview.get("tick").and_then(Value::as_u64).unwrap_or(0);
+    let tick_ms = overview.get("tick_ms").and_then(Value::as_u64).unwrap_or(0);
+    let mut out = format!("talon top — {addr}  tick {tick} ({tick_ms} ms/tick)  window {window}\n");
+
+    let firing: Vec<String> = alerts
+        .get("alerts")
+        .and_then(Value::as_seq)
+        .unwrap_or(&[])
+        .iter()
+        .filter(|a| a.get("state").and_then(Value::as_str) == Some("firing"))
+        .map(|a| {
+            format!(
+                "{} [{}] value {:.1}",
+                a.get("name").and_then(Value::as_str).unwrap_or("?"),
+                a.get("severity").and_then(Value::as_str).unwrap_or("?"),
+                a.get("value").and_then(Value::as_f64).unwrap_or(f64::NAN),
+            )
+        })
+        .collect();
+    if firing.is_empty() {
+        out.push_str("alerts: none firing\n");
+    } else {
+        out.push_str("ALERTS FIRING:\n");
+        for f in &firing {
+            out.push_str(&format!("  ! {f}\n"));
+        }
+    }
+
+    let spark_of = |v: &Value, key: &str| -> String {
+        let values: Vec<f64> = v
+            .get(key)
+            .and_then(Value::as_seq)
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(Value::as_f64)
+            .collect();
+        sparkline(&values)
+    };
+    let mut rows = Vec::new();
+    for c in overview
+        .get("counters")
+        .and_then(Value::as_seq)
+        .unwrap_or(&[])
+    {
+        rows.push(vec![
+            c.get("name")
+                .and_then(Value::as_str)
+                .unwrap_or("?")
+                .to_string(),
+            c.get("value")
+                .and_then(Value::as_u64)
+                .unwrap_or(0)
+                .to_string(),
+            c.get("rate_per_s")
+                .and_then(Value::as_f64)
+                .map_or_else(|| "-".into(), |r| format!("{r:.2}")),
+            spark_of(c, "deltas"),
+        ]);
+    }
+    if !rows.is_empty() {
+        out.push_str(&eval::ascii::table(
+            &["counter", "value", "rate/s", "trend"],
+            &rows,
+        ));
+        out.push('\n');
+    }
+
+    let mut rows = Vec::new();
+    for g in overview
+        .get("gauges")
+        .and_then(Value::as_seq)
+        .unwrap_or(&[])
+    {
+        rows.push(vec![
+            g.get("name")
+                .and_then(Value::as_str)
+                .unwrap_or("?")
+                .to_string(),
+            g.get("last")
+                .and_then(Value::as_i64)
+                .unwrap_or(0)
+                .to_string(),
+            g.get("min")
+                .and_then(Value::as_i64)
+                .unwrap_or(0)
+                .to_string(),
+            g.get("mean")
+                .and_then(Value::as_f64)
+                .map_or_else(|| "-".into(), |m| format!("{m:.1}")),
+            g.get("max")
+                .and_then(Value::as_i64)
+                .unwrap_or(0)
+                .to_string(),
+            spark_of(g, "points"),
+        ]);
+    }
+    if !rows.is_empty() {
+        out.push_str(&eval::ascii::table(
+            &["gauge", "last", "min", "mean", "max", "trend"],
+            &rows,
+        ));
+        out.push('\n');
+    }
+
+    let mut rows = Vec::new();
+    for h in overview
+        .get("histograms")
+        .and_then(Value::as_seq)
+        .unwrap_or(&[])
+    {
+        let count = h.get("count").and_then(Value::as_u64).unwrap_or(0);
+        if count == 0 {
+            continue; // nothing recorded in the window — noise on screen
+        }
+        rows.push(vec![
+            h.get("name")
+                .and_then(Value::as_str)
+                .unwrap_or("?")
+                .to_string(),
+            count.to_string(),
+            h.get("mean")
+                .and_then(Value::as_f64)
+                .map_or_else(|| "-".into(), |m| format!("{m:.1}")),
+            h.get("p50")
+                .and_then(Value::as_u64)
+                .unwrap_or(0)
+                .to_string(),
+            h.get("p95")
+                .and_then(Value::as_u64)
+                .unwrap_or(0)
+                .to_string(),
+            h.get("p99")
+                .and_then(Value::as_u64)
+                .unwrap_or(0)
+                .to_string(),
+        ]);
+    }
+    if !rows.is_empty() {
+        out.push_str(&eval::ascii::table(
+            &[
+                "histogram (window)",
+                "count",
+                "mean µs",
+                "p50",
+                "p95",
+                "p99",
+            ],
+            &rows,
+        ));
+    }
+    Ok(out)
 }
 
 fn cmd_brd(opts: &HashMap<String, String>) -> Result<(), String> {

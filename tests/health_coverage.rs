@@ -292,6 +292,37 @@ fn misselection_fires_when_a_selection_gives_up_real_snr() {
 }
 
 #[test]
+fn alert_firing_fires_when_a_rule_reaches_the_firing_state() {
+    // The real producing layer is the alert engine: a sustained breach of
+    // a value rule walks pending → firing, and the firing edge reports the
+    // `alert_firing` anomaly.
+    use obs::alert::{Predicate, Rule, Severity};
+    let monitor = obs::LiveMonitor::new(
+        obs::SamplerConfig::default(),
+        vec![Rule {
+            name: "health_cov_high".into(),
+            severity: Severity::Page,
+            predicate: Predicate::ValueAbove {
+                metric: "health_cov.gauge".into(),
+                threshold: 5.0,
+            },
+            for_ticks: 2,
+            clear_below: 1.0,
+            clear_for_ticks: 2,
+        }],
+    );
+    let mut snap = obs::Snapshot::default();
+    snap.gauges.insert("health_cov.gauge".to_string(), 50);
+    let before = counter("health.alert_firing");
+    monitor.tick_with(&snap);
+    monitor.tick_with(&snap);
+    assert!(
+        counter("health.alert_firing") > before,
+        "the firing edge reports an anomaly"
+    );
+}
+
+#[test]
 fn known_kinds_cover_every_emitter_exercised_here() {
     // The pre-registration list `talon serve` exposes must name every
     // kind these tests fire (a new emitter must be added to KNOWN_KINDS).
@@ -307,6 +338,7 @@ fn known_kinds_cover_every_emitter_exercised_here() {
         "trace_write_failed",
         "link_drift",
         "misselection",
+        "alert_firing",
     ] {
         assert!(
             obs::health::KNOWN_KINDS.contains(&kind),

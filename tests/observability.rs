@@ -1,15 +1,62 @@
 //! End-to-end observability: a traced CSS session through the real `talon`
 //! binary must come back as one rooted causal tree, render as valid
 //! folded-stack flamegraph lines, and be scrapeable over plain TCP from
-//! `talon serve`'s Prometheus endpoint.
+//! `talon serve`'s Prometheus endpoint — including the live-monitor routes
+//! (`/healthz`, `/alerts`, `/timeseries`) and the injected-drift drill
+//! that must flip `/healthz` to 503 and back, deterministically.
 
+use serde::Value;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::path::PathBuf;
-use std::process::{Command, Stdio};
+use std::process::{Child, Command, Stdio};
 
 fn talon() -> Command {
     Command::new(env!("CARGO_BIN_EXE_talon"))
+}
+
+/// One GET over raw TCP; returns `(status_code, body)`.
+fn http_get(addr: &str, path: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(5)))?;
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: {addr}\r\n\r\n")?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let code = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .unwrap_or(0);
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((code, body))
+}
+
+/// Reads the `serving metrics on http://…/metrics` announce line and
+/// returns the bound address.
+fn read_announce(lines: &mut impl Iterator<Item = std::io::Result<String>>) -> String {
+    let announce = lines
+        .next()
+        .expect("announce line")
+        .expect("readable stdout");
+    announce
+        .strip_prefix("serving metrics on http://")
+        .and_then(|rest| rest.strip_suffix("/metrics"))
+        .unwrap_or_else(|| panic!("unexpected announce line: {announce}"))
+        .to_string()
+}
+
+/// Kills the child on drop so a failing assertion never leaks a serve
+/// process holding the test run open.
+struct KillOnDrop(Child);
+
+impl Drop for KillOnDrop {
+    fn drop(&mut self) {
+        self.0.kill().ok();
+        self.0.wait().ok();
+    }
 }
 
 fn workdir() -> PathBuf {
@@ -191,5 +238,225 @@ fn serve_exposes_scrapeable_prometheus_text() {
     assert!(
         body.contains("talon_css_estimates_total"),
         "pipeline counters present:\n{body}"
+    );
+}
+
+#[test]
+fn serve_answers_live_monitor_routes() {
+    let child = talon()
+        .args([
+            "serve",
+            "--metrics-addr",
+            "127.0.0.1:0",
+            "--sessions",
+            "1",
+            "--scenario",
+            "lab",
+            "--tick-ms",
+            "25",
+            "--hold-ms",
+            "60000",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn talon serve");
+    let mut child = KillOnDrop(child);
+    let stdout = child.0.stdout.take().expect("piped stdout");
+    let addr = read_announce(&mut BufReader::new(stdout).lines());
+
+    // Wait until the background ticker has taken a few samples, so the
+    // overview carries rates (they need ≥2 ring entries).
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    let overview = loop {
+        let (code, body) = http_get(&addr, "/timeseries?window=10").expect("scrape /timeseries");
+        assert_eq!(code, 200, "{body}");
+        let overview = Value::from_json(&body).expect("overview is JSON");
+        if overview.get("tick").and_then(Value::as_u64).unwrap_or(0) >= 3 {
+            break overview;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "sampler never reached tick 3"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    };
+    let counters = overview
+        .get("counters")
+        .and_then(Value::as_seq)
+        .expect("counters array");
+    assert!(
+        counters
+            .iter()
+            .any(|c| c.get("name").and_then(Value::as_str) == Some("sls.runs")),
+        "the session's counters are sampled"
+    );
+
+    // Per-metric query, and a 404 for a metric the sampler never saw.
+    let (code, body) = http_get(&addr, "/timeseries?metric=sls.runs&window=10").expect("scrape");
+    assert_eq!(code, 200, "{body}");
+    let series = Value::from_json(&body).expect("series is JSON");
+    assert_eq!(series.get("kind").and_then(Value::as_str), Some("counter"));
+    assert!(!series
+        .get("points")
+        .and_then(Value::as_seq)
+        .expect("points")
+        .is_empty());
+    let (code, _) = http_get(&addr, "/timeseries?metric=no.such.metric").expect("scrape");
+    assert_eq!(code, 404);
+
+    // /alerts: the compiled-in default rules, none firing on a healthy run.
+    let (code, body) = http_get(&addr, "/alerts").expect("scrape /alerts");
+    assert_eq!(code, 200, "{body}");
+    let alerts = Value::from_json(&body).expect("alerts is JSON");
+    assert_eq!(alerts.get("firing_page").and_then(Value::as_u64), Some(0));
+    let rules = alerts.get("alerts").and_then(Value::as_seq).expect("rules");
+    assert!(
+        rules
+            .iter()
+            .any(|r| r.get("name").and_then(Value::as_str) == Some("snr_loss_high")),
+        "default ruleset is loaded"
+    );
+
+    // /healthz: healthy, plain text.
+    let (code, body) = http_get(&addr, "/healthz").expect("scrape /healthz");
+    assert_eq!(code, 200, "{body}");
+    assert!(body.starts_with("ok"), "{body}");
+
+    // /metrics now carries HELP lines and the build-info/uptime series.
+    let (code, body) = http_get(&addr, "/metrics").expect("scrape /metrics");
+    assert_eq!(code, 200);
+    assert!(body.contains("# HELP talon_sls_runs_total "), "{body}");
+    assert!(body.contains("talon_build_info{version="), "{body}");
+    assert!(body.contains("talon_process_uptime_seconds "), "{body}");
+}
+
+/// Spawns the injected-drift drill and returns `(addr, stdout_thread,
+/// child)`; the thread collects the remaining stdout lines.
+fn spawn_drill(hold_ms: &str) -> (String, std::thread::JoinHandle<Vec<String>>, KillOnDrop) {
+    let child = talon()
+        .args([
+            "serve",
+            "--metrics-addr",
+            "127.0.0.1:0",
+            "--sessions",
+            "0",
+            "--inject-drift",
+            "--tick-ms",
+            "40",
+            "--ticks",
+            "45",
+            "--hold-ms",
+            hold_ms,
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn drift drill");
+    let mut child = KillOnDrop(child);
+    let stdout = child.0.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = read_announce(&mut lines);
+    let reader = std::thread::spawn(move || lines.map_while(Result::ok).collect::<Vec<_>>());
+    (addr, reader, child)
+}
+
+#[test]
+fn injected_drift_flips_healthz_and_is_deterministic() {
+    // Run 1: watch /healthz while the drill runs. The drill holds the
+    // degraded link for ~17 ticks at 40 ms each, so 10 ms polling cannot
+    // miss the 503 window.
+    let (addr, reader, child) = spawn_drill("60000");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    let mut observed: Vec<u16> = Vec::new();
+    loop {
+        let (code, _) = http_get(&addr, "/healthz").expect("poll /healthz");
+        assert!(code == 200 || code == 503, "unexpected status {code}");
+        if observed.last() != Some(&code) {
+            observed.push(code);
+        }
+        // Done once we've seen unhealthy and then healthy again.
+        if observed.ends_with(&[503, 200]) {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "healthz never flipped 503→200; saw {observed:?}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert!(
+        observed == [200, 503, 200] || observed == [503, 200],
+        "one degradation episode: {observed:?}"
+    );
+
+    // The transition log names the drill's page alert.
+    let (code, body) = http_get(&addr, "/alerts").expect("scrape /alerts");
+    assert_eq!(code, 200);
+    let alerts = Value::from_json(&body).expect("alerts JSON");
+    assert_eq!(alerts.get("firing_page").and_then(Value::as_u64), Some(0));
+    let transitions = alerts
+        .get("transitions")
+        .and_then(Value::as_seq)
+        .expect("transition log");
+    assert!(
+        transitions
+            .iter()
+            .any(|t| t.get("rule").and_then(Value::as_str) == Some("snr_loss_high")),
+        "snr_loss_high in the log: {body}"
+    );
+    // Let the drill finish all 45 ticks before killing, so run 1's stdout
+    // carries every transition line (the sampler tick count is the ground
+    // truth for "done"; a short grace covers the final println).
+    loop {
+        let (_, body) = http_get(&addr, "/timeseries").expect("poll tick count");
+        let tick = Value::from_json(&body)
+            .ok()
+            .and_then(|v| v.get("tick").and_then(Value::as_u64))
+            .unwrap_or(0);
+        if tick >= 45 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "drill never finished; at tick {tick}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    std::thread::sleep(std::time::Duration::from_millis(200));
+    drop(child); // kill; the reader sees EOF and returns
+    let run1: Vec<String> = reader
+        .join()
+        .expect("reader thread")
+        .into_iter()
+        .filter(|l| l.contains(": alert "))
+        .collect();
+    assert!(!run1.is_empty(), "drill printed alert transitions");
+
+    // Run 2: same flags, no polling — the printed alert transition
+    // sequence must be byte-identical (the acceptance contract: the
+    // pipeline is tick-driven, so wall-clock jitter cannot reorder it).
+    let out = talon()
+        .args([
+            "serve",
+            "--metrics-addr",
+            "127.0.0.1:0",
+            "--sessions",
+            "0",
+            "--inject-drift",
+            "--tick-ms",
+            "5",
+            "--ticks",
+            "45",
+        ])
+        .output()
+        .expect("run drill to completion");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let run2: Vec<&str> = stdout.lines().filter(|l| l.contains(": alert ")).collect();
+    assert_eq!(run1, run2, "identical transition sequences across runs");
+    assert!(
+        stdout.contains("drift drill complete"),
+        "drill ran to completion: {stdout}"
     );
 }
