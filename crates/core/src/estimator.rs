@@ -69,7 +69,7 @@ const REPORT_FLOOR_DB: f64 = -7.0;
 const ENERGY_PRIOR_EXPONENT: f64 = 0.25;
 
 /// Transforms a dB report into the correlation domain: dB above the floor.
-fn report_scale(db: f64) -> f64 {
+pub(crate) fn report_scale(db: f64) -> f64 {
     (db - REPORT_FLOOR_DB).max(0.0)
 }
 
@@ -82,21 +82,194 @@ fn energy_prior(ratio: f64) -> f64 {
 
 /// One-cell box smoothing of a correlation map in elevation-major layout,
 /// written into `out` (resized as needed).
-fn smooth_map_into(map: &[f64], n_az: usize, n_el: usize, out: &mut Vec<f64>) {
+pub(crate) fn smooth_map_into(map: &[f64], n_az: usize, n_el: usize, out: &mut Vec<f64>) {
     debug_assert_eq!(map.len(), n_az * n_el);
     out.clear();
     out.resize(map.len(), 0.0);
-    for e in 0..n_el {
-        for a in 0..n_az {
-            let mut acc = 0.0;
-            let mut cnt = 0.0;
-            for de in e.saturating_sub(1)..=(e + 1).min(n_el - 1) {
-                for da in a.saturating_sub(1)..=(a + 1).min(n_az - 1) {
-                    acc += map[de * n_az + da];
-                    cnt += 1.0;
-                }
+    let general = |e: usize, a: usize| {
+        let mut acc = 0.0;
+        let mut cnt = 0.0;
+        for de in e.saturating_sub(1)..=(e + 1).min(n_el - 1) {
+            for da in a.saturating_sub(1)..=(a + 1).min(n_az - 1) {
+                acc += map[de * n_az + da];
+                cnt += 1.0;
             }
-            out[e * n_az + a] = acc / cnt;
+        }
+        acc / cnt
+    };
+    if n_el >= 3 && n_az >= 3 {
+        // Corner cells keep the general clamped-window path; every other
+        // cell takes a fixed-width unrolled sum in the same accumulation
+        // order (rows ascending, then columns), which is bit-identical —
+        // the clamped loop accumulates its count to exactly 9.0/6.0
+        // before the one division — and lets the optimizer drop the
+        // bounds checks and vectorize. On squat grids (the coarse bench
+        // grid is 25×4) border cells are the majority, so the top/bottom
+        // rows and edge columns matter as much as the interior.
+        out[0] = general(0, 0);
+        out[n_az - 1] = general(0, n_az - 1);
+        {
+            let (mid, dn) = (&map[..n_az], &map[n_az..2 * n_az]);
+            for a in 1..n_az - 1 {
+                let acc = mid[a - 1] + mid[a] + mid[a + 1] + dn[a - 1] + dn[a] + dn[a + 1];
+                out[a] = acc / 6.0;
+            }
+        }
+        let last = (n_el - 1) * n_az;
+        out[last] = general(n_el - 1, 0);
+        out[last + n_az - 1] = general(n_el - 1, n_az - 1);
+        {
+            let (up, mid) = (&map[last - n_az..last], &map[last..last + n_az]);
+            for a in 1..n_az - 1 {
+                let acc = up[a - 1] + up[a] + up[a + 1] + mid[a - 1] + mid[a] + mid[a + 1];
+                out[last + a] = acc / 6.0;
+            }
+        }
+        for e in 1..n_el - 1 {
+            let row = e * n_az;
+            let up = &map[row - n_az..row];
+            let mid = &map[row..row + n_az];
+            let dn = &map[row + n_az..row + 2 * n_az];
+            let orow = &mut out[row..row + n_az];
+            orow[0] = (up[0] + up[1] + mid[0] + mid[1] + dn[0] + dn[1]) / 6.0;
+            let a_r = n_az - 1;
+            orow[a_r] =
+                (up[a_r - 1] + up[a_r] + mid[a_r - 1] + mid[a_r] + dn[a_r - 1] + dn[a_r]) / 6.0;
+            for a in 1..n_az - 1 {
+                let acc = up[a - 1]
+                    + up[a]
+                    + up[a + 1]
+                    + mid[a - 1]
+                    + mid[a]
+                    + mid[a + 1]
+                    + dn[a - 1]
+                    + dn[a]
+                    + dn[a + 1];
+                orow[a] = acc / 9.0;
+            }
+        }
+    } else {
+        for e in 0..n_el {
+            for a in 0..n_az {
+                out[e * n_az + a] = general(e, a);
+            }
+        }
+    }
+}
+
+/// [`smooth_map_into`] with the border/interior divisions replaced by
+/// reciprocal multiplies. One-ulp different from the exact version, so
+/// only the batch kernel's `F32`/`Q15` paths (whose documented tolerance
+/// is 12 orders of magnitude looser) use it; the scalar kernel and the
+/// golden-pinned `F64` path keep the division form that recorded traces
+/// replay bit-exactly. Divides dominate the exact version's cost — ~100
+/// unpipelined f64 divisions per map against ~550 fully-vectorizable
+/// adds — so this is the single largest finish-stage saving.
+pub(crate) fn smooth_map_into_mul(map: &[f64], n_az: usize, n_el: usize, out: &mut Vec<f64>) {
+    const R6: f64 = 1.0 / 6.0;
+    const R9: f64 = 1.0 / 9.0;
+    debug_assert_eq!(map.len(), n_az * n_el);
+    out.clear();
+    out.resize(map.len(), 0.0);
+    let general = |e: usize, a: usize| {
+        let mut acc = 0.0;
+        let mut cnt = 0.0;
+        for de in e.saturating_sub(1)..=(e + 1).min(n_el - 1) {
+            for da in a.saturating_sub(1)..=(a + 1).min(n_az - 1) {
+                acc += map[de * n_az + da];
+                cnt += 1.0;
+            }
+        }
+        acc / cnt
+    };
+    if n_el >= 3 && n_az >= 3 {
+        out[0] = general(0, 0);
+        out[n_az - 1] = general(0, n_az - 1);
+        {
+            let (mid, dn) = (&map[..n_az], &map[n_az..2 * n_az]);
+            for a in 1..n_az - 1 {
+                let acc = mid[a - 1] + mid[a] + mid[a + 1] + dn[a - 1] + dn[a] + dn[a + 1];
+                out[a] = acc * R6;
+            }
+        }
+        let last = (n_el - 1) * n_az;
+        out[last] = general(n_el - 1, 0);
+        out[last + n_az - 1] = general(n_el - 1, n_az - 1);
+        {
+            let (up, mid) = (&map[last - n_az..last], &map[last..last + n_az]);
+            for a in 1..n_az - 1 {
+                let acc = up[a - 1] + up[a] + up[a + 1] + mid[a - 1] + mid[a] + mid[a + 1];
+                out[last + a] = acc * R6;
+            }
+        }
+        for e in 1..n_el - 1 {
+            let row = e * n_az;
+            let up = &map[row - n_az..row];
+            let mid = &map[row..row + n_az];
+            let dn = &map[row + n_az..row + 2 * n_az];
+            let orow = &mut out[row..row + n_az];
+            orow[0] = (up[0] + up[1] + mid[0] + mid[1] + dn[0] + dn[1]) * R6;
+            let a_r = n_az - 1;
+            orow[a_r] =
+                (up[a_r - 1] + up[a_r] + mid[a_r - 1] + mid[a_r] + dn[a_r - 1] + dn[a_r]) * R6;
+            for a in 1..n_az - 1 {
+                let acc = up[a - 1]
+                    + up[a]
+                    + up[a + 1]
+                    + mid[a - 1]
+                    + mid[a]
+                    + mid[a + 1]
+                    + dn[a - 1]
+                    + dn[a]
+                    + dn[a + 1];
+                orow[a] = acc * R9;
+            }
+        }
+    } else {
+        for e in 0..n_el {
+            for a in 0..n_az {
+                out[e * n_az + a] = general(e, a);
+            }
+        }
+    }
+}
+
+/// Arithmetic path of the correlation kernel.
+///
+/// `F64` is the exact path every golden test pins; `F32` and `Q15` trade
+/// precision the quarter-dB-quantized, `[−7, 12]` dB-clamped firmware
+/// reports never had for throughput (see `css::batch`). Decision records
+/// stamp the path so `talon replay` re-executes the same arithmetic with
+/// the matching comparison tolerance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KernelPath {
+    /// Exact f64 arithmetic (the reference-pinned default).
+    F64,
+    /// f32 gains and probe panels, f32 accumulation, f64 argmax pass.
+    F32,
+    /// Quarter-dB i16 fixed-point gains/probes with i32 accumulation —
+    /// integer-exact, so bit-identical on every platform.
+    Q15,
+}
+
+impl KernelPath {
+    /// Stable wire name, as stamped into `DecisionRecord::kernel_path`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            KernelPath::F64 => "f64",
+            KernelPath::F32 => "f32",
+            KernelPath::Q15 => "q15",
+        }
+    }
+
+    /// Parses a wire name written by [`Self::as_str`].
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_str(s: &str) -> Option<KernelPath> {
+        match s {
+            "f64" => Some(KernelPath::F64),
+            "f32" => Some(KernelPath::F32),
+            "q15" => Some(KernelPath::Q15),
+            _ => None,
         }
     }
 }
@@ -112,6 +285,10 @@ pub struct EstimatorOptions {
     pub smoothing: bool,
     /// Parabolic sub-cell refinement of the winning direction.
     pub subcell_refinement: bool,
+    /// Arithmetic path of the kernel. Non-`F64` estimates route through
+    /// the batched kernel (`css::batch`), which quantizes the pattern
+    /// matrix once and correlates in reduced precision.
+    pub kernel_path: KernelPath,
 }
 
 impl Default for EstimatorOptions {
@@ -120,6 +297,7 @@ impl Default for EstimatorOptions {
             energy_prior: true,
             smoothing: true,
             subcell_refinement: true,
+            kernel_path: KernelPath::F64,
         }
     }
 }
@@ -184,17 +362,20 @@ pub struct CompressiveEstimator {
     /// the gain of sector row `s` at grid point `g`. Grid-major layout keeps
     /// the whole per-grid-point working set (`n_sectors` doubles, ≈ 272 B
     /// for the Talon's 34 sectors) in one or two cache lines.
-    gains: Vec<f64>,
+    pub(crate) gains: Vec<f64>,
     /// Number of sector rows (the matrix minor dimension).
-    n_sectors: usize,
+    pub(crate) n_sectors: usize,
     /// O(1) sector-id → matrix-row table (`u16::MAX` = no measured pattern).
-    row_of: [u16; 256],
+    pub(crate) row_of: [u16; 256],
     /// The angular grid shared by all patterns.
     grid: geom::sphere::SphericalGrid,
     /// Correlation mode.
     pub mode: CorrelationMode,
     /// Numerical argmax options.
     pub options: EstimatorOptions,
+    /// Lazily built batched kernel backing non-`F64` scalar estimates;
+    /// invalidated when `mode`/`options` changed since it was built.
+    quantized: std::sync::Mutex<Option<std::sync::Arc<crate::batch::BatchEstimator>>>,
     /// Cached metric handles (registry lookups are off the hot path).
     ctr_estimates: std::sync::Arc<obs::Counter>,
     ctr_degenerate: std::sync::Arc<obs::Counter>,
@@ -225,6 +406,7 @@ impl CompressiveEstimator {
             grid,
             mode,
             options: EstimatorOptions::default(),
+            quantized: std::sync::Mutex::new(None),
             ctr_estimates: obs::counter("css.estimates"),
             ctr_degenerate: obs::counter("css.degenerate"),
             gauge_allocs: obs::gauge("css.estimate_allocs"),
@@ -414,6 +596,9 @@ impl CompressiveEstimator {
         scratch: &mut EstimatorScratch,
         readings: &[SweepReading],
     ) -> Option<(Direction, f64)> {
+        if self.options.kernel_path != KernelPath::F64 {
+            return self.estimate_quantized(readings);
+        }
         self.ctr_estimates.inc();
         // A full span (two clock reads + histogram) only while tracing; the
         // no-sink bill is the counter above and the allocation gauge below.
@@ -470,6 +655,32 @@ impl CompressiveEstimator {
             coarse.el_deg + el_off * self.grid.el.step_deg,
         );
         Some((refined, best_w))
+    }
+
+    /// Scalar estimate through the reduced-precision batched kernel
+    /// (`options.kernel_path` = `F32`/`Q15`): a one-link batch against a
+    /// [`crate::batch::BatchEstimator`] quantized from this estimator's
+    /// pattern matrix. The batched kernel is built on first use and
+    /// rebuilt if `mode`/`options` changed since.
+    fn estimate_quantized(&self, readings: &[SweepReading]) -> Option<(Direction, f64)> {
+        self.ctr_estimates.inc();
+        let batch = {
+            let mut slot = self.quantized.lock().expect("quantized cache poisoned");
+            match &*slot {
+                Some(b) if b.mode() == self.mode && b.options() == self.options => b.clone(),
+                _ => {
+                    let built =
+                        std::sync::Arc::new(crate::batch::BatchEstimator::from_estimator(self));
+                    *slot = Some(built.clone());
+                    built
+                }
+            }
+        };
+        let out = batch.estimate_one(readings);
+        if out.is_none() {
+            self.ctr_degenerate.inc();
+        }
+        out.map(|e| (e.direction, e.score))
     }
 
     /// Link-health check on the Eq. 5 fit: with the estimated direction
@@ -625,7 +836,7 @@ fn argmax_margin(map: &[f64], best_i: usize, n_az: usize, best_w: f64) -> f64 {
 
 /// Peak offset of the parabola through `(−1, l)`, `(0, c)`, `(+1, r)`,
 /// clamped to half a cell. Returns 0 for degenerate (flat) neighbourhoods.
-fn parabolic_offset(l: f64, c: f64, r: f64) -> f64 {
+pub(crate) fn parabolic_offset(l: f64, c: f64, r: f64) -> f64 {
     let denom = l - 2.0 * c + r;
     if denom.abs() < 1e-12 {
         return 0.0;
@@ -1039,6 +1250,7 @@ mod tests {
                 energy_prior: false,
                 smoothing: false,
                 subcell_refinement: false,
+                kernel_path: KernelPath::F64,
             },
         );
         let full = CompressiveEstimator::new(&store, CorrelationMode::SnrOnly);

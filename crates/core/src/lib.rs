@@ -23,17 +23,25 @@
 //! * [`multipath`] — magnitude-only two-path estimation on the correlation
 //!   map, providing a backup sector for instant blockage fail-over (the
 //!   §2.1/§8 multi-path and BeamSpy ideas, adapted to commodity readings).
+//! * [`batch`] — the GEMM-shaped multi-link kernel: B concurrent links'
+//!   probe panels swept against the grid-major gains matrix in one pass,
+//!   with f32/q15 reduced-precision paths and coarse-to-fine grid pruning.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod adaptive;
 pub mod baselines;
+pub mod batch;
 pub mod estimator;
 pub mod multipath;
 pub mod selection;
 pub mod strategy;
 
-pub use estimator::{patterns_digest, CompressiveEstimator, CorrelationMode, KernelClosure};
+pub use batch::{BatchEstimator, BatchScratch, LinkEstimate, PruneConfig};
+pub use estimator::{
+    patterns_digest, CompressiveEstimator, CorrelationMode, EstimatorOptions, KernelClosure,
+    KernelPath,
+};
 pub use selection::{CompressiveSelection, CssConfig, DecisionOracle};
 pub use strategy::ProbeStrategy;

@@ -142,6 +142,52 @@ where
     merged
 }
 
+/// Maps `f` over fixed-size *batches* of the unit range `0..n_units` and
+/// returns per-unit results in unit order.
+///
+/// Batch boundaries depend only on `(n_units, batch)` — batch `k` always
+/// covers `k·batch .. min((k+1)·batch, n_units)` — never on the thread
+/// count, so a kernel whose arithmetic is invariant to batch composition
+/// (like [`css::BatchEstimator`], where every link occupies its own panel
+/// column) stays **bit-identical** at any `threads`. Each batch is one
+/// [`par_map`] work unit, inheriting its dynamic scheduling, ordered
+/// merge, and trace capture (one trace id per batch).
+///
+/// `f(worker, range)` must return exactly `range.len()` results, one per
+/// unit, in unit order.
+pub fn par_map_batched<T, W, M, F>(
+    n_units: usize,
+    threads: usize,
+    batch: usize,
+    make_worker: M,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    W: Send,
+    M: Fn() -> W + Sync,
+    F: Fn(&mut W, std::ops::Range<usize>) -> Vec<T> + Sync,
+{
+    let batch = batch.max(1);
+    let n_batches = n_units.div_ceil(batch);
+    let parts = par_map(n_batches, threads, make_worker, |w, k| {
+        let start = k * batch;
+        let end = (start + batch).min(n_units);
+        let out = f(w, start..end);
+        assert_eq!(
+            out.len(),
+            end - start,
+            "batch fn must return one result per unit"
+        );
+        out
+    });
+    let mut merged = Vec::with_capacity(n_units);
+    for part in parts {
+        merged.extend(part);
+    }
+    merged
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,6 +230,39 @@ mod tests {
             },
         );
         assert_eq!(counts.len(), 1000);
+    }
+
+    #[test]
+    fn batched_boundaries_are_thread_invariant() {
+        // Each unit records which batch it ran in; the grouping must be a
+        // pure function of (n_units, batch), not of the thread count.
+        let run = |threads| {
+            par_map_batched(
+                103,
+                threads,
+                16,
+                || (),
+                |_, range| {
+                    let start = range.start;
+                    range.map(|i| (i, start)).collect()
+                },
+            )
+        };
+        let seq = run(1);
+        assert_eq!(seq.len(), 103);
+        for &(i, start) in &seq {
+            assert_eq!(start, (i / 16) * 16);
+        }
+        assert_eq!(seq, run(2));
+        assert_eq!(seq, run(8));
+    }
+
+    #[test]
+    fn batched_handles_ragged_tail_and_zero() {
+        let out = par_map_batched(10, 4, 3, || (), |_, r| r.map(|i| i * 2).collect());
+        assert_eq!(out, (0..10).map(|i| i * 2).collect::<Vec<_>>());
+        let empty: Vec<u8> = par_map_batched(0, 4, 3, || (), |_, r| r.map(|_| 0).collect());
+        assert!(empty.is_empty());
     }
 
     #[test]

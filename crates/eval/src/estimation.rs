@@ -8,16 +8,27 @@
 //!
 //! The Monte Carlo grid (`M` × position × sweep × draw) runs on the
 //! [`crate::engine`]: each cell is one work unit with its own
-//! index-derived RNG stream, so the result is bit-identical for any
-//! thread count.
+//! index-derived RNG stream. Units feed the GEMM-shaped
+//! [`css::BatchEstimator`] in fixed-boundary batches of
+//! [`EVAL_BATCH`] links ([`engine::par_map_batched`]); every link
+//! occupies its own panel column, so batching never mixes links'
+//! arithmetic and the result is bit-identical for any thread count —
+//! per precision mode ([`KernelPath`]).
 
 use crate::engine;
 use crate::scenario::{random_subset, RecordedDataset};
 use chamber::SectorPatterns;
-use css::estimator::{CompressiveEstimator, CorrelationMode, EstimatorScratch};
+use css::estimator::{CorrelationMode, EstimatorOptions, KernelPath};
+use css::{BatchEstimator, BatchScratch};
 use geom::rng::sub_rng_indexed;
 use geom::stats::BoxStats;
 use serde::Serialize;
+use talon_channel::SweepReading;
+
+/// Links per batched kernel sweep in the Fig. 7 fan-out. Amortizes the
+/// grid walk across enough panel columns to hit the sub-µs regime while
+/// keeping per-batch subset buffers small.
+pub const EVAL_BATCH: usize = 16;
 
 /// The Fig. 7 series for one scenario.
 #[derive(Debug, Clone, Serialize)]
@@ -70,7 +81,39 @@ pub fn estimation_error_par(
     seed: u64,
     threads: usize,
 ) -> EstimationErrorResult {
-    let estimator = CompressiveEstimator::new(patterns, CorrelationMode::JointSnrRssi);
+    estimation_error_batched(
+        data,
+        patterns,
+        m_values,
+        draws_per_sweep,
+        seed,
+        threads,
+        KernelPath::F64,
+    )
+}
+
+/// [`estimation_error_par`] on an explicit kernel precision path.
+///
+/// Each batch of [`EVAL_BATCH`] consecutive units runs as one
+/// [`BatchEstimator`] sweep; batch boundaries are a pure function of the
+/// unit count, so the output is bit-identical at any `threads` for every
+/// `kernel_path`. Subset draws still come from the per-unit RNG streams
+/// (`sub_rng_indexed(seed, "fig7-subsets", unit)`), unchanged from the
+/// scalar wiring.
+pub fn estimation_error_batched(
+    data: &RecordedDataset,
+    patterns: &SectorPatterns,
+    m_values: &[usize],
+    draws_per_sweep: usize,
+    seed: u64,
+    threads: usize,
+    kernel_path: KernelPath,
+) -> EstimationErrorResult {
+    let options = EstimatorOptions {
+        kernel_path,
+        ..EstimatorOptions::default()
+    };
+    let estimator = BatchEstimator::new(patterns, CorrelationMode::JointSnrRssi, options);
     // Flatten the recorded sweeps once; each work unit addresses one
     // (m, sweep, draw) cell of the Monte Carlo grid by flat index.
     let sweeps: Vec<_> = data
@@ -80,16 +123,33 @@ pub fn estimation_error_par(
         .collect();
     let units_per_m = sweeps.len() * draws_per_sweep;
     let n_units = m_values.len() * units_per_m;
-    let errors: Vec<Option<(f64, f64)>> =
-        engine::par_map(n_units, threads, EstimatorScratch::new, |scratch, unit| {
-            let m = m_values[unit / units_per_m];
-            let (truth, sweep) = sweeps[(unit % units_per_m) / draws_per_sweep];
-            let mut rng = sub_rng_indexed(seed, "fig7-subsets", unit as u64);
-            let subset = random_subset(&mut rng, sweep, m);
+    let errors: Vec<Option<(f64, f64)>> = engine::par_map_batched(
+        n_units,
+        threads,
+        EVAL_BATCH,
+        BatchScratch::new,
+        |scratch, range| {
+            let subsets: Vec<Vec<SweepReading>> = range
+                .clone()
+                .map(|unit| {
+                    let m = m_values[unit / units_per_m];
+                    let (_, sweep) = sweeps[(unit % units_per_m) / draws_per_sweep];
+                    let mut rng = sub_rng_indexed(seed, "fig7-subsets", unit as u64);
+                    random_subset(&mut rng, sweep, m)
+                })
+                .collect();
+            let links: Vec<&[SweepReading]> = subsets.iter().map(Vec::as_slice).collect();
             estimator
-                .estimate_with(scratch, &subset)
-                .map(|(dir, _)| dir.component_error(truth))
-        });
+                .estimate_batch(scratch, &links)
+                .into_iter()
+                .zip(range)
+                .map(|(est, unit)| {
+                    let (truth, _) = sweeps[(unit % units_per_m) / draws_per_sweep];
+                    est.map(|e| e.direction.component_error(truth))
+                })
+                .collect()
+        },
+    );
     let mut rows = Vec::with_capacity(m_values.len());
     for (mi, &m) in m_values.iter().enumerate() {
         let cell = &errors[mi * units_per_m..(mi + 1) * units_per_m];

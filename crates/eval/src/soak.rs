@@ -15,9 +15,11 @@
 //!    compression ratio (the codec's reason to exist — the acceptance
 //!    floor is 5×).
 //! 3. **Replay** the trace at each requested thread count through a
-//!    bounded-memory streaming [`ReplaySession`], asserting every
-//!    decision reproduces bit-exactly (`max_abs_err == 0`) and that all
-//!    thread counts agree.
+//!    bounded-memory streaming [`ReplaySession`] — frame decode runs on
+//!    its own pipeline thread so the next chunk decodes while workers
+//!    replay the current one — asserting every decision reproduces
+//!    bit-exactly (`max_abs_err == 0`) and that all thread counts (and
+//!    an inline-decode baseline pass) agree.
 //! 4. **Bound RSS**: the process peak (`VmHWM`) must stay under
 //!    [`RSS_CEILING_MB`] — proof the reader streams instead of
 //!    materializing the trace.
@@ -51,6 +53,11 @@ pub const RSS_CEILING_MB: f64 = 512.0;
 /// Decisions per replay chunk: bounds replay memory at a few MB while
 /// keeping the parallel fan-out fed.
 const CHUNK: usize = 8 * 1024;
+
+/// Chunks the decode thread may run ahead of the replay workers. Depth 2
+/// double-buffers (decode chunk N+1 while N replays) without letting a
+/// fast decoder pile decoded records up in memory.
+const PIPELINE_DEPTH: usize = 2;
 
 /// What to soak.
 #[derive(Debug, Clone)]
@@ -111,8 +118,13 @@ pub struct SoakReport {
     /// Decisions recorded per second (probe draw + sweep + selection +
     /// trace write — the full live-path cost).
     pub record_per_s: f64,
-    /// One entry per requested thread count, in order.
+    /// One entry per requested thread count, in order. These passes
+    /// decode on a dedicated pipeline thread (see [`PIPELINE_DEPTH`]).
     pub replay: Vec<ReplayThroughput>,
+    /// Throughput of a single-threaded pass that decodes *inline* on the
+    /// coordinating thread — the pre-pipeline baseline, kept as a
+    /// measured reference for the decode/replay overlap gain.
+    pub replay_inline_1t_per_s: f64,
     /// Process peak RSS (`VmHWM`) after all passes, MB.
     pub rss_peak_mb: f64,
     /// Largest |recorded − recomputed| over every compared output in
@@ -213,29 +225,70 @@ fn account_phase(config: &SoakConfig, path: &Path) -> Result<(u64, u64, u64), St
 
 /// Streams the trace through a bounded-memory replay at `threads`,
 /// asserting a clean bit-exact reproduction.
+///
+/// With `pipelined` set, frame decode moves off the coordinating thread:
+/// a dedicated decoder fills the next [`CHUNK`]-record chunk while the
+/// replay workers re-execute the current one, handing chunks over a
+/// bounded channel (depth [`PIPELINE_DEPTH`], so memory stays bounded
+/// even if decode outruns replay). Chunk boundaries are identical in
+/// both modes, so the report cannot depend on the mode — only the wall
+/// clock can.
 fn replay_phase(
     path: &Path,
     scenario: &EvalScenario,
     threads: usize,
+    pipelined: bool,
 ) -> Result<(ReplayReport, f64), String> {
     let start = Instant::now();
-    let mut reader = FileBinReader::open(path)?;
     let mut session = ReplaySession::new(ReplayConfig {
         threads,
         perturb_snr_db: 0.0,
         patterns_override: Some(scenario.patterns.clone()),
     });
-    let mut chunk = Vec::with_capacity(CHUNK);
-    while let Some(record) = reader.next_record()? {
-        if let TraceRecord::Decision(d) = record {
-            chunk.push(*d);
-            if chunk.len() == CHUNK {
+    if pipelined {
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Vec<obs::DecisionRecord>>(PIPELINE_DEPTH);
+        let decode_err = std::thread::scope(|scope| {
+            let decoder = scope.spawn(move || -> Result<(), String> {
+                let mut reader = FileBinReader::open(path)?;
+                let mut chunk = Vec::with_capacity(CHUNK);
+                while let Some(record) = reader.next_record()? {
+                    if let TraceRecord::Decision(d) = record {
+                        chunk.push(*d);
+                        if chunk.len() == CHUNK
+                            && tx
+                                .send(std::mem::replace(&mut chunk, Vec::with_capacity(CHUNK)))
+                                .is_err()
+                        {
+                            // Receiver gone: the replay side bailed first.
+                            return Ok(());
+                        }
+                    }
+                }
+                tx.send(chunk).ok();
+                Ok(())
+            });
+            for chunk in rx {
                 session.replay_chunk(&chunk);
-                chunk.clear();
+            }
+            decoder.join().expect("decode thread joins").err()
+        });
+        if let Some(e) = decode_err {
+            return Err(e);
+        }
+    } else {
+        let mut reader = FileBinReader::open(path)?;
+        let mut chunk = Vec::with_capacity(CHUNK);
+        while let Some(record) = reader.next_record()? {
+            if let TraceRecord::Decision(d) = record {
+                chunk.push(*d);
+                if chunk.len() == CHUNK {
+                    session.replay_chunk(&chunk);
+                    chunk.clear();
+                }
             }
         }
+        session.replay_chunk(&chunk);
     }
-    session.replay_chunk(&chunk);
     let report = session.finish();
     let elapsed = start.elapsed().as_secs_f64();
     if !report.is_clean() {
@@ -290,11 +343,23 @@ pub fn run_soak(config: &SoakConfig, mut progress: impl FnMut(&str)) -> Result<S
             jsonl_bytes as f64 / decisions as f64
         ));
 
+        // Pre-pipeline baseline: decode inline on the coordinating
+        // thread at 1 replay thread. Its outcome seeds the determinism
+        // reference, so the pipelined passes below also prove that
+        // moving decode off-thread changed nothing but the wall clock.
+        let (inline_report, inline_elapsed) = replay_phase(path, &scenario, 1, false)?;
+        let mut max_abs_err = inline_report.max_abs_err;
+        let mut reference: Option<(String, DeterminismKey)> =
+            Some(("1 (inline decode)".into(), determinism_key(&inline_report)));
+        let replay_inline_1t_per_s = decisions as f64 / inline_elapsed;
+        progress(&format!(
+            "replayed {decisions} decisions at 1 thread (inline decode) in \
+             {inline_elapsed:.1}s ({replay_inline_1t_per_s:.0}/s, bit-exact)"
+        ));
+
         let mut replay = Vec::new();
-        let mut reference: Option<(usize, DeterminismKey)> = None;
-        let mut max_abs_err = 0.0f64;
         for &threads in &config.threads {
-            let (report, elapsed) = replay_phase(path, &scenario, threads)?;
+            let (report, elapsed) = replay_phase(path, &scenario, threads, true)?;
             max_abs_err = max_abs_err.max(report.max_abs_err);
             let key = determinism_key(&report);
             if let Some((ref_threads, ref_key)) = &reference {
@@ -305,12 +370,12 @@ pub fn run_soak(config: &SoakConfig, mut progress: impl FnMut(&str)) -> Result<S
                     ));
                 }
             } else {
-                reference = Some((threads, key));
+                reference = Some((threads.to_string(), key));
             }
             let per_s = decisions as f64 / elapsed;
             progress(&format!(
                 "replayed {decisions} decisions at {threads} thread(s) in {elapsed:.1}s \
-                 ({per_s:.0}/s, bit-exact)"
+                 ({per_s:.0}/s, pipelined decode, bit-exact)"
             ));
             replay.push(ReplayThroughput { threads, per_s });
         }
@@ -332,6 +397,7 @@ pub fn run_soak(config: &SoakConfig, mut progress: impl FnMut(&str)) -> Result<S
             record_s,
             record_per_s: decisions as f64 / record_s,
             replay,
+            replay_inline_1t_per_s,
             rss_peak_mb: rss,
             max_abs_err,
         })
@@ -363,6 +429,7 @@ mod tests {
         assert_eq!(report.decisions, 40);
         assert_eq!(report.max_abs_err, 0.0);
         assert_eq!(report.replay.len(), 3);
+        assert!(report.replay_inline_1t_per_s > 0.0);
         assert!(report.trace_bytes > 0);
         assert!(report.jsonl_bytes > report.trace_bytes);
         assert!(report.compression_ratio > 1.0);

@@ -7,7 +7,8 @@
 //! figures. Results are compared through their full `Debug` rendering,
 //! which includes every float exactly.
 
-use eval::estimation::estimation_error_par;
+use css::estimator::KernelPath;
+use eval::estimation::{estimation_error_batched, estimation_error_par};
 use eval::scenario::{EvalScenario, Fidelity};
 use eval::snr_loss::snr_loss_par;
 use eval::stability::selection_stability_par;
@@ -29,6 +30,31 @@ fn estimation_error_is_thread_count_invariant() {
         .collect();
     assert_eq!(renders[0], renders[1], "1 vs 2 threads");
     assert_eq!(renders[0], renders[2], "1 vs 8 threads");
+}
+
+#[test]
+fn batched_estimation_is_thread_count_invariant_per_precision_mode() {
+    // The batched sweep groups EVAL_BATCH consecutive units per
+    // BatchEstimator call; batch boundaries depend only on the unit
+    // count, never on the thread count, so even the reduced-precision
+    // paths (whose arithmetic is the most rounding-sensitive) must be
+    // byte-identical at 1, 2, and 8 threads. F64 is covered by
+    // `estimation_error_is_thread_count_invariant` above.
+    let mut s = EvalScenario::conference_room(Fidelity::Fast, 905);
+    let data = s.record(905);
+    for path in [KernelPath::F32, KernelPath::Q15] {
+        let renders: Vec<String> = THREAD_COUNTS
+            .iter()
+            .map(|&t| {
+                format!(
+                    "{:?}",
+                    estimation_error_batched(&data, &s.patterns, &[6, 14], 2, 905, t, path)
+                )
+            })
+            .collect();
+        assert_eq!(renders[0], renders[1], "{path:?}: 1 vs 2 threads");
+        assert_eq!(renders[0], renders[2], "{path:?}: 1 vs 8 threads");
+    }
 }
 
 #[test]

@@ -607,9 +607,16 @@ fn encode_decision(r: &DecisionRecord, enc: &mut Enc) {
     enc.f64(r.oracle_snr_db);
     enc.f64(r.chosen_snr_db);
     enc.f64(r.snr_loss_db);
+    // Schema 3: fields append after the v2 payload, so a v2 frame is a
+    // strict prefix of a v3 frame and the decoder can branch on the frame
+    // version byte.
+    enc.istr(&r.kernel_path);
 }
 
-fn decode_decision(dec: &mut Dec) -> DecodeResult<DecisionRecord> {
+/// Decodes a decision payload written under frame version
+/// `frame_version` (v2 payloads lack the trailing `kernel_path`, which
+/// only the f64 path could have produced).
+fn decode_decision(dec: &mut Dec, frame_version: u8) -> DecodeResult<DecisionRecord> {
     let schema_version = dec.varint()?;
     let ts_us = dec.varint()?;
     let trace_id = dec.varint()?;
@@ -654,6 +661,13 @@ fn decode_decision(dec: &mut Dec) -> DecodeResult<DecisionRecord> {
         oracle_snr_db: dec.f64()?,
         chosen_snr_db: dec.f64()?,
         snr_loss_db: dec.f64()?,
+        // Struct-literal fields evaluate in source order, so this istr
+        // runs after every v2 field above has been consumed.
+        kernel_path: if frame_version >= 3 {
+            dec.istr()?
+        } else {
+            "f64".to_string()
+        },
     })
 }
 
@@ -785,11 +799,16 @@ pub fn file_header() -> Vec<u8> {
     out
 }
 
-fn decode_payload(kind: u8, payload: &[u8], table: &[String]) -> DecodeResult<TraceRecord> {
+fn decode_payload(
+    kind: u8,
+    frame_version: u8,
+    payload: &[u8],
+    table: &[String],
+) -> DecodeResult<TraceRecord> {
     let mut dec = Dec::new(payload, table);
     let record = match kind {
         KIND_EVENT => TraceRecord::Event(decode_event(&mut dec)?),
-        KIND_DECISION => TraceRecord::Decision(Box::new(decode_decision(&mut dec)?)),
+        KIND_DECISION => TraceRecord::Decision(Box::new(decode_decision(&mut dec, frame_version)?)),
         KIND_SNAPSHOT => TraceRecord::Snapshot(decode_snapshot(&mut dec)?),
         other => return Err(format!("unknown record kind {other}")),
     };
@@ -1092,7 +1111,7 @@ impl<R: BufRead> BinReader<R> {
                 }
                 continue;
             }
-            match decode_payload(head[0], payload, &self.table) {
+            match decode_payload(head[0], head[1], payload, &self.table) {
                 Ok(record) => return Ok(Some(record)),
                 Err(_) => {
                     // CRC-valid but undecodable (codec disagreement or a
@@ -1181,6 +1200,31 @@ mod tests {
         assert!(reader.next_record().expect("clean tail").is_none());
         assert_eq!(reader.skipped(), 0);
         out
+    }
+
+    #[test]
+    fn v2_decision_frame_decodes_with_default_kernel_path() {
+        // A v3 decision payload is a v2 payload plus a trailing
+        // `kernel_path` istr, so forging a v2 frame is exactly "encode,
+        // then strip that suffix". Old traces must decode with the
+        // pre-kernel_path default of "f64".
+        let mut d = sample_decision();
+        d.schema_version = 2;
+        let mut enc = Enc::default();
+        encode_decision(&d, &mut enc);
+        let mut suffix = Enc::default();
+        suffix.istr(&d.kernel_path);
+        let v2_payload = &enc.buf[..enc.buf.len() - suffix.buf.len()];
+        let mut bytes = file_header();
+        bytes.extend_from_slice(&frame_with(KIND_DECISION, 2, v2_payload));
+        let mut reader = BinReader::from_reader(std::io::Cursor::new(bytes)).expect("header");
+        let TraceRecord::Decision(back) = reader.next_record().unwrap().expect("one record") else {
+            panic!("wrong kind");
+        };
+        assert_eq!(back.kernel_path, "f64");
+        assert_eq!(*back, d);
+        assert!(reader.next_record().unwrap().is_none());
+        assert_eq!(reader.skipped(), 0);
     }
 
     #[test]
@@ -1280,7 +1324,7 @@ mod tests {
         let mut enc = Enc::default();
         encode_event(&sample_event(), &mut enc);
         enc.u8(0xFF); // one stray trailing byte
-        assert!(decode_payload(KIND_EVENT, &enc.buf, &[]).is_err());
+        assert!(decode_payload(KIND_EVENT, SCHEMA_VERSION as u8, &enc.buf, &[]).is_err());
     }
 
     #[test]

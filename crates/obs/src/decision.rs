@@ -33,8 +33,11 @@ use std::sync::OnceLock;
 /// [`crate::jsonl::read_trace`] rejects files claiming a newer version.
 ///
 /// History: 1 = events + snapshot (PR 2/4, unstamped); 2 = stamped lines
-/// plus `"decision"` records.
-pub const SCHEMA_VERSION: u64 = 2;
+/// plus `"decision"` records; 3 = decision records carry `kernel_path`
+/// (the estimator arithmetic: `"f64"`/`"f32"`/`"q15"`). Version-2 decision
+/// records are still readable: their kernel path defaults to `"f64"`, the
+/// only arithmetic that existed then.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Sentinel for "no sector" in the numeric sector fields.
 pub const NO_SECTOR: i64 = -1;
@@ -72,6 +75,11 @@ pub struct DecisionRecord {
     pub smoothing: bool,
     /// Estimator option: parabolic sub-cell refinement enabled.
     pub subcell_refinement: bool,
+    /// Kernel arithmetic the estimate ran under: `"f64"`, `"f32"` or
+    /// `"q15"`. Replay re-executes the same path and selects its
+    /// comparison tolerance from this field; records written before
+    /// schema 3 decode as `"f64"`.
+    pub kernel_path: String,
     /// FNV-1a digest of the pattern database the kernel ran against (0 for
     /// non-kernel sources). Replay verifies this before comparing outputs.
     pub patterns_digest: u64,
@@ -139,6 +147,7 @@ impl DecisionRecord {
             energy_prior: false,
             smoothing: false,
             subcell_refinement: false,
+            kernel_path: "f64".to_string(),
             patterns_digest: 0,
             replayable: false,
             probed: Vec::new(),
@@ -291,7 +300,8 @@ mod tests {
         rec.chosen_sector = 9;
         let json = rec.to_line().to_json();
         assert!(json.contains("\"kind\":\"decision\""), "{json}");
-        assert!(json.contains("\"schema_version\":2"), "{json}");
+        assert!(json.contains("\"schema_version\":3"), "{json}");
+        assert!(json.contains("\"kernel_path\":\"f64\""), "{json}");
         let back: DecisionRecord =
             Deserialize::deserialize(&Value::from_json(&json).unwrap()).unwrap();
         assert_eq!(back, rec);

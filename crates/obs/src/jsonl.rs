@@ -79,7 +79,7 @@ enum Line {
 /// newer-schema case (the caller prefixes the line number); all damage is
 /// `Ok(Line::Skip)`.
 fn parse_line(line: &str) -> Result<Line, String> {
-    let Ok(value) = Value::from_json(line) else {
+    let Ok(mut value) = Value::from_json(line) else {
         return Ok(Line::Skip);
     };
     if let Some(version) = value.get("schema_version").and_then(Value::as_u64) {
@@ -95,10 +95,20 @@ fn parse_line(line: &str) -> Result<Line, String> {
             Some(Ok(snap)) => Line::Record(TraceRecord::Snapshot(snap)),
             _ => Line::Skip,
         },
-        Some("decision") => match DecisionRecord::deserialize(&value) {
-            Ok(record) => Line::Record(TraceRecord::Decision(Box::new(record))),
-            Err(_) => Line::Skip,
-        },
+        Some("decision") => {
+            // Schema < 3 decision lines predate `kernel_path`; only f64
+            // arithmetic existed then, so default the field before the
+            // (defaults-free) derived deserializer runs.
+            if value.get("kernel_path").is_none() {
+                if let Value::Map(entries) = &mut value {
+                    entries.push(("kernel_path".to_string(), Value::Str("f64".to_string())));
+                }
+            }
+            match DecisionRecord::deserialize(&value) {
+                Ok(record) => Line::Record(TraceRecord::Decision(Box::new(record))),
+                Err(_) => Line::Skip,
+            }
+        }
         Some(_) => match Event::deserialize(&value) {
             Ok(event) => Line::Record(TraceRecord::Event(event)),
             Err(_) => Line::Skip,
@@ -340,6 +350,31 @@ mod tests {
         assert!(trace.events.is_empty());
         assert_eq!(trace.decisions.len(), 1);
         assert_eq!(trace.decisions[0], record);
+    }
+
+    #[test]
+    fn v2_decision_lines_default_to_the_f64_kernel_path() {
+        // Schema-2 traces predate `kernel_path`; strip the field (and
+        // claim version 2) from a freshly rendered line to simulate one.
+        let mut record = DecisionRecord::new("css.select");
+        record.kernel_path = "q15".to_string();
+        let line = record.to_line().to_json();
+        let stripped = line
+            .replace("\"kernel_path\":\"q15\",", "")
+            .replace("\"kernel_path\":\"q15\"", "")
+            .replace(
+                &format!("\"schema_version\":{SCHEMA_VERSION}"),
+                "\"schema_version\":2",
+            );
+        assert!(
+            !stripped.contains("kernel_path"),
+            "field must be gone: {stripped}"
+        );
+        let trace = parse_trace(&format!("{stripped}\n")).unwrap();
+        assert_eq!(trace.skipped, 0, "v2 line must parse");
+        assert_eq!(trace.decisions.len(), 1);
+        assert_eq!(trace.decisions[0].kernel_path, "f64");
+        assert_eq!(trace.decisions[0].schema_version, 2);
     }
 
     #[test]

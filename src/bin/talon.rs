@@ -905,6 +905,7 @@ const SOAK_REQUIRED_KEYS: &[&str] = &[
     "jsonl_bytes_per_decision",
     "compression_ratio",
     "record_per_s",
+    "replay_inline_1t_per_s",
     "replay_1t_per_s",
     "replay_nt_per_s",
     "replay_nt_threads",
@@ -971,6 +972,7 @@ fn cmd_soak(opts: &HashMap<String, String>) -> Result<(), String> {
          \"jsonl_bytes_per_decision\": {:.2},\n  \
          \"compression_ratio\": {:.2},\n  \
          \"record_per_s\": {:.0},\n  \
+         \"replay_inline_1t_per_s\": {:.0},\n  \
          \"replay_1t_per_s\": {:.0},\n  \
          \"replay_nt_per_s\": {:.0},\n  \
          \"replay_nt_threads\": {},\n  \
@@ -983,6 +985,7 @@ fn cmd_soak(opts: &HashMap<String, String>) -> Result<(), String> {
         report.jsonl_bytes_per_decision,
         report.compression_ratio,
         report.record_per_s,
+        report.replay_inline_1t_per_s,
         replay_1t.per_s,
         replay_nt.per_s,
         replay_nt.threads,
