@@ -44,6 +44,22 @@ impl DriftProfile {
         }
     }
 
+    /// The per-link fleet variant of [`DriftProfile::demo`]: link `i`
+    /// degrades at tick `10 + 3i` and recovers at `25 + 3i`, so a fleet
+    /// drill sees staggered (but overlapping) per-link drift episodes and
+    /// per-link template alerts fire at distinct, deterministic ticks.
+    /// `demo_link(0)` is exactly [`DriftProfile::demo`], which keeps the
+    /// aggregate single-episode `/healthz` contract of the stock drill
+    /// intact when link 0 doubles as the aggregate feed.
+    pub fn demo_link(i: u64) -> Self {
+        let stagger = 3 * i;
+        DriftProfile {
+            onset_tick: 10 + stagger,
+            clear_tick: 25 + stagger,
+            ..DriftProfile::demo()
+        }
+    }
+
     /// The SNR loss the link shows at `tick`.
     pub fn loss_at(&self, tick: u64) -> f64 {
         if tick >= self.onset_tick && tick < self.clear_tick {
@@ -67,6 +83,18 @@ mod tests {
         assert_eq!(p.loss_at(24), 25.0);
         assert_eq!(p.loss_at(25), 1.0);
         assert_eq!(p.loss_at(1000), 1.0);
+    }
+
+    #[test]
+    fn fleet_profiles_stagger_but_keep_link_zero_stock() {
+        assert_eq!(DriftProfile::demo_link(0), DriftProfile::demo());
+        let p1 = DriftProfile::demo_link(1);
+        let p2 = DriftProfile::demo_link(2);
+        assert_eq!((p1.onset_tick, p1.clear_tick), (13, 28));
+        assert_eq!((p2.onset_tick, p2.clear_tick), (16, 31));
+        // Episodes overlap, so the fleet drill exercises concurrent
+        // per-link firing, not a serialized relay.
+        assert!(p2.onset_tick < DriftProfile::demo().clear_tick);
     }
 
     #[test]

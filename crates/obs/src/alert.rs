@@ -26,8 +26,20 @@
 //! Like the sampler, the engine is tick-count-driven and never reads a
 //! clock: identical snapshot sequences produce identical transition
 //! sequences at any wall-clock speed.
+//!
+//! ## Label-pattern (template) rules
+//!
+//! A rule whose metric is `base{key=*}` (e.g.
+//! `health.link_drift{link=*}`) is a *template*: each evaluation tick it
+//! expands over every sampled series of that base name carrying the label
+//! key, and every concrete series — every link — gets its **own**
+//! independent state machine. Transitions and `/alerts` rows use the
+//! instance name (`link_drift_per_link{link="3"}`), and the per-rule fired
+//! counter becomes a labeled series (`alert.<name>.fired{link="3"}`), so
+//! one hot link neither masks nor clears another.
 
 use crate::event::Event;
+use crate::labels;
 use crate::timeseries::Sampler;
 use crate::{sink, trace};
 use serde::{Serialize, Value};
@@ -109,18 +121,23 @@ impl Predicate {
     /// that has never been sampled (or a rate with <2 samples) measures
     /// `0.0`: absence of signal is absence of anomaly.
     pub fn measure(&self, sampler: &Sampler) -> f64 {
+        self.measure_named(sampler, self.metric())
+    }
+
+    /// Like [`Predicate::measure`], but against `metric` instead of the
+    /// predicate's own name — how a template rule measures each of its
+    /// expanded concrete series.
+    pub fn measure_named(&self, sampler: &Sampler, metric: &str) -> f64 {
         match self {
-            Predicate::ValueAbove { metric, .. } => sampler
+            Predicate::ValueAbove { .. } => sampler
                 .gauge_value(metric)
                 .map(|v| v as f64)
                 .or_else(|| sampler.counter_value(metric).map(|v| v as f64))
                 .unwrap_or(0.0),
-            Predicate::RateAbove { metric, window, .. } => {
+            Predicate::RateAbove { window, .. } => {
                 sampler.counter_rate(metric, *window).unwrap_or(0.0)
             }
-            Predicate::QuantileAbove {
-                metric, q, window, ..
-            } => sampler
+            Predicate::QuantileAbove { q, window, .. } => sampler
                 .quantile(metric, *window, *q)
                 .map(|v| v as f64)
                 .unwrap_or(0.0),
@@ -257,11 +274,93 @@ impl AlertStatus {
 /// Transitions retained in the engine's log (oldest dropped past this).
 const TRANSITION_LOG_CAP: usize = 256;
 
+/// Parses a template metric pattern `base{key=*}` into `(base, key)`.
+/// Only single-key patterns are supported.
+fn template_pattern(metric: &str) -> Option<(&str, &str)> {
+    let (base, inner) = labels::split_name(metric);
+    let key = inner?.strip_suffix("=*")?;
+    (!key.is_empty() && key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'))
+        .then_some((base, key))
+}
+
+/// The sampled concrete series a template rule expands to: every series of
+/// the pattern's base name whose label block carries the pattern's key, in
+/// sorted (deterministic) order.
+fn concrete_series(sampler: &Sampler, predicate: &Predicate, base: &str, key: &str) -> Vec<String> {
+    let mut names: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+    match predicate {
+        Predicate::ValueAbove { .. } => {
+            names.extend(sampler.gauge_names());
+            names.extend(sampler.counter_names());
+        }
+        Predicate::RateAbove { .. } => names.extend(sampler.counter_names()),
+        Predicate::QuantileAbove { .. } => names.extend(sampler.histogram_names()),
+    }
+    names
+        .into_iter()
+        .filter(|n| labels::split_name(n).0 == base && labels::label_value(n, key).is_some())
+        .map(str::to_string)
+        .collect()
+}
+
+/// Advances one rule state machine by one tick; returns the phase left
+/// when an edge happened.
+fn step_machine(rule: &Rule, st: &mut RuleState, value: f64, tick: u64) -> Option<Phase> {
+    st.last_value = value;
+    let above = value > rule.predicate.threshold();
+    let from = st.phase;
+    match st.phase {
+        Phase::Inactive => {
+            if above {
+                st.above_streak = 1;
+                if st.above_streak >= rule.for_ticks.max(1) {
+                    st.phase = Phase::Firing;
+                } else {
+                    st.phase = Phase::Pending;
+                }
+                st.since_tick = tick;
+            } else {
+                st.above_streak = 0;
+            }
+        }
+        Phase::Pending => {
+            if above {
+                st.above_streak += 1;
+                if st.above_streak >= rule.for_ticks.max(1) {
+                    st.phase = Phase::Firing;
+                    st.since_tick = tick;
+                }
+            } else {
+                st.phase = Phase::Inactive;
+                st.above_streak = 0;
+                st.since_tick = tick;
+            }
+        }
+        Phase::Firing => {
+            if value <= rule.clear_below {
+                st.below_streak += 1;
+                if st.below_streak >= rule.clear_for_ticks.max(1) {
+                    st.phase = Phase::Inactive;
+                    st.above_streak = 0;
+                    st.below_streak = 0;
+                    st.since_tick = tick;
+                }
+            } else {
+                st.below_streak = 0;
+            }
+        }
+    }
+    (st.phase != from).then_some(from)
+}
+
 /// Evaluates a rule set against a [`Sampler`], once per tick.
 #[derive(Debug)]
 pub struct AlertEngine {
     rules: Vec<Rule>,
     states: Vec<RuleState>,
+    /// Per-rule concrete-series state for template rules (empty maps for
+    /// plain rules), keyed by the concrete metric name.
+    template_states: Vec<BTreeMap<String, RuleState>>,
     transitions: Vec<Transition>,
 }
 
@@ -269,9 +368,11 @@ impl AlertEngine {
     /// An engine over `rules`, all inactive.
     pub fn new(rules: Vec<Rule>) -> Self {
         let states = rules.iter().map(|_| RuleState::default()).collect();
+        let template_states = rules.iter().map(|_| BTreeMap::new()).collect();
         AlertEngine {
             rules,
             states,
+            template_states,
             transitions: Vec::new(),
         }
     }
@@ -286,62 +387,47 @@ impl AlertEngine {
     pub fn evaluate(&mut self, sampler: &Sampler) -> Vec<Transition> {
         let tick = sampler.ticks().saturating_sub(1);
         let mut edges = Vec::new();
-        for (rule, st) in self.rules.iter().zip(self.states.iter_mut()) {
-            let value = rule.predicate.measure(sampler);
-            st.last_value = value;
-            let above = value > rule.predicate.threshold();
-            let from = st.phase;
-            match st.phase {
-                Phase::Inactive => {
-                    if above {
-                        st.above_streak = 1;
-                        if st.above_streak >= rule.for_ticks.max(1) {
-                            st.phase = Phase::Firing;
-                        } else {
-                            st.phase = Phase::Pending;
-                        }
-                        st.since_tick = tick;
-                    } else {
-                        st.above_streak = 0;
+        let AlertEngine {
+            rules,
+            states,
+            template_states,
+            ..
+        } = self;
+        for (i, rule) in rules.iter().enumerate() {
+            if let Some((base, key)) = template_pattern(rule.predicate.metric()) {
+                // Template rule: one independent state machine per sampled
+                // concrete series.
+                for metric in concrete_series(sampler, &rule.predicate, base, key) {
+                    let value = rule.predicate.measure_named(sampler, &metric);
+                    let (_, inner) = labels::split_name(&metric);
+                    let inner = inner.unwrap_or("");
+                    let st = template_states[i].entry(metric.clone()).or_default();
+                    if let Some(from) = step_machine(rule, st, value, tick) {
+                        let edge = Transition {
+                            rule: labels::qualify(&rule.name, inner),
+                            tick,
+                            from: from.as_str().to_string(),
+                            to: st.phase.as_str().to_string(),
+                            value,
+                        };
+                        account_edge(rule, inner, &edge);
+                        edges.push(edge);
                     }
                 }
-                Phase::Pending => {
-                    if above {
-                        st.above_streak += 1;
-                        if st.above_streak >= rule.for_ticks.max(1) {
-                            st.phase = Phase::Firing;
-                            st.since_tick = tick;
-                        }
-                    } else {
-                        st.phase = Phase::Inactive;
-                        st.above_streak = 0;
-                        st.since_tick = tick;
-                    }
+            } else {
+                let value = rule.predicate.measure(sampler);
+                let st = &mut states[i];
+                if let Some(from) = step_machine(rule, st, value, tick) {
+                    let edge = Transition {
+                        rule: rule.name.clone(),
+                        tick,
+                        from: from.as_str().to_string(),
+                        to: st.phase.as_str().to_string(),
+                        value,
+                    };
+                    account_edge(rule, "", &edge);
+                    edges.push(edge);
                 }
-                Phase::Firing => {
-                    if value <= rule.clear_below {
-                        st.below_streak += 1;
-                        if st.below_streak >= rule.clear_for_ticks.max(1) {
-                            st.phase = Phase::Inactive;
-                            st.above_streak = 0;
-                            st.below_streak = 0;
-                            st.since_tick = tick;
-                        }
-                    } else {
-                        st.below_streak = 0;
-                    }
-                }
-            }
-            if st.phase != from {
-                let edge = Transition {
-                    rule: rule.name.clone(),
-                    tick,
-                    from: from.as_str().to_string(),
-                    to: st.phase.as_str().to_string(),
-                    value,
-                };
-                account_edge(rule, &edge);
-                edges.push(edge);
             }
         }
         // Keep the currently-firing gauges live every tick, not just on
@@ -360,46 +446,68 @@ impl AlertEngine {
         edges
     }
 
-    /// Rules currently firing, optionally filtered by severity.
+    /// Every `(rule, state)` pair currently alive: plain rules once,
+    /// template rules once per expanded concrete series.
+    fn live_states(&self) -> impl Iterator<Item = (&Rule, &RuleState)> {
+        self.rules.iter().enumerate().flat_map(move |(i, r)| {
+            let plain = self.template_states[i]
+                .is_empty()
+                .then(|| (r, &self.states[i]));
+            let expanded = self.template_states[i].values().map(move |s| (r, s));
+            plain.into_iter().chain(expanded)
+        })
+    }
+
+    /// Rule instances currently firing, optionally filtered by severity.
+    /// Template rules count once per firing concrete series.
     pub fn firing_count(&self, severity: Option<Severity>) -> usize {
-        self.rules
-            .iter()
-            .zip(&self.states)
+        self.live_states()
             .filter(|(r, s)| {
                 s.phase == Phase::Firing && severity.is_none_or(|want| r.severity == want)
             })
             .count()
     }
 
-    /// Names of the rules currently firing at `severity` (all severities
-    /// when `None`), in rule order.
+    /// Names of the rule instances currently firing at `severity` (all
+    /// severities when `None`), in rule order; template instances carry
+    /// their label block (`link_drift_per_link{link="3"}`).
     pub fn firing_names(&self, severity: Option<Severity>) -> Vec<String> {
-        self.rules
-            .iter()
-            .zip(&self.states)
-            .filter(|(r, s)| {
-                s.phase == Phase::Firing && severity.is_none_or(|want| r.severity == want)
-            })
-            .map(|(r, _)| r.name.clone())
-            .collect()
+        let mut names = Vec::new();
+        for (i, rule) in self.rules.iter().enumerate() {
+            if severity.is_some_and(|want| rule.severity != want) {
+                continue;
+            }
+            if self.template_states[i].is_empty() {
+                if self.states[i].phase == Phase::Firing {
+                    names.push(rule.name.clone());
+                }
+            } else {
+                for (metric, st) in &self.template_states[i] {
+                    if st.phase == Phase::Firing {
+                        let (_, inner) = labels::split_name(metric);
+                        names.push(labels::qualify(&rule.name, inner.unwrap_or("")));
+                    }
+                }
+            }
+        }
+        names
     }
 
-    /// Point-in-time status of every rule, in rule order.
+    /// Point-in-time status of every rule instance, in rule order. A
+    /// template rule contributes one row per expanded concrete series (or
+    /// a single inactive pattern row before any series exists).
     pub fn statuses(&self) -> Vec<AlertStatus> {
-        self.rules
-            .iter()
-            .zip(&self.states)
-            .map(|(r, s)| AlertStatus {
-                name: r.name.clone(),
-                severity: r.severity,
-                phase: s.phase,
-                since_tick: s.since_tick,
-                value: s.last_value,
-                threshold: r.predicate.threshold(),
-                metric: r.predicate.metric().to_string(),
-                kind: r.predicate.kind(),
-            })
-            .collect()
+        let mut rows = Vec::new();
+        for (i, rule) in self.rules.iter().enumerate() {
+            if self.template_states[i].is_empty() {
+                rows.push(status_row(rule, &self.states[i], None));
+            } else {
+                for (metric, st) in &self.template_states[i] {
+                    rows.push(status_row(rule, st, Some(metric)));
+                }
+            }
+        }
+        rows
     }
 
     /// The bounded transition log, oldest first.
@@ -408,12 +516,38 @@ impl AlertEngine {
     }
 }
 
+fn status_row(rule: &Rule, st: &RuleState, concrete: Option<&str>) -> AlertStatus {
+    let name = match concrete {
+        Some(metric) => {
+            let (_, inner) = labels::split_name(metric);
+            labels::qualify(&rule.name, inner.unwrap_or(""))
+        }
+        None => rule.name.clone(),
+    };
+    AlertStatus {
+        name,
+        severity: rule.severity,
+        phase: st.phase,
+        since_tick: st.since_tick,
+        value: st.last_value,
+        threshold: rule.predicate.threshold(),
+        metric: concrete.unwrap_or(rule.predicate.metric()).to_string(),
+        kind: rule.predicate.kind(),
+    }
+}
+
 /// Books one state-machine edge: counters, health anomaly on the firing
-/// edge, and a trace mark while a sink records.
-fn account_edge(rule: &Rule, edge: &Transition) {
+/// edge, and a trace mark while a sink records. `inner` is the label
+/// block of a template instance (empty for plain rules); it qualifies the
+/// per-rule fired counter so each link gets its own series.
+fn account_edge(rule: &Rule, inner: &str, edge: &Transition) {
     if edge.to == "firing" {
         crate::counter("alert.fired").inc();
-        crate::counter(&format!("alert.{}.fired", rule.name)).inc();
+        crate::counter(&labels::qualify(
+            &format!("alert.{}.fired", rule.name),
+            inner,
+        ))
+        .inc();
         crate::health::anomaly(
             "alert_firing",
             &[
@@ -440,7 +574,7 @@ fn account_edge(rule: &Rule, edge: &Transition) {
         fields.insert("value".into(), edge.value);
         fields.insert("firing".into(), if edge.to == "firing" { 1.0 } else { 0.0 });
         sink::emit(
-            &Event::mark(crate::now_us(), &format!("alert.{}", rule.name), fields)
+            &Event::mark(crate::now_us(), &format!("alert.{}", edge.rule), fields)
                 .with_ids(trace_id, 0, parent_id),
         );
     }
@@ -452,6 +586,7 @@ fn account_edge(rule: &Rule, edge: &Transition) {
 /// |---|---|---|
 /// | `snr_loss_high` | page | `quality.snr_loss_mdb` gauge > 6 dB, clears ≤ 2 dB |
 /// | `link_drift` | page | any `health.link_drift` epoch in the last 10 ticks |
+/// | `link_drift_per_link` | warn | template: any `health.link_drift{link=*}` epoch in the last 10 ticks, per link |
 /// | `trace_write_failed` | page | any `health.trace_write_failed` in the last 5 ticks |
 /// | `misselection_burst` | warn | `health.misselection` rate > 0.2/tick over 10 ticks |
 /// | `link_outage_burst` | warn | any `health.link_outage` in the last 10 ticks |
@@ -474,6 +609,21 @@ pub fn default_rules() -> Vec<Rule> {
             severity: Severity::Page,
             predicate: Predicate::RateAbove {
                 metric: "health.link_drift".into(),
+                threshold: 0.0,
+                window: 10,
+            },
+            for_ticks: 1,
+            clear_below: 0.0,
+            clear_for_ticks: 10,
+        },
+        Rule {
+            // Template: expands to one state machine per `link` label, so
+            // a fleet's per-link drift alarms fire and clear independently
+            // of each other and of the aggregate `link_drift` page above.
+            name: "link_drift_per_link".into(),
+            severity: Severity::Warn,
+            predicate: Predicate::RateAbove {
+                metric: "health.link_drift{link=*}".into(),
                 threshold: 0.0,
                 window: 10,
             },
@@ -667,12 +817,121 @@ mod tests {
     }
 
     #[test]
+    fn template_rule_fires_independently_per_label_set() {
+        let mut sampler = Sampler::new(SamplerConfig::default());
+        let rule = Rule {
+            name: "drift_per_link".into(),
+            severity: Severity::Warn,
+            predicate: Predicate::RateAbove {
+                metric: "health.link_drift{link=*}".into(),
+                threshold: 0.0,
+                window: 4,
+            },
+            for_ticks: 1,
+            clear_below: 0.0,
+            clear_for_ticks: 2,
+        };
+        let mut engine = AlertEngine::new(vec![rule]);
+        let snap = |hot: u64, cold: u64| {
+            let mut s = Snapshot::default();
+            s.counters
+                .insert("health.link_drift{link=\"3\"}".to_string(), hot);
+            s.counters
+                .insert("health.link_drift{link=\"7\"}".to_string(), cold);
+            // An unlabeled aggregate must NOT match the template.
+            s.counters
+                .insert("health.link_drift".to_string(), hot + cold);
+            s
+        };
+        sampler.sample(&snap(0, 0));
+        assert!(engine.evaluate(&sampler).is_empty());
+
+        // Only link 3 drifts: exactly its instance fires.
+        sampler.sample(&snap(1, 0));
+        let edges = engine.evaluate(&sampler);
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges[0].rule, "drift_per_link{link=\"3\"}");
+        assert_eq!(edges[0].to, "firing");
+        assert_eq!(engine.firing_count(None), 1);
+        assert_eq!(
+            engine.firing_names(None),
+            vec!["drift_per_link{link=\"3\"}".to_string()]
+        );
+
+        // Link 7 drifts while link 3 is still hot: both fire independently.
+        sampler.sample(&snap(1, 1));
+        let edges = engine.evaluate(&sampler);
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges[0].rule, "drift_per_link{link=\"7\"}");
+        assert_eq!(engine.firing_count(None), 2);
+
+        // Both increments age out of the 4-tick window; each instance
+        // resolves on its own clear streak, link 3's first.
+        let mut resolved = Vec::new();
+        for _ in 0..10 {
+            sampler.sample(&snap(1, 1));
+            for t in engine.evaluate(&sampler) {
+                assert_eq!(t.to, "inactive");
+                resolved.push(t.rule);
+            }
+        }
+        assert_eq!(
+            resolved,
+            vec![
+                "drift_per_link{link=\"3\"}".to_string(),
+                "drift_per_link{link=\"7\"}".to_string()
+            ]
+        );
+        assert_eq!(engine.firing_count(None), 0);
+
+        // Statuses carry one row per concrete series, with the concrete
+        // metric name.
+        let statuses = engine.statuses();
+        assert_eq!(statuses.len(), 2);
+        assert_eq!(statuses[0].metric, "health.link_drift{link=\"3\"}");
+        assert_eq!(statuses[1].name, "drift_per_link{link=\"7\"}");
+    }
+
+    #[test]
+    fn template_firing_edge_books_a_labeled_counter() {
+        let _guard = crate::testing::lock();
+        crate::clear_sink();
+        let mut sampler = Sampler::new(SamplerConfig::default());
+        let rule = Rule {
+            name: "gauge_hot_per_link".into(),
+            severity: Severity::Warn,
+            predicate: Predicate::ValueAbove {
+                metric: "load{link=*}".into(),
+                threshold: 10.0,
+            },
+            for_ticks: 1,
+            clear_below: 4.0,
+            clear_for_ticks: 1,
+        };
+        let mut engine = AlertEngine::new(vec![rule]);
+        let mut s = Snapshot::default();
+        s.gauges.insert("load{link=\"9\"}".to_string(), 25);
+        sampler.sample(&s);
+        let before = crate::global()
+            .snapshot()
+            .counter("alert.gauge_hot_per_link.fired{link=\"9\"}");
+        engine.evaluate(&sampler);
+        assert_eq!(
+            crate::global()
+                .snapshot()
+                .counter("alert.gauge_hot_per_link.fired{link=\"9\"}"),
+            before + 1
+        );
+    }
+
+    #[test]
     fn default_ruleset_covers_the_known_failure_modes() {
         let rules = default_rules();
         let names: Vec<&str> = rules.iter().map(|r| r.name.as_str()).collect();
         for expected in [
             "snr_loss_high",
             "link_drift",
+            "link_drift_per_link",
             "trace_write_failed",
             "misselection_burst",
             "link_outage_burst",

@@ -100,6 +100,7 @@ pub const KNOWN_KINDS: &[&str] = &[
     "link_drift",
     "misselection",
     "alert_firing",
+    "flight_dump",
 ];
 
 /// Ensures a `health.<kind>` counter exists for every known kind.

@@ -40,8 +40,10 @@ pub mod alert;
 pub mod binfmt;
 pub mod decision;
 pub mod event;
+pub mod flight;
 pub mod health;
 pub mod jsonl;
+pub mod labels;
 pub mod live;
 pub mod metrics;
 pub mod monitor;
@@ -58,12 +60,17 @@ pub use alert::{default_rules, AlertEngine, Predicate, Rule, Severity};
 pub use binfmt::{BinReader, BinSink, TraceRecord};
 pub use decision::DecisionRecord;
 pub use event::Event;
+pub use flight::{FlightConfig, FlightRecorder};
+pub use labels::{LabelId, LabelSet};
 pub use live::{LiveMonitor, Ticker};
 pub use metrics::{Bucket, Counter, Gauge, Histogram, HistogramSnapshot};
 pub use monitor::{DriftConfig, DriftDetector, QualityMonitor, QualitySummary};
-pub use registry::{Registry, Snapshot};
+pub use registry::{Registry, ShardedRegistry, Snapshot};
 pub use serve::MetricsServer;
-pub use sink::{clear_sink, set_sink, sink_active, EventSink, JsonlSink, MemorySink, NoopSink};
+pub use sink::{
+    clear_sink, current_sink, set_sink, sink_active, EventSink, FanoutSink, JsonlSink, MemorySink,
+    NoopSink,
+};
 pub use span::{span, Span};
 pub use timeseries::{Sampler, SamplerConfig};
 pub use trace::{
@@ -99,6 +106,21 @@ pub fn gauge(name: &str) -> std::sync::Arc<Gauge> {
 /// Shortcut: the global histogram `name`.
 pub fn histogram(name: &str) -> std::sync::Arc<Histogram> {
     global().histogram(name)
+}
+
+/// Shortcut: the global counter `name` qualified with `labels`.
+pub fn counter_with(name: &str, labels: &LabelSet) -> std::sync::Arc<Counter> {
+    global().counter_with(name, labels)
+}
+
+/// Shortcut: the global gauge `name` qualified with `labels`.
+pub fn gauge_with(name: &str, labels: &LabelSet) -> std::sync::Arc<Gauge> {
+    global().gauge_with(name, labels)
+}
+
+/// Shortcut: the global histogram `name` qualified with `labels`.
+pub fn histogram_with(name: &str, labels: &LabelSet) -> std::sync::Arc<Histogram> {
+    global().histogram_with(name, labels)
 }
 
 /// Test support for code that installs global sinks.

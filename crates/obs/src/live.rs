@@ -9,13 +9,26 @@
 //! production timer loop would produce. [`LiveMonitor::start_ticker`]
 //! spawns the production timer thread; drop the handle to stop it.
 //!
-//! The JSON renderers here back the `/healthz`, `/alerts`, and
-//! `/timeseries` endpoints on [`crate::MetricsServer`] and the `talon top`
-//! dashboard. `/healthz` is the operational contract: **503 while any
-//! page-severity alert fires**, 200 otherwise, with the firing rule names
-//! in the body either way.
+//! The JSON renderers here back the `/healthz`, `/alerts`,
+//! `/timeseries`, `/links` and `/flight` endpoints on
+//! [`crate::MetricsServer`] and the `talon top` dashboard. `/healthz` is
+//! the operational contract: **503 while any page-severity alert fires**,
+//! 200 otherwise, with the firing rule names in the body either way.
+//!
+//! Two optional attachments make the monitor fleet-aware:
+//!
+//! * [`LiveMonitor::attach_shards`] — a [`crate::ShardedRegistry`] whose
+//!   merged (label-qualified) snapshot is overlaid on the global registry
+//!   every [`LiveMonitor::tick`], so per-link series flow into the sampler
+//!   and per-link template alert rules see them;
+//! * [`LiveMonitor::attach_flight`] — a [`crate::FlightRecorder`] dumped
+//!   automatically on every transition *into* firing, capturing the trace
+//!   history leading up to the incident.
 
 use crate::alert::{default_rules, AlertEngine, Rule, Severity, Transition};
+use crate::flight::FlightRecorder;
+use crate::labels;
+use crate::registry::ShardedRegistry;
 use crate::timeseries::{Sampler, SamplerConfig};
 use parking_lot::Mutex;
 use serde::Value;
@@ -28,6 +41,9 @@ use std::time::Duration;
 /// (sparkline feed; the per-metric query returns up to the full ring).
 const OVERVIEW_POINTS: u64 = 30;
 
+/// Links listed in the overview's worst-links rollup.
+const OVERVIEW_WORST_LINKS: usize = 3;
+
 struct Inner {
     sampler: Sampler,
     engine: AlertEngine,
@@ -36,6 +52,8 @@ struct Inner {
 /// Sampler + alert engine behind one lock. See the module docs.
 pub struct LiveMonitor {
     inner: Mutex<Inner>,
+    shards: Mutex<Option<Arc<ShardedRegistry>>>,
+    flight: Mutex<Option<Arc<FlightRecorder>>>,
 }
 
 impl LiveMonitor {
@@ -46,6 +64,8 @@ impl LiveMonitor {
                 sampler: Sampler::new(config),
                 engine: AlertEngine::new(rules),
             }),
+            shards: Mutex::new(None),
+            flight: Mutex::new(None),
         }
     }
 
@@ -55,19 +75,62 @@ impl LiveMonitor {
         LiveMonitor::new(SamplerConfig::default(), default_rules())
     }
 
-    /// One tick: snapshot the global registry, sample it, evaluate every
-    /// rule. Returns the alert edges this tick produced.
+    /// Attaches a sharded registry: every [`LiveMonitor::tick`] overlays
+    /// its merged label-qualified snapshot on the global one.
+    pub fn attach_shards(&self, shards: Arc<ShardedRegistry>) {
+        *self.shards.lock() = Some(shards);
+    }
+
+    /// Attaches a flight recorder, dumped (reason = rule instance name) on
+    /// every alert transition into the firing state.
+    pub fn attach_flight(&self, flight: Arc<FlightRecorder>) {
+        *self.flight.lock() = Some(flight);
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn flight(&self) -> Option<Arc<FlightRecorder>> {
+        self.flight.lock().clone()
+    }
+
+    /// The global registry's snapshot overlaid with the attached shards'
+    /// merged (label-qualified) snapshot, if any — what [`LiveMonitor::tick`]
+    /// samples and what `/metrics` exposes when a monitor is attached.
+    pub fn merged_snapshot(&self) -> crate::registry::Snapshot {
+        let mut snapshot = crate::global().snapshot();
+        let shards = self.shards.lock().clone();
+        if let Some(shards) = shards {
+            snapshot.merge(&shards.merged_snapshot());
+        }
+        snapshot
+    }
+
+    /// One tick: snapshot the global registry (overlaying the attached
+    /// shards, if any), sample it, evaluate every rule. Returns the alert
+    /// edges this tick produced.
     pub fn tick(&self) -> Vec<Transition> {
-        self.tick_with(&crate::global().snapshot())
+        self.tick_with(&self.merged_snapshot())
     }
 
     /// [`LiveMonitor::tick`] against a caller-provided snapshot
     /// (deterministic test / replay entry point).
     pub fn tick_with(&self, snapshot: &crate::registry::Snapshot) -> Vec<Transition> {
-        let mut inner = self.inner.lock();
-        inner.sampler.sample(snapshot);
-        let inner = &mut *inner;
-        inner.engine.evaluate(&inner.sampler)
+        let edges = {
+            let mut inner = self.inner.lock();
+            inner.sampler.sample(snapshot);
+            let inner = &mut *inner;
+            inner.engine.evaluate(&inner.sampler)
+        };
+        // Dump outside the monitor lock: a slow disk must not stall
+        // scrapes or the next tick.
+        if edges.iter().any(|e| e.to == "firing") {
+            let flight = self.flight.lock().clone();
+            if let Some(flight) = flight {
+                for edge in edges.iter().filter(|e| e.to == "firing") {
+                    let _ = flight.dump(&edge.rule);
+                }
+            }
+        }
+        edges
     }
 
     /// Ticks taken so far.
@@ -200,6 +263,20 @@ impl LiveMonitor {
                 ]))
             })
             .collect();
+        let worst: Vec<Value> = link_rows(s, &inner.engine, window)
+            .into_iter()
+            .take(OVERVIEW_WORST_LINKS)
+            .map(|row| {
+                Value::Map(vec![
+                    ("link".into(), Value::Str(row.link)),
+                    (
+                        "snr_loss_mdb".into(),
+                        row.snr_loss_mdb.map_or(Value::Null, Value::I64),
+                    ),
+                    ("firing".into(), Value::U64(row.firing.len() as u64)),
+                ])
+            })
+            .collect();
         Value::Map(vec![
             ("tick".into(), Value::U64(s.ticks())),
             ("tick_ms".into(), Value::U64(s.config().tick_ms)),
@@ -207,8 +284,58 @@ impl LiveMonitor {
             ("counters".into(), Value::Seq(counters)),
             ("gauges".into(), Value::Seq(gauges)),
             ("histograms".into(), Value::Seq(histograms)),
+            ("worst_links".into(), Value::Seq(worst)),
         ])
         .to_json()
+    }
+
+    /// The `/links` JSON: one row per `link`-labeled series group, sorted
+    /// worst first (highest SNR loss, then most drift epochs). `k` caps the
+    /// rows emitted; `count` always reports the full fleet size.
+    pub fn links_json(&self, window: u64, k: usize) -> String {
+        let inner = self.inner.lock();
+        let s = &inner.sampler;
+        let rows = link_rows(s, &inner.engine, window);
+        let count = rows.len();
+        let links: Vec<Value> = rows
+            .into_iter()
+            .take(k.max(1))
+            .map(|row| {
+                Value::Map(vec![
+                    ("link".into(), Value::Str(row.link)),
+                    (
+                        "snr_loss_mdb".into(),
+                        row.snr_loss_mdb.map_or(Value::Null, Value::I64),
+                    ),
+                    (
+                        "misselection_ppm".into(),
+                        row.misselection_ppm.map_or(Value::Null, Value::I64),
+                    ),
+                    ("drift_total".into(), Value::U64(row.drift_total)),
+                    (
+                        "drift_rate_per_tick".into(),
+                        row.drift_rate.map_or(Value::Null, Value::F64),
+                    ),
+                    (
+                        "firing".into(),
+                        Value::Seq(row.firing.into_iter().map(Value::Str).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        Value::Map(vec![
+            ("tick".into(), Value::U64(s.ticks())),
+            ("window".into(), Value::U64(window)),
+            ("count".into(), Value::U64(count as u64)),
+            ("links".into(), Value::Seq(links)),
+        ])
+        .to_json()
+    }
+
+    /// The `/flight` JSON: ring/dump status of the attached flight
+    /// recorder, or `None` when no recorder is attached.
+    pub fn flight_status_json(&self) -> Option<String> {
+        self.flight.lock().as_ref().map(|f| f.status_json())
     }
 
     /// The per-metric `/timeseries?metric=` JSON: raw ring points over the
@@ -295,6 +422,72 @@ impl LiveMonitor {
             thread: Some(thread),
         }
     }
+}
+
+/// One per-link rollup row; see [`LiveMonitor::links_json`].
+struct LinkRow {
+    link: String,
+    snr_loss_mdb: Option<i64>,
+    misselection_ppm: Option<i64>,
+    drift_total: u64,
+    drift_rate: Option<f64>,
+    firing: Vec<String>,
+}
+
+/// Scans the sampler for every series carrying a `link` label and folds
+/// the well-known quality/health series into per-link rows, sorted worst
+/// first: highest SNR loss, then most drift epochs, then link id.
+fn link_rows(s: &Sampler, engine: &AlertEngine, window: u64) -> Vec<LinkRow> {
+    let mut rows: std::collections::BTreeMap<String, LinkRow> = std::collections::BTreeMap::new();
+    let row = |rows: &mut std::collections::BTreeMap<String, LinkRow>, id: &str| {
+        rows.entry(id.to_string()).or_insert_with(|| LinkRow {
+            link: id.to_string(),
+            snr_loss_mdb: None,
+            misselection_ppm: None,
+            drift_total: 0,
+            drift_rate: None,
+            firing: Vec::new(),
+        });
+    };
+    for name in s.gauge_names() {
+        let Some(id) = labels::label_value(name, "link") else {
+            continue;
+        };
+        row(&mut rows, id);
+        let entry = rows.get_mut(id).expect("row just inserted");
+        match labels::split_name(name).0 {
+            "quality.snr_loss_mdb" => entry.snr_loss_mdb = s.gauge_value(name),
+            "quality.misselection_ppm" => entry.misselection_ppm = s.gauge_value(name),
+            _ => {}
+        }
+    }
+    for name in s.counter_names() {
+        let Some(id) = labels::label_value(name, "link") else {
+            continue;
+        };
+        row(&mut rows, id);
+        let entry = rows.get_mut(id).expect("row just inserted");
+        if labels::split_name(name).0 == "health.link_drift" {
+            entry.drift_total = s.counter_value(name).unwrap_or(0);
+            entry.drift_rate = s.counter_rate(name, window);
+        }
+    }
+    for name in engine.firing_names(None) {
+        if let Some(id) = labels::label_value(&name, "link") {
+            if let Some(entry) = rows.get_mut(id) {
+                entry.firing.push(name.clone());
+            }
+        }
+    }
+    let mut out: Vec<LinkRow> = rows.into_values().collect();
+    out.sort_by(|a, b| {
+        b.snr_loss_mdb
+            .unwrap_or(i64::MIN)
+            .cmp(&a.snr_loss_mdb.unwrap_or(i64::MIN))
+            .then(b.drift_total.cmp(&a.drift_total))
+            .then(a.link.cmp(&b.link))
+    });
+    out
 }
 
 impl std::fmt::Debug for LiveMonitor {
@@ -406,6 +599,86 @@ mod tests {
             5
         );
         assert!(m.series_json("no.such.metric", 10).is_none());
+    }
+
+    #[test]
+    fn links_rollup_sorts_worst_first_and_flight_dumps_on_firing() {
+        use crate::flight::{FlightConfig, FlightRecorder};
+        let rule = Rule {
+            name: "loss_per_link".into(),
+            severity: Severity::Warn,
+            predicate: Predicate::ValueAbove {
+                metric: "quality.snr_loss_mdb{link=*}".into(),
+                threshold: 1000.0,
+            },
+            for_ticks: 1,
+            clear_below: 500.0,
+            clear_for_ticks: 2,
+        };
+        let m = LiveMonitor::new(SamplerConfig::default(), vec![rule]);
+        let dir = std::env::temp_dir().join(format!("talon-live-flight-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create flight dir");
+        let flight = Arc::new(FlightRecorder::new(FlightConfig {
+            dir: dir.clone(),
+            ..FlightConfig::default()
+        }));
+        flight.append(&crate::binfmt::TraceRecord::Snapshot(Snapshot::default()));
+        m.attach_flight(Arc::clone(&flight));
+
+        let mut snap = Snapshot::default();
+        snap.gauges
+            .insert("quality.snr_loss_mdb{link=\"1\"}".into(), 500);
+        snap.gauges
+            .insert("quality.snr_loss_mdb{link=\"2\"}".into(), 9000);
+        snap.counters
+            .insert("health.link_drift{link=\"2\"}".into(), 3);
+        m.tick_with(&snap);
+        m.tick_with(&snap);
+        assert_eq!(flight.dumps(), 1, "firing edge triggered one dump");
+        let dumped = std::fs::read_dir(&dir)
+            .expect("list flight dir")
+            .filter_map(|e| e.ok())
+            .any(|e| {
+                e.file_name()
+                    .to_string_lossy()
+                    .starts_with("flight-loss_per_link")
+            });
+        assert!(dumped, "dump file named after the rule instance");
+
+        let links = Value::from_json(&m.links_json(10, 16)).expect("links JSON parses");
+        assert_eq!(links.get("count").and_then(Value::as_u64), Some(2));
+        let rows = links.get("links").and_then(Value::as_seq).expect("rows");
+        assert_eq!(rows[0].get("link").and_then(Value::as_str), Some("2"));
+        assert_eq!(
+            rows[0].get("snr_loss_mdb").and_then(Value::as_i64),
+            Some(9000)
+        );
+        assert_eq!(rows[0].get("drift_total").and_then(Value::as_u64), Some(3));
+        let firing = rows[0]
+            .get("firing")
+            .and_then(Value::as_seq)
+            .expect("firing");
+        assert_eq!(firing.len(), 1);
+        assert!(firing[0].as_str().expect("name").contains("link=\"2\""));
+        assert_eq!(rows[1].get("link").and_then(Value::as_str), Some("1"));
+        assert!(rows[1]
+            .get("firing")
+            .and_then(Value::as_seq)
+            .expect("firing")
+            .is_empty());
+
+        let overview = Value::from_json(&m.overview_json(10)).expect("overview parses");
+        let worst = overview
+            .get("worst_links")
+            .and_then(Value::as_seq)
+            .expect("worst_links");
+        assert_eq!(worst[0].get("link").and_then(Value::as_str), Some("2"));
+        assert_eq!(worst[0].get("firing").and_then(Value::as_u64), Some(1));
+
+        let status =
+            Value::from_json(&m.flight_status_json().expect("recorder attached")).expect("parses");
+        assert_eq!(status.get("dumps").and_then(Value::as_u64), Some(1));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

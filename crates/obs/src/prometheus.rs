@@ -15,7 +15,9 @@
 //! [`process_series`] adds the restart-detection pair every scrape wants:
 //! `talon_build_info{version=...}` and process start-time / uptime gauges.
 
+use crate::labels;
 use crate::registry::Snapshot;
+use std::collections::BTreeMap;
 use std::fmt::Write;
 
 /// Maps a registry metric name to a Prometheus series name.
@@ -107,6 +109,10 @@ const DESCRIPTIONS: &[(&str, &str)] = &[
         "health.alert_firing",
         "Alert rules that entered the firing state",
     ),
+    (
+        "health.flight_dump",
+        "Flight-recorder dumps written on alert or panic",
+    ),
 ];
 
 /// The `# HELP` text for a registry metric name: the static description
@@ -120,36 +126,93 @@ pub fn help_for(name: &str) -> &str {
         .unwrap_or(name)
 }
 
+/// Splits a registry name into its exposition family base and (validated)
+/// label block. A name whose brace block does not parse as canonical
+/// `k="v"` pairs is treated as unlabeled and fully sanitized, preserving
+/// the historical behaviour for hostile names.
+fn family_of(name: &str) -> (&str, Option<&str>) {
+    match labels::split_name(name) {
+        (base, Some(inner)) if labels::is_valid_inner(inner) => (base, Some(inner)),
+        _ => (name, None),
+    }
+}
+
+/// Groups a snapshot map by family base name, preserving sorted order and
+/// keeping each family's labeled series together under one HELP/TYPE pair.
+fn group_by_family<V>(map: &BTreeMap<String, V>) -> BTreeMap<&str, Vec<(Option<&str>, &V)>> {
+    let mut families: BTreeMap<&str, Vec<(Option<&str>, &V)>> = BTreeMap::new();
+    for (name, value) in map {
+        let (base, inner) = family_of(name);
+        families.entry(base).or_default().push((inner, value));
+    }
+    families
+}
+
 /// Renders `snapshot` in the Prometheus text exposition format.
+///
+/// Label-qualified registry names (`quality.snr_loss_mdb{link="7"}`, as
+/// produced by [`crate::labels::LabelSet::qualify`]) become labeled
+/// samples of one family — `talon_quality_snr_loss_mdb{link="7"}` — with a
+/// single `# HELP`/`# TYPE` pair per family.
 pub fn render(snapshot: &Snapshot) -> String {
     let mut out = String::new();
-    for (name, value) in &snapshot.counters {
-        let series = format!("{}_total", series_name(name));
-        let _ = writeln!(out, "# HELP {series} {}", help_for(name));
-        let _ = writeln!(out, "# TYPE {series} counter");
-        let _ = writeln!(out, "{series} {value}");
-    }
-    for (name, value) in &snapshot.gauges {
-        let series = series_name(name);
-        let _ = writeln!(out, "# HELP {series} {}", help_for(name));
-        let _ = writeln!(out, "# TYPE {series} gauge");
-        let _ = writeln!(out, "{series} {value}");
-    }
-    for (name, hist) in &snapshot.histograms {
-        let series = series_name(name);
-        let _ = writeln!(out, "# HELP {series} {}", help_for(name));
-        let _ = writeln!(out, "# TYPE {series} histogram");
-        let mut cumulative = 0u64;
-        for b in &hist.buckets {
-            cumulative += b.count;
-            // Our buckets are [lo, hi); `le` is inclusive, so the exposed
-            // bound is the largest value the bucket can hold.
-            let le = b.hi.saturating_sub(1).max(b.lo);
-            let _ = writeln!(out, "{series}_bucket{{le=\"{le}\"}} {cumulative}");
+    for (base, series) in group_by_family(&snapshot.counters) {
+        let family = format!("{}_total", series_name(base));
+        let _ = writeln!(out, "# HELP {family} {}", help_for(base));
+        let _ = writeln!(out, "# TYPE {family} counter");
+        for (inner, value) in series {
+            match inner {
+                Some(inner) => {
+                    let _ = writeln!(out, "{family}{{{inner}}} {value}");
+                }
+                None => {
+                    let _ = writeln!(out, "{family} {value}");
+                }
+            }
         }
-        let _ = writeln!(out, "{series}_bucket{{le=\"+Inf\"}} {}", hist.count);
-        let _ = writeln!(out, "{series}_sum {}", hist.sum);
-        let _ = writeln!(out, "{series}_count {}", hist.count);
+    }
+    for (base, series) in group_by_family(&snapshot.gauges) {
+        let family = series_name(base);
+        let _ = writeln!(out, "# HELP {family} {}", help_for(base));
+        let _ = writeln!(out, "# TYPE {family} gauge");
+        for (inner, value) in series {
+            match inner {
+                Some(inner) => {
+                    let _ = writeln!(out, "{family}{{{inner}}} {value}");
+                }
+                None => {
+                    let _ = writeln!(out, "{family} {value}");
+                }
+            }
+        }
+    }
+    for (base, series) in group_by_family(&snapshot.histograms) {
+        let family = series_name(base);
+        let _ = writeln!(out, "# HELP {family} {}", help_for(base));
+        let _ = writeln!(out, "# TYPE {family} histogram");
+        for (inner, hist) in series {
+            // `le` merges into the sample's label block for labeled series.
+            let extra = inner.map(|i| format!(",{i}")).unwrap_or_default();
+            let mut cumulative = 0u64;
+            for b in &hist.buckets {
+                cumulative += b.count;
+                // Our buckets are [lo, hi); `le` is inclusive, so the
+                // exposed bound is the largest value the bucket can hold.
+                let le = b.hi.saturating_sub(1).max(b.lo);
+                let _ = writeln!(out, "{family}_bucket{{le=\"{le}\"{extra}}} {cumulative}");
+            }
+            let _ = writeln!(out, "{family}_bucket{{le=\"+Inf\"{extra}}} {}", hist.count);
+            match inner {
+                Some(inner) => {
+                    let _ = writeln!(out, "{family}_sum{{{inner}}} {}", hist.sum);
+                    let _ = writeln!(out, "{family}_count{{{inner}}} {}", hist.count);
+                }
+                None => {
+                    let _ = writeln!(out, "{family}_sum {}", hist.sum);
+                    let _ = writeln!(out, "{family}_count {}", hist.count);
+                }
+            }
+        }
     }
     out
 }
@@ -270,6 +333,69 @@ mod tests {
                     "no HELP ahead of: {line}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn labeled_series_share_one_family_help_and_type() {
+        use crate::labels::LabelSet;
+        let reg = Registry::new();
+        reg.gauge("quality.snr_loss_mdb").set(100);
+        reg.gauge_with("quality.snr_loss_mdb", &LabelSet::link(7))
+            .set(2500);
+        reg.gauge_with("quality.snr_loss_mdb", &LabelSet::link(3))
+            .set(900);
+        reg.counter_with("health.link_drift", &LabelSet::link(7))
+            .add(2);
+        let h = reg.histogram_with("css.estimate.dur_us", &LabelSet::link(7));
+        h.record(5);
+        let text = render(&reg.snapshot());
+
+        assert!(text.contains("talon_quality_snr_loss_mdb 100"));
+        assert!(text.contains("talon_quality_snr_loss_mdb{link=\"3\"} 900"));
+        assert!(text.contains("talon_quality_snr_loss_mdb{link=\"7\"} 2500"));
+        assert!(text.contains("talon_health_link_drift_total{link=\"7\"} 2"));
+        // `_total` goes on the family, before the label block.
+        assert!(!text.contains("link_drift{link=\"7\"}_total"));
+        // Labeled histogram: `le` merges into the label block.
+        assert!(text.contains("talon_css_estimate_dur_us_bucket{le=\"7\",link=\"7\"} 1"));
+        assert!(text.contains("talon_css_estimate_dur_us_bucket{le=\"+Inf\",link=\"7\"} 1"));
+        assert!(text.contains("talon_css_estimate_dur_us_sum{link=\"7\"} 5"));
+        assert!(text.contains("talon_css_estimate_dur_us_count{link=\"7\"} 1"));
+        // One HELP/TYPE pair for the whole gauge family.
+        assert_eq!(
+            text.matches("# TYPE talon_quality_snr_loss_mdb gauge")
+                .count(),
+            1
+        );
+        assert_eq!(
+            text.matches("# HELP talon_quality_snr_loss_mdb ").count(),
+            1
+        );
+        // Labeled families keep the described HELP text of their base name.
+        assert!(text.contains("# HELP talon_quality_snr_loss_mdb Latest SNR loss"));
+        // Every line still parses as comment or `name value`.
+        for line in text.lines() {
+            assert!(
+                line.starts_with("# ")
+                    || line.split_once(' ').is_some_and(|(name, value)| {
+                        name.starts_with("talon_") && value.parse::<f64>().is_ok()
+                    }),
+                "unparseable line: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_brace_names_fall_back_to_sanitized_form() {
+        let reg = Registry::new();
+        // Not a canonical label block: treated as a plain (sanitized) name.
+        reg.counter("weird{a b}").inc();
+        let text = render(&reg.snapshot());
+        assert!(text.contains("talon_weird_a_b__total 1"), "{text}");
+        // Sample lines (non-comments) must carry only the sanitized name.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert!(!line.contains("{a b}"), "unsanitized: {line}");
         }
     }
 

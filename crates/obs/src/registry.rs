@@ -1,5 +1,6 @@
 //! The metric registry: named counters/gauges/histograms plus snapshots.
 
+use crate::labels::LabelSet;
 use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -51,6 +52,32 @@ impl Registry {
         map.entry(name.to_string()).or_default().clone()
     }
 
+    /// The counter `name` qualified with `labels` (`name{k="v"}`), created
+    /// on first use. An empty label set routes through the zero-label fast
+    /// path ([`Registry::counter`]) without allocating a qualified name.
+    pub fn counter_with(&self, name: &str, labels: &LabelSet) -> Arc<Counter> {
+        if labels.is_empty() {
+            return self.counter(name);
+        }
+        self.counter(&labels.qualify(name))
+    }
+
+    /// The gauge `name` qualified with `labels`, created on first use.
+    pub fn gauge_with(&self, name: &str, labels: &LabelSet) -> Arc<Gauge> {
+        if labels.is_empty() {
+            return self.gauge(name);
+        }
+        self.gauge(&labels.qualify(name))
+    }
+
+    /// The histogram `name` qualified with `labels`, created on first use.
+    pub fn histogram_with(&self, name: &str, labels: &LabelSet) -> Arc<Histogram> {
+        if labels.is_empty() {
+            return self.histogram(name);
+        }
+        self.histogram(&labels.qualify(name))
+    }
+
     /// A serializable point-in-time copy of every metric.
     pub fn snapshot(&self) -> Snapshot {
         Snapshot {
@@ -99,6 +126,79 @@ impl Snapshot {
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
     }
+
+    /// Overlays `other` onto this snapshot. Names are expected to be
+    /// disjoint (e.g. a shard's label-qualified series merged over the
+    /// global registry); on a collision `other` wins.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (k, v) in &other.counters {
+            self.counters.insert(k.clone(), *v);
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, v) in &other.histograms {
+            self.histograms.insert(k.clone(), v.clone());
+        }
+    }
+}
+
+/// A registry-of-registries keyed by [`LabelSet`]: each link/worker gets its
+/// own lock-local sub-[`Registry`] (no contention with other shards on the
+/// hot path), and [`ShardedRegistry::merged_snapshot`] folds every shard
+/// into one dimensional [`Snapshot`] whose names carry the shard's labels.
+#[derive(Debug, Default)]
+pub struct ShardedRegistry {
+    shards: Mutex<BTreeMap<LabelSet, Arc<Registry>>>,
+}
+
+impl ShardedRegistry {
+    /// An empty sharded registry.
+    pub fn new() -> Self {
+        ShardedRegistry::default()
+    }
+
+    /// The sub-registry for `labels`, created on first use. Callers should
+    /// hold the returned `Arc` and register their metrics once; updates are
+    /// then lock-free and local to the shard.
+    pub fn shard(&self, labels: &LabelSet) -> Arc<Registry> {
+        let mut shards = self.shards.lock();
+        if let Some(r) = shards.get(labels) {
+            return r.clone();
+        }
+        shards.entry(labels.clone()).or_default().clone()
+    }
+
+    /// Number of shards created so far.
+    pub fn shard_count(&self) -> usize {
+        self.shards.lock().len()
+    }
+
+    /// One dimensional snapshot of every shard: each shard's metric names
+    /// are qualified with the shard's labels (`name{link="3"}`); an
+    /// empty-label shard contributes its names unchanged.
+    pub fn merged_snapshot(&self) -> Snapshot {
+        let shards: Vec<(LabelSet, Arc<Registry>)> = self
+            .shards
+            .lock()
+            .iter()
+            .map(|(l, r)| (l.clone(), r.clone()))
+            .collect();
+        let mut merged = Snapshot::default();
+        for (labels, registry) in shards {
+            let snap = registry.snapshot();
+            for (k, v) in snap.counters {
+                merged.counters.insert(labels.qualify(&k), v);
+            }
+            for (k, v) in snap.gauges {
+                merged.gauges.insert(labels.qualify(&k), v);
+            }
+            for (k, v) in snap.histograms {
+                merged.histograms.insert(labels.qualify(&k), v);
+            }
+        }
+        merged
+    }
 }
 
 #[cfg(test)]
@@ -132,6 +232,63 @@ mod tests {
         let back: Snapshot =
             serde::Deserialize::deserialize(&serde::Value::from_json(&json).unwrap()).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn labeled_metrics_are_distinct_series() {
+        let reg = Registry::new();
+        let l3 = LabelSet::link(3);
+        let l7 = LabelSet::link(7);
+        reg.counter_with("drift", &l3).add(2);
+        reg.counter_with("drift", &l7).inc();
+        reg.counter_with("drift", &LabelSet::empty()).add(10);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("drift{link=\"3\"}"), 2);
+        assert_eq!(snap.counter("drift{link=\"7\"}"), 1);
+        assert_eq!(snap.counter("drift"), 10);
+        // The empty-label path is the same metric object as the plain one.
+        assert!(Arc::ptr_eq(
+            &reg.counter("drift"),
+            &reg.counter_with("drift", &LabelSet::empty())
+        ));
+    }
+
+    #[test]
+    fn sharded_registry_merges_with_shard_labels() {
+        let sharded = ShardedRegistry::new();
+        for link in 0..3u32 {
+            let shard = sharded.shard(&LabelSet::link(link));
+            shard.counter("units").add(u64::from(link) + 1);
+            shard.gauge("depth").set(i64::from(link));
+        }
+        sharded.shard(&LabelSet::empty()).counter("units").add(100);
+        assert_eq!(sharded.shard_count(), 4);
+        let snap = sharded.merged_snapshot();
+        assert_eq!(snap.counter("units{link=\"0\"}"), 1);
+        assert_eq!(snap.counter("units{link=\"2\"}"), 3);
+        assert_eq!(snap.counter("units"), 100);
+        assert_eq!(snap.gauges["depth{link=\"1\"}"], 1);
+
+        // Same labels → same shard.
+        assert!(Arc::ptr_eq(
+            &sharded.shard(&LabelSet::link(1)),
+            &sharded.shard(&LabelSet::link(1))
+        ));
+    }
+
+    #[test]
+    fn snapshot_merge_overlays_other() {
+        let a = Registry::new();
+        a.counter("x").inc();
+        a.gauge("g").set(1);
+        let b = Registry::new();
+        b.counter("x").add(5);
+        b.counter("y{link=\"2\"}").add(2);
+        let mut snap = a.snapshot();
+        snap.merge(&b.snapshot());
+        assert_eq!(snap.counter("x"), 5); // collision: other wins
+        assert_eq!(snap.counter("y{link=\"2\"}"), 2);
+        assert_eq!(snap.gauges["g"], 1);
     }
 
     #[test]

@@ -11,7 +11,11 @@
 //! * `GET /alerts` — JSON: every rule's state plus the recent transition
 //!   log;
 //! * `GET /timeseries[?metric=<name>&window=<ticks>]` — JSON: the
-//!   windowed overview, or one metric's ring.
+//!   windowed overview, or one metric's ring;
+//! * `GET /links[?window=<ticks>&k=<rows>]` — JSON: per-link fleet
+//!   rollup, worst links first;
+//! * `GET /flight` — JSON: the attached flight recorder's ring/dump
+//!   status (404 when none is attached).
 //!
 //! The monitor-backed routes need [`MetricsServer::start_with_monitor`];
 //! without a monitor they answer 503 (`/healthz` has nothing watching, so
@@ -42,8 +46,11 @@ const CONNECTION_DEADLINE: Duration = Duration::from_secs(2);
 /// Poll granularity for the read loop's deadline / stop-flag checks.
 const READ_POLL: Duration = Duration::from_millis(100);
 
-/// Default `window` for `/timeseries` queries, ticks.
+/// Default `window` for `/timeseries` and `/links` queries, ticks.
 const DEFAULT_WINDOW: u64 = 60;
+
+/// Default row cap for `/links` (`k` query parameter).
+const DEFAULT_LINKS: usize = 16;
 
 /// A running metrics endpoint; stops when dropped.
 #[derive(Debug)]
@@ -129,7 +136,13 @@ fn respond(
     };
     match path {
         "/metrics" | "/" => {
-            let mut body = prometheus::render(&crate::global().snapshot());
+            // With a monitor attached, expose its merged view so per-link
+            // shard series scrape alongside the global registry.
+            let snapshot = match monitor {
+                Some(m) => m.merged_snapshot(),
+                None => crate::global().snapshot(),
+            };
+            let mut body = prometheus::render(&snapshot);
             body.push_str(&prometheus::process_series());
             ("200 OK", TEXT, body)
         }
@@ -170,6 +183,26 @@ fn respond(
                 }
             }
             None => ("404 Not Found", TEXT, String::from("no live monitor\n")),
+        },
+        "/links" => match monitor {
+            Some(m) => {
+                let window = query_param(query, "window")
+                    .and_then(|w| w.parse().ok())
+                    .unwrap_or(DEFAULT_WINDOW);
+                let k = query_param(query, "k")
+                    .and_then(|k| k.parse().ok())
+                    .unwrap_or(DEFAULT_LINKS);
+                ("200 OK", JSON, m.links_json(window, k))
+            }
+            None => ("404 Not Found", TEXT, String::from("no live monitor\n")),
+        },
+        "/flight" => match monitor.and_then(|m| m.flight_status_json()) {
+            Some(body) => ("200 OK", JSON, body),
+            None => (
+                "404 Not Found",
+                TEXT,
+                String::from("no flight recorder attached\n"),
+            ),
         },
         _ => ("404 Not Found", TEXT, String::from("not found\n")),
     }
@@ -294,6 +327,8 @@ mod tests {
         );
         assert!(get(addr, "/alerts").starts_with("HTTP/1.1 404"));
         assert!(get(addr, "/timeseries").starts_with("HTTP/1.1 404"));
+        assert!(get(addr, "/links").starts_with("HTTP/1.1 404"));
+        assert!(get(addr, "/flight").starts_with("HTTP/1.1 404"));
     }
 
     #[test]
@@ -345,6 +380,24 @@ mod tests {
         assert_eq!(series.get("kind").and_then(Value::as_str), Some("gauge"));
         let response = get(addr, "/timeseries?metric=no.such.metric");
         assert!(response.starts_with("HTTP/1.1 404"), "{response}");
+
+        // /links rolls up link-labeled series; /flight 404s until a
+        // recorder is attached, then reports its status.
+        snap.gauges
+            .insert("quality.snr_loss_mdb{link=\"4\"}".to_string(), 1234);
+        monitor.tick_with(&snap);
+        let response = get(addr, "/links?window=5&k=2");
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        let links = Value::from_json(body_of(&response)).expect("links JSON");
+        assert_eq!(links.get("count").and_then(Value::as_u64), Some(1));
+        let rows = links.get("links").and_then(Value::as_seq).expect("rows");
+        assert_eq!(rows[0].get("link").and_then(Value::as_str), Some("4"));
+        assert!(get(addr, "/flight").starts_with("HTTP/1.1 404"));
+        monitor.attach_flight(Arc::new(crate::flight::FlightRecorder::with_defaults()));
+        let response = get(addr, "/flight");
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        let status = Value::from_json(body_of(&response)).expect("flight JSON");
+        assert_eq!(status.get("dumps").and_then(Value::as_u64), Some(0));
     }
 
     #[test]
@@ -365,6 +418,19 @@ mod tests {
             "healthy scrape waited {:?} behind a stalled client",
             start.elapsed()
         );
+        // The newer routes ride the same single-thread loop, so they must
+        // also answer promptly behind the stalled client (404 here — no
+        // monitor attached — but a prompt 404, not a stall).
+        for path in ["/links", "/flight"] {
+            let start = Instant::now();
+            let response = get(addr, path);
+            assert!(response.starts_with("HTTP/1.1 404"), "{response}");
+            assert!(
+                start.elapsed() < CONNECTION_DEADLINE + Duration::from_secs(2),
+                "{path} waited {:?} behind a stalled client",
+                start.elapsed()
+            );
+        }
         // And shutdown must not wait out a second straggler's deadline:
         // the stop flag is polled inside the read loop.
         let mut loris2 = TcpStream::connect(addr).expect("connect");

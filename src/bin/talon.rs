@@ -12,8 +12,8 @@
 //! talon brd       --out codebook.brd [--seed N] | --check codebook.brd
 //! talon report    trace.{jsonl|bin} [--tree | --flame | --quality | --json]
 //! talon replay    trace.{jsonl|bin} [--threads N] [--perturb DB] [--patterns <file>]
-//! talon serve     [--metrics-addr HOST:PORT] [--sessions N] [--hold-ms MS] [--tick-ms MS] [--ticks N] [--inject-drift]
-//! talon top       --addr HOST:PORT [--frames N] [--interval-ms MS] [--window TICKS]
+//! talon serve     [--metrics-addr HOST:PORT] [--sessions N] [--hold-ms MS] [--tick-ms MS] [--ticks N] [--inject-drift] [--links N] [--flight-dir DIR]
+//! talon top       --addr HOST:PORT [--frames N] [--interval-ms MS] [--window TICKS] [--by-link]
 //! talon trace     convert <in> <out>
 //! talon soak      [--smoke] [--out BENCH_trace.json] [--check <baseline>]
 //! ```
@@ -130,8 +130,8 @@ commands:
   replay    <trace.jsonl|.bin> [--threads N] [--perturb DB] [--patterns <file>]
   trace     convert <in> <out>   (input format sniffed; .bin output → binary, else JSONL)
   soak      [--decisions N] [--smoke] [--threads 1,2,8] [--keep <trace.bin>] [--out <bench.json>] [--check <baseline.json>] [--seed N]
-  serve     [--metrics-addr HOST:PORT] [--sessions N] [--hold-ms MS] [--tick-ms MS] [--ticks N] [--inject-drift] [--seed N]
-  top       --addr HOST:PORT [--frames N] [--interval-ms MS] [--window TICKS]";
+  serve     [--metrics-addr HOST:PORT] [--sessions N] [--hold-ms MS] [--tick-ms MS] [--ticks N] [--inject-drift] [--links N] [--flight-dir DIR] [--seed N]
+  top       --addr HOST:PORT [--frames N] [--interval-ms MS] [--window TICKS] [--by-link]";
 
 /// Parses `--key value` and bare `--flag` options; non-option arguments
 /// are skipped (commands read them positionally). A `--flag` followed by
@@ -707,6 +707,20 @@ fn report_json(trace: &obs::jsonl::Trace) -> Value {
         .iter()
         .map(|&t| Value::F64(t))
         .collect();
+    // Distribution of kernel arithmetic paths across the trace's decision
+    // records (pre-schema-3 records decode as "f64", so every decision
+    // lands in exactly one bucket).
+    let mut kernel_paths: std::collections::BTreeMap<String, u64> =
+        std::collections::BTreeMap::new();
+    for d in &trace.decisions {
+        *kernel_paths.entry(d.kernel_path.clone()).or_insert(0) += 1;
+    }
+    let kernel_paths = Value::Map(
+        kernel_paths
+            .into_iter()
+            .map(|(k, v)| (k, Value::U64(v)))
+            .collect(),
+    );
     let counters = match &trace.snapshot {
         Some(snapshot) => Value::Map(
             snapshot
@@ -745,6 +759,7 @@ fn report_json(trace: &obs::jsonl::Trace) -> Value {
         ),
         ("events".into(), Value::U64(trace.events.len() as u64)),
         ("decisions".into(), Value::U64(trace.decisions.len() as u64)),
+        ("kernel_paths".into(), kernel_paths),
         ("skipped_lines".into(), Value::U64(trace.skipped as u64)),
         ("stages".into(), Value::Seq(stage_stats)),
         ("counters".into(), counters),
@@ -1098,6 +1113,18 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
         .get("ticks")
         .map(|s| s.parse().map_err(|_| "bad --ticks"))
         .transpose()?;
+    let links: u64 = opts
+        .get("links")
+        .map(|s| s.parse().map_err(|_| "bad --links"))
+        .transpose()?
+        .unwrap_or(3);
+    let flight_dir = opts
+        .get("flight-dir")
+        .map(String::as_str)
+        .unwrap_or(".")
+        .to_string();
+    std::fs::create_dir_all(&flight_dir)
+        .map_err(|e| format!("cannot create --flight-dir {flight_dir}: {e}"))?;
     // Pre-register the health counters so the exposition carries the
     // link-health series (at zero) even before the first anomaly.
     obs::health::register_known_kinds();
@@ -1108,6 +1135,29 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
         },
         obs::default_rules(),
     ));
+    // Always-on flight recorder: every event/decision/snapshot lands in a
+    // bounded in-memory ring, teed alongside any `--trace` sink, and
+    // dumped to `<flight-dir>/flight-<rule>-<seq>.bin` when an alert
+    // transitions into firing (or the process panics).
+    let flight = std::sync::Arc::new(obs::FlightRecorder::new(obs::FlightConfig {
+        dir: flight_dir.into(),
+        ..obs::FlightConfig::default()
+    }));
+    let flight_sink: std::sync::Arc<dyn obs::EventSink> = flight.clone();
+    match obs::current_sink() {
+        Some(existing) => obs::set_sink(std::sync::Arc::new(obs::FanoutSink::new(vec![
+            existing,
+            flight_sink,
+        ]))),
+        None => obs::set_sink(flight_sink),
+    }
+    obs::flight::install_panic_hook(&flight);
+    monitor.attach_flight(std::sync::Arc::clone(&flight));
+    // Per-link metric shards: each link's monitor writes plain-named
+    // series into its own lock-local registry; the labels appear when the
+    // monitor merges the shards into its sampled snapshot.
+    let shards = std::sync::Arc::new(obs::ShardedRegistry::new());
+    monitor.attach_shards(std::sync::Arc::clone(&shards));
     let server = obs::MetricsServer::start_with_monitor(addr, std::sync::Arc::clone(&monitor))
         .map_err(|e| format!("binding {addr}: {e}"))?;
     println!("serving metrics on http://{}/metrics", server.local_addr());
@@ -1120,7 +1170,7 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
     }
 
     if opts.contains_key("inject-drift") {
-        return run_drift_drill(&monitor, tick_ms, max_ticks, hold_ms);
+        return run_drift_drill(&monitor, &shards, links, tick_ms, max_ticks, hold_ms);
     }
 
     // Production path: a timer thread ticks the sampler/alert engine at
@@ -1143,14 +1193,22 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
 }
 
 /// The `--inject-drift` drill: drives the sampler tick-by-tick from this
-/// thread (no timer races) while a [`netsim::DriftProfile`] degrades and
-/// recovers the link through the quality monitor. Every alert edge is
-/// printed with its tick number, so two runs with the same flags produce
-/// byte-identical `alert …` lines — the acceptance contract for the
-/// monitoring pipeline. Wall-clock sleeps only pace the ticks (so scrapes
-/// can watch `/healthz` flip); they never influence what happens at one.
+/// thread (no timer races) while [`netsim::DriftProfile`]s degrade and
+/// recover the links through quality monitors. The aggregate (unlabeled)
+/// monitor follows the stock [`netsim::DriftProfile::demo`] step, which
+/// keeps the single `/healthz` 503 episode of the original drill; each of
+/// the `links` fleet links additionally runs a staggered
+/// [`netsim::DriftProfile::demo_link`] profile through a shard-homed
+/// monitor, so per-link labeled series and the per-link template alerts
+/// fire at their own deterministic ticks. Every alert edge is printed with
+/// its tick number, so two runs with the same flags produce byte-identical
+/// `alert …` lines — the acceptance contract for the monitoring pipeline.
+/// Wall-clock sleeps only pace the ticks (so scrapes can watch `/healthz`
+/// flip); they never influence what happens at one.
 fn run_drift_drill(
     monitor: &obs::LiveMonitor,
+    shards: &obs::ShardedRegistry,
+    links: u64,
     tick_ms: u64,
     max_ticks: Option<u64>,
     hold_ms: Option<u64>,
@@ -1159,9 +1217,21 @@ fn run_drift_drill(
     let profile = netsim::DriftProfile::demo();
     let ticks = max_ticks.unwrap_or(45);
     let mut quality = obs::QualityMonitor::new();
+    let mut fleet: Vec<(netsim::DriftProfile, obs::QualityMonitor)> = (0..links)
+        .map(|i| {
+            let shard = shards.shard(&obs::LabelSet::link(i));
+            (
+                netsim::DriftProfile::demo_link(i),
+                obs::QualityMonitor::for_shard(&shard),
+            )
+        })
+        .collect();
     let mut edges = 0usize;
     for tick in 0..ticks {
         quality.record_loss(tick as f64, profile.loss_at(tick));
+        for (link_profile, link_quality) in fleet.iter_mut() {
+            link_quality.record_loss(tick as f64, link_profile.loss_at(tick));
+        }
         for t in monitor.tick() {
             edges += 1;
             println!(
@@ -1249,11 +1319,23 @@ fn cmd_top(opts: &HashMap<String, String>) -> Result<(), String> {
         .map(|s| s.parse().map_err(|_| "bad --window"))
         .transpose()?
         .unwrap_or(60);
+    let by_link = opts.contains_key("by-link");
+    // One clear line on a dead or wrong endpoint beats a raw io error (or
+    // worse, an empty dashboard): name the address and what to check.
+    let fetch = |path: &str| -> Result<String, String> {
+        http_get(addr, path)
+            .map_err(|e| format!("cannot scrape {addr} ({e}); is `talon serve` running there?"))
+    };
     let mut frame = 0u64;
     loop {
-        let overview = http_get(addr, &format!("/timeseries?window={window}"))?;
-        let alerts = http_get(addr, "/alerts")?;
-        let screen = render_top(addr, window, &overview, &alerts)?;
+        let alerts = fetch("/alerts")?;
+        let screen = if by_link {
+            let links = fetch(&format!("/links?window={window}"))?;
+            render_top_links(addr, window, &links, &alerts)?
+        } else {
+            let overview = fetch(&format!("/timeseries?window={window}"))?;
+            render_top(addr, window, &overview, &alerts)?
+        };
         if frames != 1 {
             // Clear + home between frames; a single-frame run (tests,
             // scripts) stays pipe-friendly.
@@ -1268,15 +1350,8 @@ fn cmd_top(opts: &HashMap<String, String>) -> Result<(), String> {
     }
 }
 
-/// Builds one `talon top` frame from the `/timeseries` overview and
-/// `/alerts` JSON payloads.
-fn render_top(addr: &str, window: u64, overview: &str, alerts: &str) -> Result<String, String> {
-    let overview = Value::from_json(overview).map_err(|e| format!("parsing /timeseries: {e:?}"))?;
-    let alerts = Value::from_json(alerts).map_err(|e| format!("parsing /alerts: {e:?}"))?;
-    let tick = overview.get("tick").and_then(Value::as_u64).unwrap_or(0);
-    let tick_ms = overview.get("tick_ms").and_then(Value::as_u64).unwrap_or(0);
-    let mut out = format!("talon top — {addr}  tick {tick} ({tick_ms} ms/tick)  window {window}\n");
-
+/// Appends the firing-alerts block shared by both `talon top` views.
+fn push_firing_block(out: &mut String, alerts: &Value) {
     let firing: Vec<String> = alerts
         .get("alerts")
         .and_then(Value::as_seq)
@@ -1300,6 +1375,81 @@ fn render_top(addr: &str, window: u64, overview: &str, alerts: &str) -> Result<S
             out.push_str(&format!("  ! {f}\n"));
         }
     }
+}
+
+/// Builds one `talon top --by-link` frame from the `/links` rollup and
+/// `/alerts` JSON payloads: one row per link, worst first.
+fn render_top_links(addr: &str, window: u64, links: &str, alerts: &str) -> Result<String, String> {
+    let links = Value::from_json(links).map_err(|e| format!("parsing /links: {e:?}"))?;
+    let alerts = Value::from_json(alerts).map_err(|e| format!("parsing /alerts: {e:?}"))?;
+    let tick = links.get("tick").and_then(Value::as_u64).unwrap_or(0);
+    let count = links.get("count").and_then(Value::as_u64).unwrap_or(0);
+    let mut out =
+        format!("talon top — {addr}  tick {tick}  window {window}  links {count} (worst first)\n");
+    push_firing_block(&mut out, &alerts);
+    let mut rows = Vec::new();
+    for l in links.get("links").and_then(Value::as_seq).unwrap_or(&[]) {
+        let firing = l
+            .get("firing")
+            .and_then(Value::as_seq)
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(Value::as_str)
+            .collect::<Vec<_>>()
+            .join(" ");
+        rows.push(vec![
+            l.get("link")
+                .and_then(Value::as_str)
+                .unwrap_or("?")
+                .to_string(),
+            l.get("snr_loss_mdb")
+                .and_then(Value::as_i64)
+                .map_or_else(|| "-".into(), |v| v.to_string()),
+            l.get("misselection_ppm")
+                .and_then(Value::as_i64)
+                .map_or_else(|| "-".into(), |v| v.to_string()),
+            l.get("drift_total")
+                .and_then(Value::as_u64)
+                .unwrap_or(0)
+                .to_string(),
+            l.get("drift_rate_per_tick")
+                .and_then(Value::as_f64)
+                .map_or_else(|| "-".into(), |r| format!("{r:.3}")),
+            if firing.is_empty() {
+                "-".into()
+            } else {
+                firing
+            },
+        ]);
+    }
+    if rows.is_empty() {
+        out.push_str("no link-labeled series sampled yet\n");
+    } else {
+        out.push_str(&eval::ascii::table(
+            &[
+                "link",
+                "snr loss mdB",
+                "missel ppm",
+                "drift",
+                "drift/tick",
+                "firing",
+            ],
+            &rows,
+        ));
+    }
+    Ok(out)
+}
+
+/// Builds one `talon top` frame from the `/timeseries` overview and
+/// `/alerts` JSON payloads.
+fn render_top(addr: &str, window: u64, overview: &str, alerts: &str) -> Result<String, String> {
+    let overview = Value::from_json(overview).map_err(|e| format!("parsing /timeseries: {e:?}"))?;
+    let alerts = Value::from_json(alerts).map_err(|e| format!("parsing /alerts: {e:?}"))?;
+    let tick = overview.get("tick").and_then(Value::as_u64).unwrap_or(0);
+    let tick_ms = overview.get("tick_ms").and_then(Value::as_u64).unwrap_or(0);
+    let mut out = format!("talon top — {addr}  tick {tick} ({tick_ms} ms/tick)  window {window}\n");
+
+    push_firing_block(&mut out, &alerts);
 
     let spark_of = |v: &Value, key: &str| -> String {
         let values: Vec<f64> = v

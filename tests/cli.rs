@@ -123,3 +123,80 @@ fn full_cli_workflow() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn top_fails_fast_with_one_clear_line_when_endpoint_is_unreachable() {
+    // Port 1 is reserved and nothing listens on it: `talon top` must exit
+    // non-zero with a single actionable error line, not a raw io backtrace
+    // or an empty dashboard.
+    let out = talon()
+        .args(["top", "--addr", "127.0.0.1:1", "--frames", "1"])
+        .output()
+        .expect("run top against a dead endpoint");
+    assert!(!out.status.success(), "dead endpoint is an error");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(stderr.lines().count(), 1, "one line, not a dump: {stderr}");
+    assert!(
+        stderr.contains("127.0.0.1:1") && stderr.contains("talon serve"),
+        "names the address and the fix: {stderr}"
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).is_empty(),
+        "no partial dashboard on stdout"
+    );
+}
+
+#[test]
+fn report_json_counts_kernel_paths_across_decisions() {
+    let dir = workdir();
+    let trace = dir.join("kernel-paths.jsonl");
+    let out = talon()
+        .args([
+            "sls",
+            "--scenario",
+            "lab",
+            "--policy",
+            "css",
+            "--trace",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run traced sls");
+    assert!(
+        out.status.success(),
+        "sls: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = talon()
+        .args(["report", trace.to_str().unwrap(), "--json"])
+        .output()
+        .expect("run report --json");
+    assert!(out.status.success());
+    let json =
+        serde::Value::from_json(&String::from_utf8_lossy(&out.stdout)).expect("report JSON parses");
+    let decisions = json
+        .get("decisions")
+        .and_then(serde::Value::as_u64)
+        .expect("decision count");
+    assert!(decisions > 0, "traced CSS run recorded decisions");
+    let kernel_paths = json
+        .get("kernel_paths")
+        .and_then(serde::Value::as_map)
+        .expect("kernel_paths map present");
+    let total: u64 = kernel_paths
+        .iter()
+        .filter_map(|(_, v)| serde::Value::as_u64(v))
+        .sum();
+    assert_eq!(
+        total, decisions,
+        "every decision lands in exactly one kernel-path bucket: {kernel_paths:?}"
+    );
+    for (path, _) in kernel_paths {
+        assert!(
+            ["f64", "f32", "q15"].contains(&path.as_str()),
+            "known kernel path: {path}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

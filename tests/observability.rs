@@ -2,8 +2,11 @@
 //! binary must come back as one rooted causal tree, render as valid
 //! folded-stack flamegraph lines, and be scrapeable over plain TCP from
 //! `talon serve`'s Prometheus endpoint — including the live-monitor routes
-//! (`/healthz`, `/alerts`, `/timeseries`) and the injected-drift drill
-//! that must flip `/healthz` to 503 and back, deterministically.
+//! (`/healthz`, `/alerts`, `/timeseries`, `/links`, `/flight`) and the
+//! injected-drift drill that must flip `/healthz` to 503 and back,
+//! deterministically. The fleet variants additionally assert labeled
+//! per-link series in valid exposition text and that the drill's
+//! alert-triggered flight-recorder dump replays bit-exactly.
 
 use serde::Value;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -334,6 +337,9 @@ fn serve_answers_live_monitor_routes() {
 /// Spawns the injected-drift drill and returns `(addr, stdout_thread,
 /// child)`; the thread collects the remaining stdout lines.
 fn spawn_drill(hold_ms: &str) -> (String, std::thread::JoinHandle<Vec<String>>, KillOnDrop) {
+    // Flight dumps go to a scratch dir, not the test runner's cwd.
+    let flight_dir = workdir().join("drill-flight");
+    std::fs::create_dir_all(&flight_dir).expect("create flight dir");
     let child = talon()
         .args([
             "serve",
@@ -348,6 +354,8 @@ fn spawn_drill(hold_ms: &str) -> (String, std::thread::JoinHandle<Vec<String>>, 
             "45",
             "--hold-ms",
             hold_ms,
+            "--flight-dir",
+            flight_dir.to_str().unwrap(),
         ])
         .stdout(Stdio::piped())
         .stderr(Stdio::null())
@@ -359,6 +367,177 @@ fn spawn_drill(hold_ms: &str) -> (String, std::thread::JoinHandle<Vec<String>>, 
     let addr = read_announce(&mut lines);
     let reader = std::thread::spawn(move || lines.map_while(Result::ok).collect::<Vec<_>>());
     (addr, reader, child)
+}
+
+#[test]
+fn drill_exposes_labeled_per_link_series_and_links_rollup() {
+    let (addr, _reader, child) = spawn_drill("60000");
+
+    // Wait until the fleet's staggered drift episodes are underway (link 2
+    // degrades at tick 16), so every link has labeled series sampled.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    loop {
+        let (code, body) = http_get(&addr, "/timeseries").expect("poll tick");
+        assert_eq!(code, 200, "{body}");
+        let tick = Value::from_json(&body)
+            .ok()
+            .and_then(|v| v.get("tick").and_then(Value::as_u64))
+            .unwrap_or(0);
+        if tick >= 20 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "drill never reached tick 20"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+
+    // /metrics carries the per-link labeled series in valid exposition
+    // text: every labeled sample line is `name{k="v",…} value` with
+    // identifier keys and space-free quoted values.
+    let (code, body) = http_get(&addr, "/metrics").expect("scrape /metrics");
+    assert_eq!(code, 200);
+    for link in 0..3 {
+        assert!(
+            body.contains(&format!("talon_quality_snr_loss_mdb{{link=\"{link}\"}}")),
+            "labeled loss gauge for link {link}:\n{body}"
+        );
+    }
+    assert!(
+        body.contains("talon_health_link_drift_total{link=\"0\"}"),
+        "labeled drift counter present:\n{body}"
+    );
+    let mut labeled_lines = 0;
+    for line in body.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').expect("`series value` shape");
+        value
+            .parse::<f64>()
+            .unwrap_or_else(|_| panic!("numeric value: {line}"));
+        let Some(inner) = series
+            .strip_suffix('}')
+            .and_then(|s| s.split_once('{'))
+            .map(|(_, inner)| inner)
+        else {
+            continue;
+        };
+        labeled_lines += 1;
+        for pair in inner.split(',') {
+            let (k, v) = pair.split_once('=').expect("k=\"v\" pair");
+            assert!(
+                !k.is_empty() && k.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                "identifier label key: {line}"
+            );
+            let v = v
+                .strip_prefix('"')
+                .and_then(|v| v.strip_suffix('"'))
+                .expect("quoted label value");
+            assert!(!v.contains(' '), "space-free label value: {line}");
+        }
+    }
+    assert!(labeled_lines > 0, "at least one labeled sample line");
+
+    // /links ranks the fleet; all three drill links are listed.
+    let (code, body) = http_get(&addr, "/links?window=30").expect("scrape /links");
+    assert_eq!(code, 200, "{body}");
+    let links = Value::from_json(&body).expect("links JSON");
+    assert_eq!(links.get("count").and_then(Value::as_u64), Some(3));
+    let rows = links.get("links").and_then(Value::as_seq).expect("rows");
+    assert_eq!(rows.len(), 3);
+    for row in rows {
+        assert!(row.get("link").and_then(Value::as_str).is_some());
+        assert!(row.get("snr_loss_mdb").and_then(Value::as_i64).is_some());
+    }
+
+    // /flight reports the always-on recorder; by tick 20 the drift alerts
+    // have fired at least once, so a dump has been written.
+    let (code, body) = http_get(&addr, "/flight").expect("scrape /flight");
+    assert_eq!(code, 200, "{body}");
+    let flight = Value::from_json(&body).expect("flight JSON");
+    assert!(
+        flight.get("dumps").and_then(Value::as_u64).unwrap_or(0) >= 1,
+        "alert firing produced a flight dump: {body}"
+    );
+    drop(child);
+}
+
+#[test]
+fn drill_flight_dump_replays_bit_exactly() {
+    let dir = workdir().join("flight-replay");
+    std::fs::create_dir_all(&dir).expect("create flight dir");
+
+    // Sessions run with the flight sink already installed, so their
+    // decision records are in the ring when the drift alert fires and the
+    // recorder dumps. `--policy css` makes those decisions replayable.
+    let out = talon()
+        .args([
+            "serve",
+            "--metrics-addr",
+            "127.0.0.1:0",
+            "--sessions",
+            "2",
+            "--scenario",
+            "lab",
+            "--policy",
+            "css",
+            "--inject-drift",
+            "--tick-ms",
+            "5",
+            "--ticks",
+            "45",
+            "--flight-dir",
+            dir.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run fleet drill");
+    assert!(
+        out.status.success(),
+        "drill: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let dumps: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("list flight dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            let name = p.file_name().unwrap_or_default().to_string_lossy();
+            name.starts_with("flight-") && name.ends_with(".bin")
+        })
+        .collect();
+    assert!(!dumps.is_empty(), "drill wrote at least one flight dump");
+    let drift_dump = dumps
+        .iter()
+        .find(|p| {
+            p.file_name()
+                .unwrap_or_default()
+                .to_string_lossy()
+                .contains("link_drift")
+        })
+        .expect("a drift-alert dump among the flight recordings");
+
+    // The dump is a plain binary trace: `talon replay` re-executes its
+    // decisions and they must reproduce bit-exactly.
+    let out = talon()
+        .args(["replay", drift_dump.to_str().unwrap()])
+        .output()
+        .expect("replay the dump");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "replay failed: {}\n{}",
+        String::from_utf8_lossy(&out.stderr),
+        stdout
+    );
+    assert!(
+        stdout.contains("replay OK: every decision reproduced bit-exactly"),
+        "{stdout}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
@@ -436,6 +615,8 @@ fn injected_drift_flips_healthz_and_is_deterministic() {
     // Run 2: same flags, no polling — the printed alert transition
     // sequence must be byte-identical (the acceptance contract: the
     // pipeline is tick-driven, so wall-clock jitter cannot reorder it).
+    let flight_dir = workdir().join("drill-flight-run2");
+    std::fs::create_dir_all(&flight_dir).expect("create flight dir");
     let out = talon()
         .args([
             "serve",
@@ -448,6 +629,8 @@ fn injected_drift_flips_healthz_and_is_deterministic() {
             "5",
             "--ticks",
             "45",
+            "--flight-dir",
+            flight_dir.to_str().unwrap(),
         ])
         .output()
         .expect("run drill to completion");
