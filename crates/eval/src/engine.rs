@@ -24,9 +24,16 @@
 //! events are captured in per-thread buffers instead of hitting the sink
 //! from workers, and the merge replays them in unit-index order — the
 //! emitted trace stream is structurally identical at any thread count.
+//!
+//! Workers also report scheduler telemetry — per-worker busy/idle time,
+//! units processed, and remaining-queue depth as `worker="k"` labeled
+//! series, plus an `eval.worker_imbalance_ppm` rollup. The telemetry is
+//! metrics-only (atomic counters, never the trace stream), so it cannot
+//! perturb the bit-identical-traces guarantee above.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Chunks processed per thread (on average) per grab. More chunks smooth
 /// load imbalance; fewer amortize the cursor contention better.
@@ -88,6 +95,7 @@ where
         }
     };
     if threads == 1 {
+        let started = Instant::now();
         let mut w = make_worker();
         let mut captured = Vec::new();
         let out = (0..n_units)
@@ -96,6 +104,9 @@ where
         for item in &captured {
             item.forward_to_sink();
         }
+        let busy = started.elapsed().as_nanos() as u64;
+        publish_worker(0, busy, 0, n_units as u64);
+        publish_imbalance(&[busy]);
         return out;
     }
     // One finished chunk: (first unit index, results, captured trace
@@ -104,29 +115,50 @@ where
     let chunk = (n_units / (threads * CHUNKS_PER_THREAD)).max(1);
     let cursor = AtomicUsize::new(0);
     let parts: Mutex<Vec<Chunk<T>>> = Mutex::new(Vec::new());
+    let busy_by_worker: Mutex<Vec<u64>> = Mutex::new(vec![0; threads]);
     crossbeam::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| {
+        // `move` below is only for `k`; everything else crosses by shared
+        // reference.
+        let make_worker = &make_worker;
+        let run_unit = &run_unit;
+        let cursor = &cursor;
+        let parts = &parts;
+        for k in 0..threads {
+            let busy_by_worker = &busy_by_worker;
+            s.spawn(move || {
+                let wall = Instant::now();
+                let queue_depth = worker_queue_gauge(k);
                 let mut w = make_worker();
+                let mut busy_ns = 0u64;
+                let mut units = 0u64;
                 loop {
                     let start = cursor.fetch_add(chunk, Ordering::Relaxed);
                     if start >= n_units {
+                        queue_depth.set(0);
                         break;
                     }
                     let end = (start + chunk).min(n_units);
+                    queue_depth.set(n_units.saturating_sub(end) as i64);
+                    let grabbed = Instant::now();
                     let mut captured = Vec::new();
                     let out: Vec<T> = (start..end)
                         .map(|i| run_unit(&mut w, i, &mut captured))
                         .collect();
+                    busy_ns += grabbed.elapsed().as_nanos() as u64;
+                    units += (end - start) as u64;
                     parts
                         .lock()
                         .expect("no poisoned workers")
                         .push((start, out, captured));
                 }
+                let wall_ns = wall.elapsed().as_nanos() as u64;
+                publish_worker(k, busy_ns, wall_ns.saturating_sub(busy_ns), units);
+                busy_by_worker.lock().expect("no poisoned workers")[k] = busy_ns;
             });
         }
     })
     .expect("scoped eval workers join cleanly");
+    publish_imbalance(&busy_by_worker.into_inner().expect("workers done"));
     let mut parts = parts.into_inner().expect("workers done");
     parts.sort_unstable_by_key(|&(start, ..)| start);
     let mut merged = Vec::with_capacity(n_units);
@@ -140,6 +172,41 @@ where
     }
     debug_assert_eq!(merged.len(), n_units);
     merged
+}
+
+/// The `worker.queue_remaining{worker="k"}` gauge: units still unclaimed
+/// by any worker the last time worker `k` grabbed from the cursor.
+fn worker_queue_gauge(k: usize) -> std::sync::Arc<obs::Gauge> {
+    let label = k.to_string();
+    obs::gauge_with(
+        "worker.queue_remaining",
+        &obs::LabelSet::from_pairs(&[("worker", &label)]),
+    )
+}
+
+/// Publishes one worker's scheduler telemetry as `worker="k"` labeled
+/// counters. Metrics only — never the trace stream — so telemetry cannot
+/// perturb trace determinism.
+fn publish_worker(k: usize, busy_ns: u64, idle_ns: u64, units: u64) {
+    let label = k.to_string();
+    let labels = obs::LabelSet::from_pairs(&[("worker", &label)]);
+    obs::counter_with("worker.busy_ns", &labels).add(busy_ns);
+    obs::counter_with("worker.idle_ns", &labels).add(idle_ns);
+    obs::counter_with("worker.units", &labels).add(units);
+}
+
+/// Publishes the busy-time imbalance of one `par_map` call:
+/// `(max - min) / max` across workers, in ppm. 0 means perfectly even;
+/// 1_000_000 means at least one worker sat fully idle.
+fn publish_imbalance(busy_ns: &[u64]) {
+    let max = busy_ns.iter().copied().max().unwrap_or(0);
+    let min = busy_ns.iter().copied().min().unwrap_or(0);
+    let ppm = if max == 0 {
+        0
+    } else {
+        ((max - min) as u128 * 1_000_000 / max as u128) as i64
+    };
+    obs::gauge("eval.worker_imbalance_ppm").set(ppm);
 }
 
 /// Maps `f` over fixed-size *batches* of the unit range `0..n_units` and
@@ -263,6 +330,43 @@ mod tests {
         assert_eq!(out, (0..10).map(|i| i * 2).collect::<Vec<_>>());
         let empty: Vec<u8> = par_map_batched(0, 4, 3, || (), |_, r| r.map(|_| 0).collect());
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn workers_publish_scheduler_telemetry() {
+        par_map(64, 2, || (), |_, i| i);
+        let snap = obs::global().snapshot();
+        for k in ["0", "1"] {
+            let labels = obs::LabelSet::from_pairs(&[("worker", k)]);
+            assert!(
+                snap.counters
+                    .contains_key(&labels.qualify("worker.busy_ns")),
+                "worker {k} busy series missing"
+            );
+            assert!(
+                snap.counters.contains_key(&labels.qualify("worker.units")),
+                "worker {k} units series missing"
+            );
+            assert_eq!(
+                snap.gauges[&labels.qualify("worker.queue_remaining")],
+                0,
+                "queue drained at exit"
+            );
+        }
+        let units: u64 = ["0", "1"]
+            .iter()
+            .map(|k| {
+                let labels = obs::LabelSet::from_pairs(&[("worker", k)]);
+                snap.counter(&labels.qualify("worker.units"))
+            })
+            .sum();
+        assert!(units >= 64, "every unit counted (other tests may add more)");
+        assert!(
+            snap.gauges.contains_key("eval.worker_imbalance_ppm"),
+            "imbalance rollup published"
+        );
+        let ppm = snap.gauges["eval.worker_imbalance_ppm"];
+        assert!((0..=1_000_000).contains(&ppm), "ppm in range: {ppm}");
     }
 
     #[test]

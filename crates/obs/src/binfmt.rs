@@ -88,7 +88,6 @@ use crate::event::Event;
 use crate::jsonl::Trace;
 use crate::registry::Snapshot;
 use crate::sink::{note_write_error, EventSink};
-use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
@@ -832,9 +831,13 @@ struct BinState {
 /// (usually buffered) memcpy. Write failures bump
 /// `health.trace_write_failed` and warn once — a full disk degrades the
 /// trace, it no longer silently loses provenance.
+///
+/// The writer state sits behind a [`crate::sync::TimedMutex`]
+/// (`lock="bin_sink"`): every recording thread serializes through it, so
+/// its `lock.*` series measure global-sink contention directly.
 #[derive(Debug)]
 pub struct BinSink {
-    state: Mutex<BinState>,
+    state: crate::sync::TimedMutex<BinState>,
 }
 
 impl BinSink {
@@ -844,10 +847,13 @@ impl BinSink {
         let mut out = BufWriter::new(File::create(path)?);
         out.write_all(&file_header())?;
         Ok(BinSink {
-            state: Mutex::new(BinState {
-                out,
-                intern: Interner::default(),
-            }),
+            state: crate::sync::TimedMutex::new(
+                "bin_sink",
+                BinState {
+                    out,
+                    intern: Interner::default(),
+                },
+            ),
         })
     }
 

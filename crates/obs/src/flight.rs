@@ -9,16 +9,20 @@
 //! When something goes wrong — an alert's pending→firing transition (see
 //! [`crate::live::LiveMonitor`]) or a panic (see [`install_panic_hook`]) —
 //! [`FlightRecorder::dump`] writes the ring's last-N-seconds of history to
-//! `flight-<reason>-<seq>.bin`: a standard binary trace (file header +
-//! standalone frames) that the existing `talon report` / `talon replay`
-//! tooling reads with no changes, so the decisions leading up to the
-//! incident replay bit-exactly after the fact.
+//! `flight-<reason>-<runid>-<seq>.bin`: a standard binary trace (file
+//! header + standalone frames) that the existing `talon report` /
+//! `talon replay` tooling reads with no changes, so the decisions leading
+//! up to the incident replay bit-exactly after the fact. The per-process
+//! [`run_id`] keeps restarts in the same `--flight-dir` from clobbering an
+//! earlier run's dumps (seq restarts at 0 every process), and a collision
+//! check skips any name that still exists.
 
 use crate::binfmt::{self, TraceRecord};
 use crate::decision::DecisionRecord;
 use crate::event::Event;
 use crate::registry::Snapshot;
 use crate::sink::EventSink;
+use crate::sync::TimedMutex;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::io::Write;
@@ -38,7 +42,7 @@ pub struct FlightConfig {
     pub byte_budget: usize,
     /// Directory dumps are written into.
     pub dir: PathBuf,
-    /// Dump file prefix (`<prefix>-<reason>-<seq>.bin`).
+    /// Dump file prefix (`<prefix>-<reason>-<runid>-<seq>.bin`).
     pub prefix: String,
 }
 
@@ -58,11 +62,26 @@ struct Ring {
     bytes: usize,
 }
 
+/// The per-process run id stamped into dump filenames: boot seconds plus
+/// pid, hex. Distinct across restarts of the same deployment dir (same-pid
+/// restarts within one second are caught by the collision check in
+/// [`FlightRecorder::dump`]).
+pub fn run_id() -> &'static str {
+    static RUN_ID: std::sync::OnceLock<String> = std::sync::OnceLock::new();
+    RUN_ID.get_or_init(|| {
+        let secs = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        format!("{:x}p{:x}", secs, std::process::id())
+    })
+}
+
 /// Bounded in-memory ring of encoded trace frames, dumpable on demand.
 #[derive(Debug)]
 pub struct FlightRecorder {
     config: FlightConfig,
-    ring: Mutex<Ring>,
+    ring: TimedMutex<Ring>,
     seq: AtomicU64,
     appended: AtomicU64,
     evicted: AtomicU64,
@@ -94,7 +113,7 @@ impl FlightRecorder {
     pub fn new(config: FlightConfig) -> Self {
         FlightRecorder {
             config,
-            ring: Mutex::new(Ring::default()),
+            ring: TimedMutex::new("flight_ring", Ring::default()),
             seq: AtomicU64::new(0),
             appended: AtomicU64::new(0),
             evicted: AtomicU64::new(0),
@@ -145,11 +164,14 @@ impl FlightRecorder {
         self.dumps.load(Ordering::Relaxed)
     }
 
-    /// Writes the buffered history to `<dir>/<prefix>-<reason>-<seq>.bin`
-    /// as a standard binary trace and returns its path. The ring is *not*
-    /// cleared: overlapping incidents each get the full window. Failures
-    /// bump `health.trace_write_failed` (warn-once), successes bump
-    /// `health.flight_dump`.
+    /// Writes the buffered history to
+    /// `<dir>/<prefix>-<reason>-<runid>-<seq>.bin` as a standard binary
+    /// trace and returns its path. The ring is *not* cleared: overlapping
+    /// incidents each get the full window. Sequence numbers restart at 0
+    /// each process, so the per-process [`run_id`] plus an existence check
+    /// keep a restart from clobbering an earlier run's dumps in the same
+    /// directory. Failures bump `health.trace_write_failed` (warn-once),
+    /// successes bump `health.flight_dump`.
     pub fn dump(&self, reason: &str) -> std::io::Result<PathBuf> {
         // Copy the frames out under the lock, write outside it so a slow
         // disk never stalls the traced path.
@@ -157,14 +179,15 @@ impl FlightRecorder {
             let ring = self.ring.lock();
             ring.frames.iter().cloned().collect()
         };
-        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
-        let name = format!(
-            "{}-{}-{}.bin",
-            self.config.prefix,
-            sanitize_reason(reason),
-            seq
-        );
-        let path = self.config.dir.join(name);
+        let reason = sanitize_reason(reason);
+        let path = loop {
+            let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+            let name = format!("{}-{}-{}-{}.bin", self.config.prefix, reason, run_id(), seq);
+            let candidate = self.config.dir.join(name);
+            if !candidate.exists() {
+                break candidate;
+            }
+        };
         match self.write_dump(&path, &frames) {
             Ok(()) => {
                 self.dumps.fetch_add(1, Ordering::Relaxed);
@@ -299,7 +322,7 @@ mod tests {
         let path = rec.dump("link_drift{link=\"3\"}").unwrap();
         assert_eq!(
             path.file_name().unwrap().to_str().unwrap(),
-            "flight-link_drift_link__3__-0.bin"
+            format!("flight-link_drift_link__3__-{}-0.bin", run_id())
         );
         let trace = binfmt::read_trace(&path).unwrap();
         assert_eq!(trace.stage("flight.test").len(), 1);
@@ -308,9 +331,42 @@ mod tests {
 
         // A second dump gets the next sequence number and keeps history.
         let path2 = rec.dump("panic").unwrap();
-        assert!(path2.ends_with("flight-panic-1.bin"));
+        assert!(path2.ends_with(format!("flight-panic-{}-1.bin", run_id())));
         let trace2 = binfmt::read_trace(&path2).unwrap();
         assert_eq!(trace2.decisions.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dump_skips_filenames_left_by_an_earlier_run() {
+        let dir = temp_dir("collide");
+        // Simulate a previous process run that (improbably) produced the
+        // same run id: its seq-0 and seq-1 dumps are already on disk.
+        for seq in [0, 1] {
+            let stale = dir.join(format!("flight-drill-{}-{seq}.bin", run_id()));
+            std::fs::write(&stale, b"previous run").unwrap();
+        }
+        let rec = FlightRecorder::new(FlightConfig {
+            dir: dir.clone(),
+            ..FlightConfig::default()
+        });
+        rec.emit(&event("flight.collide"));
+        let path = rec.dump("drill").unwrap();
+        assert!(
+            path.ends_with(format!("flight-drill-{}-2.bin", run_id())),
+            "dump skipped past the stale names: {}",
+            path.display()
+        );
+        for seq in [0, 1] {
+            let stale = dir.join(format!("flight-drill-{}-{seq}.bin", run_id()));
+            assert_eq!(
+                std::fs::read(&stale).unwrap(),
+                b"previous run",
+                "stale dump untouched"
+            );
+        }
+        let trace = binfmt::read_trace(&path).unwrap();
+        assert_eq!(trace.stage("flight.collide").len(), 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 

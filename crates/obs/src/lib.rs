@@ -47,11 +47,13 @@ pub mod labels;
 pub mod live;
 pub mod metrics;
 pub mod monitor;
+pub mod prof;
 pub mod prometheus;
 pub mod registry;
 pub mod serve;
 pub mod sink;
 pub mod span;
+pub mod sync;
 pub mod timeseries;
 pub mod trace;
 pub mod tree;
@@ -65,6 +67,7 @@ pub use labels::{LabelId, LabelSet};
 pub use live::{LiveMonitor, Ticker};
 pub use metrics::{Bucket, Counter, Gauge, Histogram, HistogramSnapshot};
 pub use monitor::{DriftConfig, DriftDetector, QualityMonitor, QualitySummary};
+pub use prof::Profiler;
 pub use registry::{Registry, ShardedRegistry, Snapshot};
 pub use serve::MetricsServer;
 pub use sink::{
@@ -72,6 +75,7 @@ pub use sink::{
     NoopSink,
 };
 pub use span::{span, Span};
+pub use sync::{LockStats, TimedMutex, TimedMutexGuard};
 pub use timeseries::{Sampler, SamplerConfig};
 pub use trace::{
     current_context, current_ids, open_reader, open_trace, reserve_trace_ids, with_context,

@@ -28,7 +28,9 @@
 use crate::alert::{default_rules, AlertEngine, Rule, Severity, Transition};
 use crate::flight::FlightRecorder;
 use crate::labels;
+use crate::prof::Profiler;
 use crate::registry::ShardedRegistry;
+use crate::sync::TimedMutex;
 use crate::timeseries::{Sampler, SamplerConfig};
 use parking_lot::Mutex;
 use serde::Value;
@@ -50,22 +52,30 @@ struct Inner {
 }
 
 /// Sampler + alert engine behind one lock. See the module docs.
+///
+/// The state lock is a [`TimedMutex`] (`lock="live_monitor"`), so tick vs.
+/// scrape contention shows up on `/metrics` like any other series.
 pub struct LiveMonitor {
-    inner: Mutex<Inner>,
+    inner: TimedMutex<Inner>,
     shards: Mutex<Option<Arc<ShardedRegistry>>>,
     flight: Mutex<Option<Arc<FlightRecorder>>>,
+    profiler: Mutex<Option<Arc<Profiler>>>,
 }
 
 impl LiveMonitor {
     /// A monitor with explicit sampler tuning and rule set.
     pub fn new(config: SamplerConfig, rules: Vec<Rule>) -> Self {
         LiveMonitor {
-            inner: Mutex::new(Inner {
-                sampler: Sampler::new(config),
-                engine: AlertEngine::new(rules),
-            }),
+            inner: TimedMutex::new(
+                "live_monitor",
+                Inner {
+                    sampler: Sampler::new(config),
+                    engine: AlertEngine::new(rules),
+                },
+            ),
             shards: Mutex::new(None),
             flight: Mutex::new(None),
+            profiler: Mutex::new(None),
         }
     }
 
@@ -90,6 +100,17 @@ impl LiveMonitor {
     /// The attached flight recorder, if any.
     pub fn flight(&self) -> Option<Arc<FlightRecorder>> {
         self.flight.lock().clone()
+    }
+
+    /// Attaches a running [`Profiler`], exposing cumulative and windowed
+    /// folded-stack captures through the `/profile` endpoint.
+    pub fn attach_profiler(&self, profiler: Arc<Profiler>) {
+        *self.profiler.lock() = Some(profiler);
+    }
+
+    /// The attached profiler, if any.
+    pub fn profiler(&self) -> Option<Arc<Profiler>> {
+        self.profiler.lock().clone()
     }
 
     /// The global registry's snapshot overlaid with the attached shards'

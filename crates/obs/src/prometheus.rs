@@ -113,6 +113,49 @@ const DESCRIPTIONS: &[(&str, &str)] = &[
         "health.flight_dump",
         "Flight-recorder dumps written on alert or panic",
     ),
+    (
+        "lock.acquisitions",
+        "Lock acquisitions of the named shared lock",
+    ),
+    (
+        "lock.contended",
+        "Acquisitions that missed the try-lock fast path and had to wait",
+    ),
+    ("lock.wait_ns", "Contended lock wait time, nanoseconds"),
+    ("lock.hold_ns", "Lock hold time, nanoseconds"),
+    (
+        "worker.busy_ns",
+        "Nanoseconds a par_map worker spent processing units",
+    ),
+    (
+        "worker.idle_ns",
+        "Nanoseconds a par_map worker spent off-unit (startup, steal gaps, tail wait)",
+    ),
+    ("worker.units", "Work units processed by a par_map worker"),
+    (
+        "worker.queue_remaining",
+        "Units left unclaimed when a par_map worker last looked",
+    ),
+    (
+        "eval.worker_imbalance_ppm",
+        "par_map busy-time imbalance: (max-min)/max across workers, ppm",
+    ),
+    (
+        "prof.samples",
+        "Sampling-profiler passes over the thread slots",
+    ),
+    (
+        "prof.stacks",
+        "Thread stacks captured by the sampling profiler",
+    ),
+    (
+        "prof.torn",
+        "Profiler slot reads abandoned after repeated torn seqlock generations",
+    ),
+    (
+        "prof.truncated",
+        "Span pushes beyond the profiler frame window (stack deeper than recorded)",
+    ),
 ];
 
 /// The `# HELP` text for a registry metric name: the static description

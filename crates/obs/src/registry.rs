@@ -147,9 +147,21 @@ impl Snapshot {
 /// own lock-local sub-[`Registry`] (no contention with other shards on the
 /// hot path), and [`ShardedRegistry::merged_snapshot`] folds every shard
 /// into one dimensional [`Snapshot`] whose names carry the shard's labels.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ShardedRegistry {
-    shards: Mutex<BTreeMap<LabelSet, Arc<Registry>>>,
+    /// The shard map sits behind a [`crate::sync::TimedMutex`]
+    /// (`lock="registry_shards"`): it is only taken on shard creation and
+    /// merged snapshots, so contention here means scrape-vs-admission
+    /// pressure, not hot-path metric updates.
+    shards: crate::sync::TimedMutex<BTreeMap<LabelSet, Arc<Registry>>>,
+}
+
+impl Default for ShardedRegistry {
+    fn default() -> Self {
+        ShardedRegistry {
+            shards: crate::sync::TimedMutex::new("registry_shards", BTreeMap::new()),
+        }
+    }
 }
 
 impl ShardedRegistry {

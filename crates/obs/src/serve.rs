@@ -15,11 +15,21 @@
 //! * `GET /links[?window=<ticks>&k=<rows>]` — JSON: per-link fleet
 //!   rollup, worst links first;
 //! * `GET /flight` — JSON: the attached flight recorder's ring/dump
-//!   status (404 when none is attached).
+//!   status (404 when none is attached);
+//! * `GET /readyz` — `200 ready` always: the process is up and serving.
+//!   Readiness (can answer) is deliberately split from health (no page
+//!   alert firing) so a monitorless `talon serve` is ready-but-unhealthy
+//!   rather than invisible to orchestration probes;
+//! * `GET /profile[?seconds=N]` — folded flame stacks from the attached
+//!   [`crate::prof::Profiler`] (404 when none is attached). `seconds=0`
+//!   (the default) returns the cumulative tally inline; `seconds=N`
+//!   captures an N-second window on a one-shot thread that owns the
+//!   connection, so a capture never blocks the accept loop.
 //!
 //! The monitor-backed routes need [`MetricsServer::start_with_monitor`];
 //! without a monitor they answer 503 (`/healthz` has nothing watching, so
-//! claiming health would be a lie) and 404.
+//! claiming health would be a lie) and 404. `/readyz` answers 200 either
+//! way.
 //!
 //! The accept loop is non-blocking and polls a shutdown flag, so dropping
 //! the server stops the thread promptly without needing a self-connect
@@ -32,7 +42,7 @@ use crate::live::LiveMonitor;
 use crate::prometheus;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -51,6 +61,14 @@ const DEFAULT_WINDOW: u64 = 60;
 
 /// Default row cap for `/links` (`k` query parameter).
 const DEFAULT_LINKS: usize = 16;
+
+/// Ceiling on `/profile?seconds=N`: a capture thread owns its connection
+/// for the whole window, so the window is bounded.
+const MAX_PROFILE_SECONDS: u64 = 60;
+
+/// Concurrent windowed profile captures allowed; each is one detached
+/// thread, so the cap bounds how many a scrape storm can spawn.
+const MAX_PROFILE_CAPTURES: usize = 4;
 
 /// A running metrics endpoint; stops when dropped.
 #[derive(Debug)]
@@ -82,7 +100,10 @@ impl MetricsServer {
         let stop_flag = Arc::clone(&stop);
         let thread = std::thread::Builder::new()
             .name("talon-metrics".into())
-            .spawn(move || accept_loop(listener, &stop_flag, monitor.as_deref()))?;
+            .spawn(move || {
+                let captures = Arc::new(AtomicUsize::new(0));
+                accept_loop(listener, &stop_flag, &captures, monitor.as_deref())
+            })?;
         Ok(MetricsServer {
             addr,
             stop,
@@ -105,15 +126,22 @@ impl Drop for MetricsServer {
     }
 }
 
-fn accept_loop(listener: TcpListener, stop: &AtomicBool, monitor: Option<&LiveMonitor>) {
+fn accept_loop(
+    listener: TcpListener,
+    stop: &Arc<AtomicBool>,
+    captures: &Arc<AtomicUsize>,
+    monitor: Option<&LiveMonitor>,
+) {
     while !stop.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((stream, _)) => {
                 // Serve inline: operational scrapes are small and rare, so
                 // a per-connection thread would be pure overhead. The
                 // deadline inside bounds how long one client can occupy
-                // the loop; the stop flag cuts even that short.
-                let _ = serve_connection(stream, stop, monitor);
+                // the loop; the stop flag cuts even that short. (The one
+                // exception is a windowed `/profile` capture, which hands
+                // the stream to a one-shot thread.)
+                let _ = serve_connection(stream, stop, captures, monitor);
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(10));
@@ -146,6 +174,20 @@ fn respond(
             body.push_str(&prometheus::process_series());
             ("200 OK", TEXT, body)
         }
+        // Readiness is "the endpoint answers", nothing more: keep it 200
+        // even monitorless, where /healthz (rightly) refuses to vouch.
+        "/readyz" => ("200 OK", TEXT, String::from("ready\n")),
+        "/profile" => match monitor.and_then(|m| m.profiler()) {
+            // Only the cumulative (seconds=0) tally is served inline;
+            // windowed captures are intercepted in `serve_connection`
+            // before routing gets here.
+            Some(profiler) => ("200 OK", TEXT, profiler.folded_text()),
+            None => (
+                "404 Not Found",
+                TEXT,
+                String::from("no profiler attached\n"),
+            ),
+        },
         "/healthz" => match monitor {
             Some(m) => {
                 let (healthy, body) = m.healthz();
@@ -219,7 +261,8 @@ fn query_param<'q>(query: &'q str, key: &str) -> Option<&'q str> {
 
 fn serve_connection(
     mut stream: TcpStream,
-    stop: &AtomicBool,
+    stop: &Arc<AtomicBool>,
+    captures: &Arc<AtomicUsize>,
     monitor: Option<&LiveMonitor>,
 ) -> std::io::Result<()> {
     let deadline = Instant::now() + CONNECTION_DEADLINE;
@@ -228,7 +271,76 @@ fn serve_connection(
     stream.set_write_timeout(Some(CONNECTION_DEADLINE))?;
     let request_line = read_request_line(&mut stream, deadline, stop)?;
     let path = request_line.split_whitespace().nth(1).unwrap_or("/");
+    // A windowed profile capture blocks for the whole window; hand the
+    // connection to a one-shot thread so the accept loop stays free.
+    if let Some(seconds) = windowed_profile_seconds(path) {
+        if let Some(profiler) = monitor.and_then(|m| m.profiler()) {
+            return spawn_profile_capture(stream, profiler, seconds, stop, captures);
+        }
+    }
     let (status, content_type, body) = respond(path, monitor);
+    write_response(&mut stream, status, content_type, &body)
+}
+
+/// `Some(seconds)` when `path` is a `/profile` request for a non-zero
+/// capture window (clamped to [`MAX_PROFILE_SECONDS`]), `None` otherwise.
+fn windowed_profile_seconds(path_and_query: &str) -> Option<u64> {
+    let (path, query) = path_and_query
+        .split_once('?')
+        .unwrap_or((path_and_query, ""));
+    if path != "/profile" {
+        return None;
+    }
+    let seconds: u64 = query_param(query, "seconds")?.parse().ok()?;
+    (seconds > 0).then_some(seconds.min(MAX_PROFILE_SECONDS))
+}
+
+/// Hands `stream` to a detached thread that waits out the capture window
+/// (polling the stop flag so shutdown isn't held up) and answers with the
+/// folded stacks accumulated *during* the window. The thread count is
+/// bounded by [`MAX_PROFILE_CAPTURES`]; excess requests get a 503.
+fn spawn_profile_capture(
+    mut stream: TcpStream,
+    profiler: Arc<crate::prof::Profiler>,
+    seconds: u64,
+    stop: &Arc<AtomicBool>,
+    captures: &Arc<AtomicUsize>,
+) -> std::io::Result<()> {
+    if captures.fetch_add(1, Ordering::AcqRel) >= MAX_PROFILE_CAPTURES {
+        captures.fetch_sub(1, Ordering::AcqRel);
+        return write_response(
+            &mut stream,
+            "503 Service Unavailable",
+            "text/plain; version=0.0.4",
+            "too many concurrent profile captures\n",
+        );
+    }
+    let stop = Arc::clone(stop);
+    let slots = Arc::clone(captures);
+    let spawned = std::thread::Builder::new()
+        .name("talon-profile-capture".into())
+        .spawn(move || {
+            let baseline = profiler.folded();
+            let deadline = Instant::now() + Duration::from_secs(seconds);
+            while Instant::now() < deadline && !stop.load(Ordering::Acquire) {
+                std::thread::sleep(READ_POLL.min(deadline - Instant::now()));
+            }
+            let body = crate::prof::folded_to_text(&profiler.folded_since(&baseline));
+            let _ = write_response(&mut stream, "200 OK", "text/plain; version=0.0.4", &body);
+            slots.fetch_sub(1, Ordering::AcqRel);
+        });
+    if spawned.is_err() {
+        captures.fetch_sub(1, Ordering::AcqRel);
+    }
+    spawned.map(|_| ())
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
     let response = format!(
         "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
          Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
@@ -329,6 +441,81 @@ mod tests {
         assert!(get(addr, "/timeseries").starts_with("HTTP/1.1 404"));
         assert!(get(addr, "/links").starts_with("HTTP/1.1 404"));
         assert!(get(addr, "/flight").starts_with("HTTP/1.1 404"));
+        assert!(get(addr, "/profile").starts_with("HTTP/1.1 404"));
+        // Readiness is split from health: the endpoint is up and serving,
+        // so /readyz is 200 even while /healthz refuses to vouch.
+        let response = get(addr, "/readyz");
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert_eq!(body_of(&response), "ready\n");
+    }
+
+    #[test]
+    fn profile_endpoint_serves_cumulative_and_windowed_captures() {
+        let monitor = Arc::new(LiveMonitor::with_defaults());
+        let profiler = Arc::new(crate::prof::Profiler::start(Duration::from_secs(3600)));
+        monitor.attach_profiler(Arc::clone(&profiler));
+        let server =
+            MetricsServer::start_with_monitor("127.0.0.1:0", Arc::clone(&monitor)).expect("bind");
+        let addr = server.local_addr();
+
+        // Hold a span open and take one manual sample so the tally has a
+        // stack regardless of timer scheduling.
+        let _outer = crate::span("serve.profile.outer");
+        let inner = crate::span("serve.profile.inner");
+        profiler.sample_now();
+        drop(inner);
+
+        let response = get(addr, "/profile");
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(
+            body_of(&response).contains("serve.profile.outer;serve.profile.inner 1"),
+            "{response}"
+        );
+
+        // A windowed capture reports only samples taken inside the window:
+        // the pre-existing stack is the baseline, so the body is empty.
+        let start = Instant::now();
+        let response = get(addr, "/profile?seconds=1");
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(
+            start.elapsed() >= Duration::from_millis(900),
+            "window waited out"
+        );
+        assert_eq!(body_of(&response), "", "no samples during the window");
+    }
+
+    #[test]
+    fn windowed_profile_capture_does_not_block_other_routes() {
+        let monitor = Arc::new(LiveMonitor::with_defaults());
+        monitor.attach_profiler(Arc::new(crate::prof::Profiler::start(Duration::from_secs(
+            3600,
+        ))));
+        let server =
+            MetricsServer::start_with_monitor("127.0.0.1:0", Arc::clone(&monitor)).expect("bind");
+        let addr = server.local_addr();
+        // Start a 5 s capture on a background client, then prove the
+        // single-threaded loop still answers instantly.
+        let capture = std::thread::spawn(move || get(addr, "/profile?seconds=5"));
+        std::thread::sleep(Duration::from_millis(200));
+        let start = Instant::now();
+        let response = get(addr, "/readyz");
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "/readyz waited {:?} behind a profile capture",
+            start.elapsed()
+        );
+        // Dropping the server cuts the capture short (stop flag polled in
+        // the capture wait), so shutdown stays prompt too.
+        let start = Instant::now();
+        drop(server);
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "drop waited {:?} on a profile capture",
+            start.elapsed()
+        );
+        let response = capture.join().expect("capture client");
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
     }
 
     #[test]
@@ -421,7 +608,7 @@ mod tests {
         // The newer routes ride the same single-thread loop, so they must
         // also answer promptly behind the stalled client (404 here — no
         // monitor attached — but a prompt 404, not a stall).
-        for path in ["/links", "/flight"] {
+        for path in ["/links", "/flight", "/profile", "/profile?seconds=3"] {
             let start = Instant::now();
             let response = get(addr, path);
             assert!(response.starts_with("HTTP/1.1 404"), "{response}");
@@ -431,6 +618,15 @@ mod tests {
                 start.elapsed()
             );
         }
+        // Readiness keeps answering 200 behind the stalled client.
+        let start = Instant::now();
+        let response = get(addr, "/readyz");
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(
+            start.elapsed() < CONNECTION_DEADLINE + Duration::from_secs(2),
+            "/readyz waited {:?} behind a stalled client",
+            start.elapsed()
+        );
         // And shutdown must not wait out a second straggler's deadline:
         // the stop flag is polled inside the read loop.
         let mut loris2 = TcpStream::connect(addr).expect("connect");

@@ -116,16 +116,20 @@ impl EventSink for MemorySink {
 }
 
 /// Streams events to a file as JSON Lines.
+///
+/// The writer sits behind a [`crate::sync::TimedMutex`]
+/// (`lock="jsonl_sink"`): every recording thread serializes through it, so
+/// its `lock.*` series are the direct measure of global-sink contention.
 #[derive(Debug)]
 pub struct JsonlSink {
-    out: Mutex<BufWriter<File>>,
+    out: crate::sync::TimedMutex<BufWriter<File>>,
 }
 
 impl JsonlSink {
     /// Creates (truncating) the trace file at `path`.
     pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
         Ok(JsonlSink {
-            out: Mutex::new(BufWriter::new(File::create(path)?)),
+            out: crate::sync::TimedMutex::new("jsonl_sink", BufWriter::new(File::create(path)?)),
         })
     }
 

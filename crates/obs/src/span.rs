@@ -2,6 +2,7 @@
 
 use crate::event::Event;
 use crate::metrics::Histogram;
+use crate::prof;
 use crate::sink;
 use crate::trace::{self, SpanIds};
 use parking_lot::Mutex;
@@ -41,6 +42,10 @@ pub struct Span {
     start_us: u64,
     ids: Option<SpanIds>,
     fields: Option<BTreeMap<String, f64>>,
+    /// Whether this span published a profiler frame (see [`crate::prof`]);
+    /// only then does the drop pop one, so spans straddling profiler
+    /// start/stop stay balanced.
+    profiled: bool,
 }
 
 impl Span {
@@ -55,6 +60,7 @@ impl Span {
             start_us: if recording { crate::now_us() } else { 0 },
             ids: recording.then(trace::begin_span),
             fields: recording.then(BTreeMap::new),
+            profiled: prof::handle_push(stage),
         }
     }
 
@@ -79,6 +85,9 @@ impl Span {
 
 impl Drop for Span {
     fn drop(&mut self) {
+        if self.profiled {
+            prof::handle_pop();
+        }
         let dur_us = self.start.elapsed().as_micros() as u64;
         stage_histogram(self.stage).record(dur_us);
         if let Some(ids) = self.ids.take() {

@@ -169,6 +169,156 @@ pub fn render_trees(trees: &[TraceTree]) -> String {
     out
 }
 
+/// One hop on a trace's critical path: a stage and the self time it
+/// contributed on that trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hop {
+    /// Stage name of the span at this hop.
+    pub stage: String,
+    /// Self time the span contributed, microseconds.
+    pub self_us: u64,
+}
+
+/// The critical path of one trace tree: the root-to-leaf chain maximizing
+/// summed self time — the sequence of spans that actually bounded the
+/// trace's wall time (sibling subtrees off the chain ran under the same
+/// inclusive window).
+///
+/// Ties break toward the earlier-starting child, matching the render
+/// order. An empty tree yields an empty path.
+pub fn critical_path(tree: &TraceTree) -> Vec<Hop> {
+    let n = tree.nodes.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // best[i] = max over root-at-i chains of summed self time; children are
+    // sorted by start so a strict `>` keeps the earliest maximal child.
+    // Nodes are processed deepest-first via an explicit post-order walk
+    // (spans can nest arbitrarily deep; no recursion).
+    let mut best: Vec<u64> = vec![0; n];
+    let mut best_child: Vec<Option<usize>> = vec![None; n];
+    let mut stack: Vec<(usize, bool)> = tree.roots.iter().map(|&r| (r, false)).collect();
+    while let Some((i, expanded)) = stack.pop() {
+        if expanded {
+            let node = &tree.nodes[i];
+            let mut down = 0;
+            let mut via = None;
+            for &c in &node.children {
+                if via.is_none() || best[c] > down {
+                    down = best[c];
+                    via = Some(c);
+                }
+            }
+            best[i] = node.self_us + down;
+            best_child[i] = via;
+        } else {
+            stack.push((i, true));
+            for &c in &tree.nodes[i].children {
+                stack.push((c, false));
+            }
+        }
+    }
+    let mut start = None;
+    let mut top = 0;
+    for &r in &tree.roots {
+        if start.is_none() || best[r] > top {
+            top = best[r];
+            start = Some(r);
+        }
+    }
+    let Some(start) = start else {
+        return Vec::new();
+    };
+    let mut path = Vec::new();
+    let mut cursor = Some(start);
+    while let Some(i) = cursor {
+        path.push(Hop {
+            stage: tree.nodes[i].stage.clone(),
+            self_us: tree.nodes[i].self_us,
+        });
+        cursor = best_child[i];
+    }
+    path
+}
+
+/// Per-hop latency statistics across every trace sharing a critical path.
+#[derive(Debug, Clone)]
+pub struct HopStats {
+    /// Stage name of the hop.
+    pub stage: String,
+    /// Median self time of this hop across the group's traces.
+    pub p50_us: u64,
+    /// 95th-percentile self time across the group's traces.
+    pub p95_us: u64,
+    /// Summed self time across the group's traces.
+    pub total_us: u64,
+}
+
+/// One critical-path group: every trace whose critical path visits the
+/// same stage sequence, with per-hop latency statistics.
+#[derive(Debug, Clone)]
+pub struct CriticalPathSummary {
+    /// The stage sequence, root first.
+    pub path: Vec<String>,
+    /// Number of traces sharing this path.
+    pub traces: u64,
+    /// Summed critical-path time across those traces.
+    pub total_us: u64,
+    /// Per-hop statistics, aligned with `path`.
+    pub hops: Vec<HopStats>,
+}
+
+/// Aggregates critical paths across every trace in `events`, grouped by
+/// stage sequence and sorted by total critical-path time (descending, then
+/// by path), truncated to `top_k` groups. The heaviest hop of the heaviest
+/// group is where optimization effort pays off first.
+pub fn critical_paths(events: &[Event], top_k: usize) -> Vec<CriticalPathSummary> {
+    let mut groups: BTreeMap<Vec<String>, Vec<Vec<u64>>> = BTreeMap::new();
+    for tree in build_trees(events) {
+        let hops = critical_path(&tree);
+        if hops.is_empty() {
+            continue;
+        }
+        let key: Vec<String> = hops.iter().map(|h| h.stage.clone()).collect();
+        groups
+            .entry(key)
+            .or_default()
+            .push(hops.into_iter().map(|h| h.self_us).collect());
+    }
+    let mut out: Vec<CriticalPathSummary> = groups
+        .into_iter()
+        .map(|(path, samples)| {
+            let hops: Vec<HopStats> = path
+                .iter()
+                .enumerate()
+                .map(|(i, stage)| {
+                    let mut values: Vec<u64> = samples.iter().map(|s| s[i]).collect();
+                    values.sort_unstable();
+                    let q = |p: f64| {
+                        let rank = ((values.len() - 1) as f64 * p).round() as usize;
+                        values[rank]
+                    };
+                    HopStats {
+                        stage: stage.clone(),
+                        p50_us: q(0.50),
+                        p95_us: q(0.95),
+                        total_us: values.iter().sum(),
+                    }
+                })
+                .collect();
+            CriticalPathSummary {
+                total_us: hops.iter().map(|h| h.total_us).sum(),
+                traces: samples.len() as u64,
+                path,
+                hops,
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| b.total_us.cmp(&a.total_us).then(a.path.cmp(&b.path)));
+    out.truncate(top_k.max(1));
+    out
+}
+
 /// Anomaly counts per trace, keyed `trace_id -> kind-stage -> count`
 /// (untraced anomalies land under trace 0).
 pub fn health_by_trace(events: &[Event]) -> BTreeMap<u64, BTreeMap<String, u64>> {
@@ -293,6 +443,74 @@ mod tests {
         let mut b = session(400);
         b.extend(session(512));
         assert_eq!(normalize_structural(&a), normalize_structural(&b));
+    }
+
+    #[test]
+    fn critical_path_follows_the_heaviest_chain() {
+        // Root (self 10) with two subtrees: left sls.run holds a heavy
+        // css.estimate leaf (self 40), right css.report is lighter (self
+        // 25). Chain must go root -> sls.run -> css.estimate.
+        let events = vec![
+            span(10, "css.estimate", 40, (7, 3, 2)),
+            span(5, "sls.run", 50, (7, 2, 1)),
+            span(60, "css.report", 25, (7, 4, 1)),
+            span(0, "css.session", 100, (7, 1, 0)),
+        ];
+        let trees = build_trees(&events);
+        let path = critical_path(&trees[0]);
+        let stages: Vec<&str> = path.iter().map(|h| h.stage.as_str()).collect();
+        assert_eq!(stages, ["css.session", "sls.run", "css.estimate"]);
+        assert_eq!(path[0].self_us, 25); // 100 - 50 - 25
+        assert_eq!(path[1].self_us, 10); // 50 - 40
+        assert_eq!(path[2].self_us, 40);
+    }
+
+    #[test]
+    fn critical_path_of_empty_tree_is_empty() {
+        let tree = TraceTree {
+            trace_id: 1,
+            nodes: Vec::new(),
+            roots: Vec::new(),
+        };
+        assert!(critical_path(&tree).is_empty());
+    }
+
+    #[test]
+    fn critical_path_tie_prefers_the_earlier_child() {
+        let events = vec![
+            span(10, "css.alpha", 30, (3, 2, 1)),
+            span(50, "css.beta", 30, (3, 3, 1)),
+            span(0, "css.session", 100, (3, 1, 0)),
+        ];
+        let path = critical_path(&build_trees(&events)[0]);
+        assert_eq!(path[1].stage, "css.alpha");
+    }
+
+    #[test]
+    fn critical_paths_group_and_rank_by_total_time() {
+        // Three traces: two share the session->run->estimate shape (the
+        // estimate dominating), one is a lone report.
+        let mut events = session(1);
+        events.extend(session(2));
+        events.push(span(0, "css.report", 20, (5, 1, 0)));
+        let summaries = critical_paths(&events, 8);
+        assert_eq!(summaries.len(), 2);
+        let top = &summaries[0];
+        assert_eq!(top.path, ["css.session", "sls.run", "css.estimate"]);
+        assert_eq!(top.traces, 2);
+        assert_eq!(top.total_us, 200); // (30 + 30 + 40) * 2
+        let est = top.hops.last().unwrap();
+        assert_eq!(est.stage, "css.estimate");
+        assert_eq!((est.p50_us, est.p95_us, est.total_us), (40, 40, 80));
+        assert_eq!(summaries[1].path, ["css.report"]);
+        assert_eq!(summaries[1].traces, 1);
+
+        // top_k truncates after ranking.
+        assert_eq!(critical_paths(&events, 1).len(), 1);
+        assert_eq!(
+            critical_paths(&events, 1)[0].path,
+            ["css.session", "sls.run", "css.estimate"]
+        );
     }
 
     #[test]

@@ -100,6 +100,27 @@ fn no_sink_hot_paths_are_allocation_free() {
     });
     assert_eq!(n, 0, "no-sink anomaly path allocated {n} times");
 
+    // Profiler publish path: with a profiler running, every span start
+    // pushes a frame into the thread's seqlock slot and every drop pops
+    // it. After the warm-up (first span on this thread registers the slot
+    // and interns the stage name) that path is pure atomics — a profiled
+    // span must cost no more heap traffic than an unprofiled one. The
+    // 1-hour period keeps the sampler thread asleep for the whole test so
+    // its own (allocating) tally passes can't pollute the counter.
+    let profiler = obs::Profiler::start(std::time::Duration::from_secs(3600));
+    {
+        let mut s = obs::span("noalloc.span");
+        s.field("x", 1.0);
+    }
+    let n = allocations_during(|| {
+        for _ in 0..1_000 {
+            let mut s = obs::span("noalloc.span");
+            s.field("x", black_box(1.0));
+        }
+    });
+    assert_eq!(n, 0, "profiler publish path allocated {n} times");
+    drop(profiler);
+
     // Sanity: the harness itself does count — a recording span allocates.
     obs::set_sink(std::sync::Arc::new(obs::MemorySink::default()));
     let n = allocations_during(|| {

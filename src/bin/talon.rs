@@ -57,10 +57,18 @@ fn main() -> ExitCode {
     // command runs, and append a registry snapshot at the end. A `.bin`
     // path selects the compact binary format; anything else gets JSONL.
     let trace_sink: Option<std::sync::Arc<dyn obs::EventSink>> = match opts.get("trace") {
-        // `report`, `replay`, `trace`, and `soak` read (or manage) existing
-        // trace files; never open a sink (which truncates the file) on what
-        // is these commands' input.
-        Some(_) if cmd == "report" || cmd == "replay" || cmd == "trace" || cmd == "soak" => None,
+        // `report`, `replay`, `trace`, `soak`, and `profile` read (or
+        // manage) existing trace files; never open a sink (which truncates
+        // the file) on what is these commands' input.
+        Some(_)
+            if cmd == "report"
+                || cmd == "replay"
+                || cmd == "trace"
+                || cmd == "soak"
+                || cmd == "profile" =>
+        {
+            None
+        }
         // A bare `--trace` parses as the value "true"; require a path
         // instead of silently writing a file named `true`.
         Some(path) if path == "true" => {
@@ -95,6 +103,7 @@ fn main() -> ExitCode {
         "brd" => cmd_brd(&opts),
         "report" => cmd_report(&args[1..], &opts),
         "replay" => cmd_replay(&args[1..], &opts),
+        "profile" => cmd_profile(&args[1..], &opts),
         "trace" => cmd_trace(&args[1..]),
         "soak" => cmd_soak(&opts),
         "serve" => cmd_serve(&opts),
@@ -126,11 +135,12 @@ commands:
   analyze   --dataset <file> --patterns <file> [--probes 14,20] [--seed N] [--trace <file>]
   sls       --scenario lab|conference --policy ssw|css [--probes 14] [--yaw DEG] [--seed N] [--trace <file>]
   brd       --out <file> [--seed N]  |  --check <file>
-  report    <trace.jsonl|.bin> [--tree | --flame | --quality | --json]
+  report    <trace.jsonl|.bin> [--tree | --flame | --critical-path [--top K] | --quality | --json]
   replay    <trace.jsonl|.bin> [--threads N] [--perturb DB] [--patterns <file>]
+  profile   <trace.jsonl|.bin> [--hz N] [--threads N] [--repeat N]  |  --attach HOST:PORT [--seconds N]
   trace     convert <in> <out>   (input format sniffed; .bin output → binary, else JSONL)
   soak      [--decisions N] [--smoke] [--threads 1,2,8] [--keep <trace.bin>] [--out <bench.json>] [--check <baseline.json>] [--seed N]
-  serve     [--metrics-addr HOST:PORT] [--sessions N] [--hold-ms MS] [--tick-ms MS] [--ticks N] [--inject-drift] [--links N] [--flight-dir DIR] [--seed N]
+  serve     [--metrics-addr HOST:PORT] [--sessions N] [--hold-ms MS] [--tick-ms MS] [--ticks N] [--inject-drift] [--links N] [--flight-dir DIR] [--profile-hz N] [--profile-out <file>] [--seed N]
   top       --addr HOST:PORT [--frames N] [--interval-ms MS] [--window TICKS] [--by-link]";
 
 /// Parses `--key value` and bare `--flag` options; non-option arguments
@@ -509,6 +519,52 @@ fn cmd_report(args: &[String], opts: &HashMap<String, String>) -> Result<(), Str
         return Ok(());
     }
 
+    // `--critical-path`: the top-k longest self-time chains across the
+    // traced trees, with per-hop p50/p95 — "which spans actually bounded
+    // the wall time", not just where time pooled.
+    if opts.contains_key("critical-path") {
+        let top_k: usize = opts
+            .get("top")
+            .map(|k| k.parse().map_err(|_| "bad --top"))
+            .transpose()?
+            .unwrap_or(5);
+        let summaries = obs::tree::critical_paths(&trace.events, top_k);
+        if summaries.is_empty() {
+            println!("no traced spans in {path}");
+            return Ok(());
+        }
+        for (rank, s) in summaries.iter().enumerate() {
+            println!(
+                "#{} {} — {} trace(s), {} us total",
+                rank + 1,
+                s.path.join(" -> "),
+                s.traces,
+                s.total_us
+            );
+            let rows: Vec<Vec<String>> = s
+                .hops
+                .iter()
+                .map(|h| {
+                    vec![
+                        h.stage.clone(),
+                        h.p50_us.to_string(),
+                        h.p95_us.to_string(),
+                        h.total_us.to_string(),
+                        format!(
+                            "{:.1}",
+                            100.0 * h.total_us as f64 / s.total_us.max(1) as f64
+                        ),
+                    ]
+                })
+                .collect();
+            println!(
+                "{}",
+                eval::ascii::table(&["hop", "p50 µs", "p95 µs", "total µs", "% of path"], &rows)
+            );
+        }
+        return Ok(());
+    }
+
     // `--tree`: the causal span trees plus the per-session health summary.
     if opts.contains_key("tree") {
         let trees = obs::tree::build_trees(&trace.events);
@@ -835,6 +891,93 @@ fn cmd_replay(args: &[String], opts: &HashMap<String, String>) -> Result<(), Str
     }
 }
 
+/// `talon profile`: folded flame stacks from the sampling profiler.
+///
+/// Two modes: `--attach HOST:PORT` windows a live endpoint's attached
+/// profiler through `/profile?seconds=N`; a positional trace file replays
+/// its decisions under a local profiler (the trace provides the workload,
+/// the profiler watches the real estimator/replay code run it). Folded
+/// stacks go to stdout in the exact format `talon report --flame` emits,
+/// ready for inferno-flamegraph / flamegraph.pl.
+fn cmd_profile(args: &[String], opts: &HashMap<String, String>) -> Result<(), String> {
+    if let Some(addr) = opts.get("attach") {
+        if addr == "true" {
+            return Err("--attach needs HOST:PORT".into());
+        }
+        let seconds: u64 = opts
+            .get("seconds")
+            .map(|s| s.parse().map_err(|_| "bad --seconds"))
+            .transpose()?
+            .unwrap_or(0);
+        let body = http_get_timeout(
+            addr,
+            &format!("/profile?seconds={seconds}"),
+            std::time::Duration::from_secs(seconds + 10),
+        )?;
+        print!("{body}");
+        return Ok(());
+    }
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or("profile needs a trace file or --attach HOST:PORT")?;
+    let trace = obs::open_trace(Path::new(path)).map_err(|e| format!("reading {path}: {e}"))?;
+    if trace.decisions.is_empty() {
+        return Err(format!(
+            "no decision records in {path}; record one with e.g. \
+             `talon sls --policy css --trace {path}`"
+        ));
+    }
+    let hz: u64 = opts
+        .get("hz")
+        .map(|s| s.parse().map_err(|_| "bad --hz"))
+        .transpose()?
+        .unwrap_or(1000);
+    let repeat: usize = opts
+        .get("repeat")
+        .map(|s| s.parse().map_err(|_| "bad --repeat"))
+        .transpose()?
+        .unwrap_or(0);
+    let mut config = eval::replay::ReplayConfig::default();
+    if let Some(t) = opts.get("threads") {
+        config.threads = t.parse().map_err(|_| "bad --threads")?;
+    }
+    let profiler = obs::Profiler::start_hz(hz.max(1));
+    // Gated call sites only construct their spans while a sink is
+    // recording — without one the replay would publish no frames at all.
+    // A memory sink (drained each pass so it never grows) flips that gate.
+    let mem = std::sync::Arc::new(obs::MemorySink::new());
+    obs::set_sink(mem.clone());
+    // Replay provides the workload. With an explicit --repeat, run exactly
+    // that many passes; otherwise repeat until the sampler had a fair
+    // chance (~250 ms of wall time), so short traces still yield stacks.
+    let started = std::time::Instant::now();
+    let mut runs = 0usize;
+    loop {
+        let _ = eval::replay::replay_trace(&trace, &config);
+        drop(mem.take());
+        runs += 1;
+        if repeat > 0 {
+            if runs >= repeat {
+                break;
+            }
+        } else if started.elapsed() >= std::time::Duration::from_millis(250) || runs >= 1000 {
+            break;
+        }
+    }
+    obs::clear_sink();
+    let folded = profiler.folded_text();
+    eprintln!(
+        "profiled {} replay pass(es) of {} decision(s) at {} Hz: {} sample pass(es)",
+        runs,
+        trace.decisions.len(),
+        hz.max(1),
+        profiler.passes()
+    );
+    print!("{folded}");
+    Ok(())
+}
+
 fn cmd_trace(args: &[String]) -> Result<(), String> {
     const TRACE_USAGE: &str = "usage: talon trace convert <in> <out>  (input format sniffed; \
          .bin output → binary, else JSONL)";
@@ -1153,6 +1296,21 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
     }
     obs::flight::install_panic_hook(&flight);
     monitor.attach_flight(std::sync::Arc::clone(&flight));
+    // `--profile-hz N`: run the sampling profiler for the life of the
+    // server and expose it on `/profile`; `--profile-out <file>` also
+    // writes the accumulated folded stacks at exit.
+    let profiler: Option<std::sync::Arc<obs::Profiler>> = match opts.get("profile-hz") {
+        Some(hz) => {
+            let hz: u64 = hz.parse().map_err(|_| "bad --profile-hz")?;
+            let p = std::sync::Arc::new(obs::Profiler::start_hz(hz.max(1)));
+            monitor.attach_profiler(std::sync::Arc::clone(&p));
+            Some(p)
+        }
+        None => None,
+    };
+    if opts.contains_key("profile-out") && profiler.is_none() {
+        return Err("--profile-out needs --profile-hz".into());
+    }
     // Per-link metric shards: each link's monitor writes plain-named
     // series into its own lock-local registry; the labels appear when the
     // monitor merges the shards into its sampled snapshot.
@@ -1169,27 +1327,38 @@ fn cmd_serve(opts: &HashMap<String, String>) -> Result<(), String> {
         eprintln!("session {i}: {summary}");
     }
 
-    if opts.contains_key("inject-drift") {
-        return run_drift_drill(&monitor, &shards, links, tick_ms, max_ticks, hold_ms);
-    }
-
-    // Production path: a timer thread ticks the sampler/alert engine at
-    // the configured cadence while this thread holds the process open.
-    let _ticker = monitor.start_ticker(std::time::Duration::from_millis(tick_ms));
-    let start = std::time::Instant::now();
-    loop {
-        std::thread::sleep(std::time::Duration::from_millis(50));
-        if let Some(n) = max_ticks {
-            if monitor.ticks() >= n {
-                return Ok(());
+    let result = if opts.contains_key("inject-drift") {
+        run_drift_drill(&monitor, &shards, links, tick_ms, max_ticks, hold_ms)
+    } else {
+        // Production path: a timer thread ticks the sampler/alert engine
+        // at the configured cadence while this thread holds the process
+        // open.
+        let _ticker = monitor.start_ticker(std::time::Duration::from_millis(tick_ms));
+        let start = std::time::Instant::now();
+        loop {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            if let Some(n) = max_ticks {
+                if monitor.ticks() >= n {
+                    break;
+                }
+            }
+            if let Some(ms) = hold_ms {
+                if start.elapsed() >= std::time::Duration::from_millis(ms) {
+                    break;
+                }
             }
         }
-        if let Some(ms) = hold_ms {
-            if start.elapsed() >= std::time::Duration::from_millis(ms) {
-                return Ok(());
-            }
-        }
+        Ok(())
+    };
+    if let (Some(profiler), Some(out)) = (&profiler, opts.get("profile-out")) {
+        std::fs::write(out, profiler.folded_text())
+            .map_err(|e| format!("writing --profile-out {out}: {e}"))?;
+        eprintln!(
+            "profile: {} sample pass(es) written to {out}",
+            profiler.passes()
+        );
     }
+    result
 }
 
 /// The `--inject-drift` drill: drives the sampler tick-by-tick from this
@@ -1271,12 +1440,20 @@ fn sparkline(values: &[f64]) -> String {
 /// One HTTP/1.1 GET over a raw TCP stream (the workspace has no HTTP
 /// client); returns the response body.
 fn http_get(addr: &str, path: &str) -> Result<String, String> {
+    http_get_timeout(addr, path, std::time::Duration::from_secs(5))
+}
+
+/// [`http_get`] with an explicit read timeout — windowed `/profile`
+/// captures legitimately hold the connection for the whole window.
+fn http_get_timeout(
+    addr: &str,
+    path: &str,
+    timeout: std::time::Duration,
+) -> Result<String, String> {
     use std::io::{Read as _, Write as _};
     let mut stream =
         std::net::TcpStream::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
-    stream
-        .set_read_timeout(Some(std::time::Duration::from_secs(5)))
-        .ok();
+    stream.set_read_timeout(Some(timeout)).ok();
     write!(
         stream,
         "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"

@@ -2,11 +2,14 @@
 //! binary must come back as one rooted causal tree, render as valid
 //! folded-stack flamegraph lines, and be scrapeable over plain TCP from
 //! `talon serve`'s Prometheus endpoint — including the live-monitor routes
-//! (`/healthz`, `/alerts`, `/timeseries`, `/links`, `/flight`) and the
-//! injected-drift drill that must flip `/healthz` to 503 and back,
-//! deterministically. The fleet variants additionally assert labeled
-//! per-link series in valid exposition text and that the drill's
-//! alert-triggered flight-recorder dump replays bit-exactly.
+//! (`/healthz`, `/readyz`, `/alerts`, `/timeseries`, `/links`, `/flight`,
+//! `/profile`) and the injected-drift drill that must flip `/healthz` to
+//! 503 and back, deterministically. The fleet variants additionally
+//! assert labeled per-link series in valid exposition text and that the
+//! drill's alert-triggered flight-recorder dump replays bit-exactly. The
+//! self-observability variants sample the drill with the in-process
+//! profiler (`--profile-hz`) and attribute its critical path from the
+//! recorded trace.
 
 use serde::Value;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -538,6 +541,190 @@ fn drill_flight_dump_replays_bit_exactly() {
     );
 
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Every folded-stack line is `path;to;span count` with no empty frames.
+fn assert_valid_folded(text: &str) {
+    assert!(!text.trim().is_empty(), "folded output non-empty");
+    for line in text.lines() {
+        let (stack, value) = line.rsplit_once(' ').expect("`stack count` shape");
+        assert!(
+            stack.split(';').all(|frame| !frame.is_empty()),
+            "no empty frames: {line}"
+        );
+        value
+            .parse::<u64>()
+            .unwrap_or_else(|_| panic!("integer sample count: {line}"));
+    }
+}
+
+#[test]
+fn profiled_drill_emits_folded_stacks_and_critical_path() {
+    let dir = workdir().join("profiled-drill");
+    std::fs::create_dir_all(&dir).expect("create dir");
+    let trace = dir.join("drill.jsonl");
+    let folded = dir.join("drill.folded");
+
+    // The drift drill with the in-process sampler running at 1 kHz: on
+    // exit, serve writes the folded stacks it accumulated.
+    let out = talon()
+        .args([
+            "serve",
+            "--metrics-addr",
+            "127.0.0.1:0",
+            "--sessions",
+            "2",
+            "--scenario",
+            "lab",
+            "--policy",
+            "css",
+            "--seed",
+            "42",
+            "--inject-drift",
+            "--tick-ms",
+            "5",
+            "--ticks",
+            "45",
+            "--flight-dir",
+            dir.to_str().unwrap(),
+            "--trace",
+            trace.to_str().unwrap(),
+            "--profile-hz",
+            "1000",
+            "--profile-out",
+            folded.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run profiled drill");
+    assert!(
+        out.status.success(),
+        "drill: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let folded_text = std::fs::read_to_string(&folded).expect("profile written");
+    assert_valid_folded(&folded_text);
+
+    // The recorded trace attributes its own critical path: the dominant
+    // root-to-leaf chain with per-hop quantiles.
+    let out = talon()
+        .args(["report", trace.to_str().unwrap(), "--critical-path"])
+        .output()
+        .expect("run report --critical-path");
+    assert!(
+        out.status.success(),
+        "report: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("trace(s)"), "{stdout}");
+    assert!(
+        stdout.contains("css.session"),
+        "critical path names the session root: {stdout}"
+    );
+    assert!(stdout.contains("p95"), "per-hop quantile table: {stdout}");
+
+    // The same decisions profile offline: `talon profile <trace>` replays
+    // them under the sampler and emits folded stacks to stdout.
+    let out = talon()
+        .args(["profile", trace.to_str().unwrap(), "--hz", "2000"])
+        .output()
+        .expect("run talon profile");
+    assert!(
+        out.status.success(),
+        "profile: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_valid_folded(&String::from_utf8_lossy(&out.stdout));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn readyz_and_profile_routes_respond() {
+    // A server with the profiler attached: /readyz answers as soon as the
+    // socket serves, and /profile returns the cumulative folded stacks.
+    let child = talon()
+        .args([
+            "serve",
+            "--metrics-addr",
+            "127.0.0.1:0",
+            "--sessions",
+            "1",
+            "--scenario",
+            "lab",
+            "--policy",
+            "css",
+            "--hold-ms",
+            "60000",
+            "--profile-hz",
+            "500",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn profiled serve");
+    let mut child = KillOnDrop(child);
+    let stdout = child.0.stdout.take().expect("piped stdout");
+    let addr = read_announce(&mut BufReader::new(stdout).lines());
+
+    let (code, body) = http_get(&addr, "/readyz").expect("scrape /readyz");
+    assert_eq!(code, 200, "{body}");
+    assert!(body.starts_with("ready"), "{body}");
+
+    // The session's spans land in the profile once the sampler has caught
+    // the running workload; poll until the folded body is non-empty.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    let folded = loop {
+        let (code, body) = http_get(&addr, "/profile").expect("scrape /profile");
+        assert_eq!(code, 200, "{body}");
+        if !body.trim().is_empty() {
+            break body;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "profiler never sampled the session"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    };
+    assert_valid_folded(&folded);
+
+    // `talon profile --attach` takes a windowed capture over the same
+    // endpoint (seconds=1 → the server holds the connection for the
+    // window, then sends only stacks accumulated inside it).
+    let out = talon()
+        .args(["profile", "--attach", &addr, "--seconds", "1"])
+        .output()
+        .expect("run talon profile --attach");
+    assert!(
+        out.status.success(),
+        "attach: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    drop(child);
+
+    // Without --profile-hz there is no profiler to expose: /profile is a
+    // 404 while /readyz still answers 200.
+    let child = talon()
+        .args([
+            "serve",
+            "--metrics-addr",
+            "127.0.0.1:0",
+            "--sessions",
+            "0",
+            "--hold-ms",
+            "60000",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn unprofiled serve");
+    let mut child = KillOnDrop(child);
+    let stdout = child.0.stdout.take().expect("piped stdout");
+    let addr = read_announce(&mut BufReader::new(stdout).lines());
+    let (code, body) = http_get(&addr, "/readyz").expect("scrape /readyz");
+    assert_eq!(code, 200, "{body}");
+    let (code, _) = http_get(&addr, "/profile").expect("scrape /profile");
+    assert_eq!(code, 404, "no profiler attached");
 }
 
 #[test]
